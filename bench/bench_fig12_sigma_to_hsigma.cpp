@@ -1,0 +1,119 @@
+// Figures 1-2 benchmark (Theorem 1): Σ → HΣ transformers.
+//
+// Series: time until a correct-only quorum appears in h_quora, with
+// membership knowledge (Fig. 1) vs learned membership (Fig. 2); the
+// communication cost difference (Fig. 1 sends nothing); and the label
+// universe blow-up — the construction's 2^(n-1) labels made tangible.
+#include <memory>
+
+#include "bench_util.h"
+#include "fd/oracles.h"
+#include "fd/reduce/sigma_to_hsigma.h"
+#include "sim/system.h"
+#include "spec/fd_checkers.h"
+
+namespace {
+
+using namespace hds;
+
+struct T1Out {
+  bool ok = false;
+  std::string detail;
+  SimTime live_time = -1;  // first time every correct process holds a correct-only quorum
+  std::uint64_t broadcasts = 0;
+};
+
+T1Out run(bool with_membership, std::size_t n, std::size_t crash_k, std::uint64_t seed) {
+  SystemConfig cfg;
+  for (std::size_t i = 0; i < n; ++i) cfg.ids.push_back(i + 1);
+  cfg.timing = std::make_unique<AsyncTiming>(1, 5);
+  cfg.crashes.resize(n);
+  for (std::size_t j = 0; j < crash_k; ++j) cfg.crashes[n - 1 - j] = CrashPlan{20};
+  cfg.seed = seed;
+  System sys(std::move(cfg));
+  OracleSigma sigma(GroundTruth::from(sys), [&sys] { return sys.now(); }, 100,
+                    OracleSigma::Mode::kCoarse);
+  std::set<Id> membership;
+  for (ProcIndex i = 0; i < n; ++i) membership.insert(sys.id_of(i));
+  std::vector<const Trajectory<HSigmaSnapshot>*> traces;
+  for (ProcIndex i = 0; i < n; ++i) {
+    if (with_membership) {
+      auto red =
+          std::make_unique<SigmaToHSigmaLocal>(sigma.handle(i), sys.id_of(i), membership);
+      traces.push_back(&red->trace());
+      sys.set_process(i, std::move(red));
+    } else {
+      auto red = std::make_unique<SigmaToHSigmaBcast>(sigma.handle(i));
+      traces.push_back(&red->trace());
+      sys.set_process(i, std::move(red));
+    }
+  }
+  sys.start();
+  sys.run_until(500);
+  const GroundTruth gt = GroundTruth::from(sys);
+  auto res = check_hsigma(gt, traces);
+  T1Out out;
+  out.ok = res.ok;
+  out.detail = res.detail;
+  out.broadcasts = sys.net_stats().broadcasts;
+  SimTime all = -1;
+  for (ProcIndex i = 0; i < n; ++i) {
+    if (!sys.is_correct(i)) continue;
+    SimTime mine = -1;
+    for (const auto& [t, snap] : traces[i]->points()) {
+      for (const auto& [x, m] : snap.quora) {
+        (void)x;
+        if (m.is_subset_of(gt.correct_ids())) {
+          mine = t;
+          break;
+        }
+      }
+      if (mine >= 0) break;
+    }
+    if (mine < 0) return out;  // not live: live_time stays -1
+    all = std::max(all, mine);
+  }
+  out.live_time = all;
+  return out;
+}
+
+void BM_Fig1_WithMembership(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  T1Out r;
+  for (auto _ : state) r = run(true, n, n / 3, 1);
+  hds::bench::require(state, r.ok, r.detail);
+  state.counters["live_time"] = static_cast<double>(r.live_time);
+  state.counters["broadcasts"] = static_cast<double>(r.broadcasts);  // expect 0
+}
+BENCHMARK(BM_Fig1_WithMembership)->Arg(3)->Arg(6)->Arg(10)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_Fig2_WithoutMembership(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  T1Out r;
+  for (auto _ : state) r = run(false, n, n / 3, 1);
+  hds::bench::require(state, r.ok, r.detail);
+  state.counters["live_time"] = static_cast<double>(r.live_time);
+  state.counters["broadcasts"] = static_cast<double>(r.broadcasts);  // IDENT traffic
+}
+BENCHMARK(BM_Fig2_WithoutMembership)->Arg(3)->Arg(6)->Arg(10)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_Theorem1_LabelUniverseBlowup(benchmark::State& state) {
+  // Cost of materializing {s ⊆ I(Pi) : id ∈ s}: 2^(n-1) labels.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::set<Id> membership;
+  for (Id i = 1; i <= n; ++i) membership.insert(i);
+  std::size_t labels = 0;
+  for (auto _ : state) {
+    auto out = labels_of_membership(membership, 1);
+    labels = out.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["labels"] = static_cast<double>(labels);
+}
+BENCHMARK(BM_Theorem1_LabelUniverseBlowup)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

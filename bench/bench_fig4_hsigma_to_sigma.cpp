@@ -1,0 +1,89 @@
+// Figure 4 benchmark (Theorem 2): HΣ → Σ through a class-S ranker.
+//
+// Series: time until trusted ⊆ I(Correct) through the full real pipeline
+// (Fig. 7 adapter as the HΣ source ▸ Fig. 3 ranker ▸ Fig. 4 transformer)
+// vs n and vs crash count, plus the LABELS gossip volume.
+#include <memory>
+
+#include "bench_util.h"
+#include "fd/impl/alive_ranker.h"
+#include "fd/impl/hsigma_sync.h"
+#include "fd/reduce/hsigma_to_sigma.h"
+#include "sim/stacked_process.h"
+#include "sim/system.h"
+#include "spec/fd_checkers.h"
+
+namespace {
+
+using namespace hds;
+
+struct T2Out {
+  bool ok = false;
+  std::string detail;
+  SimTime converge_time = -1;  // first time all correct outputs are within I(Correct) for good
+  std::uint64_t broadcasts = 0;
+};
+
+T2Out run(std::size_t n, std::size_t crash_k, std::uint64_t seed) {
+  SystemConfig cfg;
+  for (std::size_t i = 0; i < n; ++i) cfg.ids.push_back(i + 1);
+  cfg.timing = std::make_unique<BoundedTiming>(2);
+  cfg.crashes.resize(n);
+  for (std::size_t j = 0; j < crash_k; ++j) cfg.crashes[n - 1 - j] = CrashPlan{25 + 7 * static_cast<SimTime>(j)};
+  cfg.seed = seed;
+  System sys(std::move(cfg));
+  std::vector<const Trajectory<Multiset<Id>>*> traces;
+  for (ProcIndex i = 0; i < n; ++i) {
+    auto stack = std::make_unique<StackedProcess>();
+    auto* src = stack->add(std::make_unique<HSigmaComponent>(3));
+    auto* ranker = stack->add(std::make_unique<AliveRanker>(4));
+    auto* red = stack->add(std::make_unique<HSigmaToSigma>(*src, *ranker));
+    traces.push_back(&red->trace());
+    sys.set_process(i, std::move(stack));
+  }
+  sys.start();
+  const SimTime run_for = 1000 + 30 * static_cast<SimTime>(n);
+  sys.run_until(run_for);
+  const GroundTruth gt = GroundTruth::from(sys);
+  auto res = check_sigma(gt, traces, run_for, 100);
+  T2Out out;
+  out.ok = res.ok;
+  out.detail = res.detail;
+  out.broadcasts = sys.net_stats().broadcasts;
+  SimTime all = 0;
+  for (ProcIndex i = 0; i < n; ++i) {
+    if (!sys.is_correct(i)) continue;
+    SimTime bad_until = 0;
+    for (const auto& [t, v] : traces[i]->points()) {
+      if (!v.is_subset_of(gt.correct_ids())) bad_until = t;
+    }
+    all = std::max(all, bad_until);
+  }
+  out.converge_time = all;
+  return out;
+}
+
+void BM_Fig4_ConvergeVsN(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  T2Out r;
+  for (auto _ : state) r = run(n, n / 3, 1);
+  hds::bench::require(state, r.ok, r.detail);
+  state.counters["converge_time"] = static_cast<double>(r.converge_time);
+  state.counters["broadcasts"] = static_cast<double>(r.broadcasts);
+}
+BENCHMARK(BM_Fig4_ConvergeVsN)->Arg(3)->Arg(5)->Arg(8)->Arg(12)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_Fig4_ConvergeVsCrashes(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  T2Out r;
+  for (auto _ : state) r = run(8, k, 2);
+  hds::bench::require(state, r.ok, r.detail);
+  state.counters["converge_time"] = static_cast<double>(r.converge_time);
+}
+BENCHMARK(BM_Fig4_ConvergeVsCrashes)->Arg(0)->Arg(2)->Arg(5)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Figure 5 benchmark: the relation diagram between failure detector
+// classes. Every communication-free arrow we implement is exercised as a
+// query-path microbenchmark (the cost a consumer pays per detector read
+// through the adapter), with a correctness counter asserting the arrow's
+// target property held in a reference run.
+//
+// Arrows measured: AP→◇HP̄ (Lemma 2), AP→HΣ (Lemma 3), AΣ→HΣ
+// (Theorem 3), ◇HP̄→HΩ (Observation 1). The communication arrows
+// (Theorems 1-2) have their own binaries (bench_fig12, bench_fig4).
+#include "bench_util.h"
+#include "fd/oracles.h"
+#include "fd/reduce/ap_to_hsigma.h"
+#include "fd/reduce/ap_to_ohp.h"
+#include "fd/reduce/asigma_to_hsigma.h"
+#include "fd/reduce/ohp_to_homega.h"
+
+namespace {
+
+using namespace hds;
+
+struct Fixture {
+  GroundTruth gt;
+  SimTime now = 1000;  // past stabilization
+
+  Fixture(std::size_t n, std::size_t correct) {
+    gt.ids.assign(n, kBottomId);
+    gt.correct.assign(n, false);
+    for (std::size_t i = 0; i < correct; ++i) gt.correct[i] = true;
+  }
+  ClockFn clock() {
+    return [this] { return now; };
+  }
+};
+
+void BM_Lemma2_ApToOhpQuery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Fixture f(n, n - n / 3);
+  OracleAP ap(f.gt, f.clock(), 0);
+  ApToOhp red(ap.handle(0));
+  std::size_t size = 0;
+  for (auto _ : state) {
+    auto m = red.h_trusted();
+    size = m.size();
+    benchmark::DoNotOptimize(m);
+  }
+  state.counters["trusted_size"] = static_cast<double>(size);
+  hds::bench::require(state, size == f.gt.correct_count(), "Lemma 2 output size");
+}
+BENCHMARK(BM_Lemma2_ApToOhpQuery)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_Lemma3_ApToHSigmaQuery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Fixture f(n, n - n / 3);
+  OracleAP ap(f.gt, f.clock(), 0);
+  ApToHSigma red(ap.handle(0));
+  std::size_t quora = 0;
+  for (auto _ : state) {
+    auto s = red.snapshot();
+    quora = s.quora.size();
+    benchmark::DoNotOptimize(s);
+  }
+  state.counters["quora"] = static_cast<double>(quora);
+}
+BENCHMARK(BM_Lemma3_ApToHSigmaQuery)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_Theorem3_ASigmaToHSigmaQuery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Fixture f(n, n - n / 3);
+  OracleASigma src(f.gt, f.clock(), 0);
+  ASigmaToHSigma red(src.handle(0));
+  std::size_t quora = 0;
+  for (auto _ : state) {
+    auto s = red.snapshot();
+    quora = s.quora.size();
+    benchmark::DoNotOptimize(s);
+  }
+  state.counters["quora"] = static_cast<double>(quora);
+}
+BENCHMARK(BM_Theorem3_ASigmaToHSigmaQuery)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_Observation1_OhpToHOmegaQuery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  // Homonymous ground truth with many distinct ids: min extraction scans
+  // the multiset head only, but building the multiset dominates.
+  Fixture f(n, n);
+  for (std::size_t i = 0; i < n; ++i) f.gt.ids[i] = static_cast<Id>(i % 7 + 1);
+  OracleOHP src(f.gt, f.clock(), 0);
+  OhpToHOmega red(src.handle(0), f.gt.ids[0]);
+  HOmegaOut out;
+  for (auto _ : state) {
+    out = red.h_omega();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["leader"] = static_cast<double>(out.leader);
+  state.counters["multiplicity"] = static_cast<double>(out.multiplicity);
+}
+BENCHMARK(BM_Observation1_OhpToHOmegaQuery)->Arg(8)->Arg(64)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Substrate benchmark: raw throughput of the discrete-event engine, so the
+// sim-time numbers in every other binary are anchored to reproducible
+// wall-clock costs.
+#include <memory>
+
+#include "bench_util.h"
+#include "sim/scheduler.h"
+#include "sim/system.h"
+
+namespace {
+
+using namespace hds;
+
+void BM_Scheduler_EventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Scheduler sched;
+    std::uint64_t fired = 0;
+    for (int k = 0; k < 10000; ++k) {
+      sched.at(k % 97, [&fired] { ++fired; });
+    }
+    state.ResumeTiming();
+    sched.run_all();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_Scheduler_EventThroughput);
+
+struct Flooder final : Process {
+  explicit Flooder(SimTime period) : period_(period) {}
+  void on_start(Env& env) override {
+    env.broadcast(make_message("FLOOD", 0));
+    env.set_timer(period_);
+  }
+  void on_timer(Env& env, TimerId) override {
+    env.broadcast(make_message("FLOOD", 0));
+    env.set_timer(period_);
+  }
+  void on_message(Env&, const Message&) override { ++received_; }
+  SimTime period_;
+  std::uint64_t received_ = 0;
+};
+
+void BM_System_BroadcastFloodThroughput(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t delivered = 0;
+  for (auto _ : state) {
+    SystemConfig cfg;
+    for (std::size_t i = 0; i < n; ++i) cfg.ids.push_back(i + 1);
+    cfg.timing = std::make_unique<AsyncTiming>(1, 4);
+    cfg.seed = 1;
+    System sys(std::move(cfg));
+    for (ProcIndex i = 0; i < n; ++i) sys.set_process(i, std::make_unique<Flooder>(2));
+    sys.start();
+    sys.run_until(200);
+    delivered = sys.net_stats().copies_delivered;
+  }
+  state.counters["copies_delivered"] = static_cast<double>(delivered);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(delivered));
+}
+BENCHMARK(BM_System_BroadcastFloodThroughput)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

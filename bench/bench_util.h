@@ -1,0 +1,22 @@
+// Shared helpers for the per-figure benchmark binaries.
+//
+// Paper-shape reporting convention: every benchmark sets google-benchmark
+// counters carrying the *simulated* quantities the paper reasons about
+// (stabilization time, rounds to decision, sub-rounds, message counts);
+// wall time measures the simulator cost itself. EXPERIMENTS.md maps each
+// counter series back to the paper's qualitative claims.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "consensus/harness.h"
+
+namespace hds::bench {
+
+// Aborts the benchmark loudly if a run violated its checked property —
+// a benchmark must never quietly report numbers from a broken run.
+inline void require(benchmark::State& state, bool ok, const std::string& what) {
+  if (!ok) state.SkipWithError(("property violated: " + what).c_str());
+}
+
+}  // namespace hds::bench

@@ -1,0 +1,28 @@
+#include "common/label.h"
+
+#include <sstream>
+
+namespace hds {
+
+Label Label::of_multiset(const Multiset<Id>& m) { return Label("ms:" + m.to_string()); }
+
+Label Label::of_set(const std::set<Id>& s) {
+  std::ostringstream os;
+  os << "set:{";
+  bool first = true;
+  for (Id v : s) {
+    if (!first) os << ',';
+    os << v;
+    first = false;
+  }
+  os << '}';
+  return Label(os.str());
+}
+
+Label Label::of_count(std::size_t y) { return Label("cnt:" + std::to_string(y)); }
+
+Label Label::of_asigma(std::uint64_t raw) { return Label("as:" + std::to_string(raw)); }
+
+Label Label::of_text(std::string text) { return Label("txt:" + std::move(text)); }
+
+}  // namespace hds

@@ -1,0 +1,52 @@
+// Quorum labels for the HSigma / ASigma detector families.
+//
+// A label is an opaque token: detectors only ever compare labels for equality
+// and use them as map keys (the paper's S(x) is "the processes that ever put
+// x in h_labels"). Different algorithms mint labels from different raw
+// material — Fig. 7 uses the received identifier multiset itself, Figs. 1-2
+// use identifier sets, Lemma 3 uses a count of bottoms — so Label provides
+// one canonical constructor per provenance and a total order.
+#pragma once
+
+#include <compare>
+#include <ostream>
+#include <set>
+#include <string>
+
+#include "common/multiset.h"
+#include "common/types.h"
+
+namespace hds {
+
+class Label {
+ public:
+  Label() = default;
+
+  // Fig. 7: the label of a quorum is the identifier multiset observed in a
+  // synchronous step.
+  static Label of_multiset(const Multiset<Id>& m);
+
+  // Figs. 1-2 (Theorem 1): labels are sets s of identifiers with id(p) in s.
+  static Label of_set(const std::set<Id>& s);
+
+  // Lemma 3 (AP -> HSigma): the label "bottom^y" minted from a count.
+  static Label of_count(std::size_t y);
+
+  // Theorem 3 (ASigma -> HSigma): carries an ASigma label through unchanged.
+  static Label of_asigma(std::uint64_t raw);
+
+  // Free-form label for oracles and tests.
+  static Label of_text(std::string text);
+
+  [[nodiscard]] const std::string& repr() const { return repr_; }
+
+  friend bool operator==(const Label&, const Label&) = default;
+  friend auto operator<=>(const Label&, const Label&) = default;
+  friend std::ostream& operator<<(std::ostream& os, const Label& l) { return os << l.repr_; }
+
+ private:
+  explicit Label(std::string repr) : repr_(std::move(repr)) {}
+  std::string repr_;
+};
+
+}  // namespace hds

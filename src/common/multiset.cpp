@@ -1,0 +1,11 @@
+#include "common/multiset.h"
+
+#include "common/types.h"
+
+namespace hds {
+
+// Anchor the common instantiation in one translation unit so every user of
+// Multiset<Id> shares it.
+template class Multiset<Id>;
+
+}  // namespace hds

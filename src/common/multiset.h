@@ -1,0 +1,170 @@
+// Multiset (bag) algebra over ordered element types.
+//
+// The paper manipulates multisets of process identifiers throughout: I(S) is
+// the multiset of identities of a set S of processes, mult_I(i) the
+// multiplicity of identity i in I, and the HSigma quorum conditions are
+// phrased as sub-multiset inclusion. This header provides that algebra with
+// value semantics and total ordering (so multisets can key maps and serve as
+// labels, as in the Fig. 7 detector).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hds {
+
+template <typename T>
+class Multiset {
+ public:
+  using CountMap = std::map<T, std::size_t>;
+
+  Multiset() = default;
+
+  // Builds the multiset of a range (with repetitions preserved).
+  template <typename It>
+  Multiset(It first, It last) {
+    for (; first != last; ++first) insert(*first);
+  }
+
+  Multiset(std::initializer_list<T> init) : Multiset(init.begin(), init.end()) {}
+
+  static Multiset with_copies(const T& value, std::size_t count) {
+    Multiset m;
+    m.insert(value, count);
+    return m;
+  }
+
+  void insert(const T& value, std::size_t count = 1) {
+    if (count == 0) return;
+    counts_[value] += count;
+    size_ += count;
+  }
+
+  // Removes one instance; removing an absent element is a logic error.
+  void erase_one(const T& value) {
+    auto it = counts_.find(value);
+    if (it == counts_.end()) throw std::out_of_range("Multiset::erase_one: absent element");
+    if (--it->second == 0) counts_.erase(it);
+    --size_;
+  }
+
+  void clear() {
+    counts_.clear();
+    size_ = 0;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t distinct_size() const { return counts_.size(); }
+
+  // The paper's mult_I(i): number of instances of `value`.
+  [[nodiscard]] std::size_t multiplicity(const T& value) const {
+    auto it = counts_.find(value);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] bool contains(const T& value) const { return multiplicity(value) > 0; }
+
+  // Smallest element (used by the Observation 1 / Corollary 2 leader rule).
+  [[nodiscard]] const T& min() const {
+    if (empty()) throw std::out_of_range("Multiset::min: empty multiset");
+    return counts_.begin()->first;
+  }
+
+  // Sub-multiset inclusion: every element of *this appears in `other` with at
+  // least the same multiplicity.
+  [[nodiscard]] bool is_subset_of(const Multiset& other) const {
+    if (size_ > other.size_) return false;
+    for (const auto& [v, c] : counts_) {
+      if (other.multiplicity(v) < c) return false;
+    }
+    return true;
+  }
+
+  // Multiset union taking per-element max of multiplicities.
+  [[nodiscard]] Multiset union_max(const Multiset& other) const {
+    Multiset out = *this;
+    for (const auto& [v, c] : other.counts_) {
+      auto& cur = out.counts_[v];
+      if (c > cur) {
+        out.size_ += c - cur;
+        cur = c;
+      } else if (cur == 0) {
+        out.counts_.erase(v);
+      }
+    }
+    return out;
+  }
+
+  // Additive union (sum of multiplicities).
+  [[nodiscard]] Multiset sum(const Multiset& other) const {
+    Multiset out = *this;
+    for (const auto& [v, c] : other.counts_) out.insert(v, c);
+    return out;
+  }
+
+  // Per-element min of multiplicities.
+  [[nodiscard]] Multiset intersection(const Multiset& other) const {
+    Multiset out;
+    for (const auto& [v, c] : counts_) {
+      std::size_t m = std::min(c, other.multiplicity(v));
+      if (m > 0) out.insert(v, m);
+    }
+    return out;
+  }
+
+  [[nodiscard]] bool intersects(const Multiset& other) const {
+    for (const auto& [v, c] : counts_) {
+      (void)c;
+      if (other.contains(v)) return true;
+    }
+    return false;
+  }
+
+  // Expansion into a sorted vector with repetitions.
+  [[nodiscard]] std::vector<T> to_vector() const {
+    std::vector<T> out;
+    out.reserve(size_);
+    for (const auto& [v, c] : counts_) {
+      for (std::size_t k = 0; k < c; ++k) out.push_back(v);
+    }
+    return out;
+  }
+
+  [[nodiscard]] const CountMap& counts() const { return counts_; }
+
+  [[nodiscard]] std::string to_string() const {
+    std::ostringstream os;
+    os << *this;
+    return os.str();
+  }
+
+  friend bool operator==(const Multiset& a, const Multiset& b) {
+    return a.size_ == b.size_ && a.counts_ == b.counts_;
+  }
+  friend auto operator<=>(const Multiset& a, const Multiset& b) { return a.counts_ <=> b.counts_; }
+
+  friend std::ostream& operator<<(std::ostream& os, const Multiset& m) {
+    os << '{';
+    bool first = true;
+    for (const auto& [v, c] : m.counts_) {
+      for (std::size_t k = 0; k < c; ++k) {
+        if (!first) os << ',';
+        os << v;
+        first = false;
+      }
+    }
+    return os << '}';
+  }
+
+ private:
+  CountMap counts_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hds

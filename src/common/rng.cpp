@@ -1,0 +1,27 @@
+#include "common/rng.h"
+
+#include <stdexcept>
+
+namespace hds {
+
+std::int64_t Rng::uniform(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform: empty range");
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::uniform01() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+std::size_t Rng::index(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("Rng::index: empty range");
+  return static_cast<std::size_t>(uniform(0, static_cast<std::int64_t>(n) - 1));
+}
+
+Rng Rng::fork() { return Rng(engine_()); }
+
+}  // namespace hds

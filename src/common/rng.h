@@ -1,0 +1,44 @@
+// Deterministic random source for the simulator and workload generators.
+//
+// Every run is parameterized by a single seed so that any test failure or
+// benchmark row can be replayed exactly.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace hds {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+  // Uniform real in [0, 1).
+  double uniform01();
+
+  // Bernoulli trial.
+  bool chance(double p);
+
+  // Uniformly chosen index in [0, n).
+  std::size_t index(std::size_t n);
+
+  // Derives an independent child generator (for per-process streams).
+  Rng fork();
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace hds

@@ -1,0 +1,54 @@
+// Time-indexed value history, used to record failure-detector outputs so the
+// spec checkers can evaluate the paper's temporal properties over a run.
+#pragma once
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hds {
+
+template <typename V>
+class Trajectory {
+ public:
+  // Records that the variable holds `v` from time `t` on. Consecutive equal
+  // values are coalesced so last_change() reflects real changes.
+  void record(SimTime t, V v) {
+    if (!points_.empty()) {
+      if (t < points_.back().first) throw std::invalid_argument("Trajectory: time went backwards");
+      if (points_.back().second == v) return;
+    }
+    points_.emplace_back(t, std::move(v));
+  }
+
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+
+  // Value in effect at time t (the last record at or before t).
+  [[nodiscard]] const V& at(SimTime t) const {
+    auto it = std::upper_bound(points_.begin(), points_.end(), t,
+                               [](SimTime when, const auto& p) { return when < p.first; });
+    if (it == points_.begin()) throw std::out_of_range("Trajectory::at: before first record");
+    return std::prev(it)->second;
+  }
+
+  [[nodiscard]] const V& final() const {
+    if (points_.empty()) throw std::out_of_range("Trajectory::final: empty");
+    return points_.back().second;
+  }
+
+  // Time of the last recorded change.
+  [[nodiscard]] SimTime last_change() const {
+    if (points_.empty()) throw std::out_of_range("Trajectory::last_change: empty");
+    return points_.back().first;
+  }
+
+  [[nodiscard]] const std::vector<std::pair<SimTime, V>>& points() const { return points_; }
+
+ private:
+  std::vector<std::pair<SimTime, V>> points_;
+};
+
+}  // namespace hds

@@ -1,0 +1,43 @@
+// Core scalar types shared by every module.
+//
+// Terminology follows the paper: the system has n processes Pi = {0..n-1}
+// (ProcIndex is a formalization/simulation device, never visible to the
+// algorithms), and each process carries an identifier Id that need not be
+// unique (homonymy). An anonymous system is the special case where every
+// process carries kBottomId.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+
+namespace hds {
+
+// Process identifier. Several processes may share one (homonyms).
+using Id = std::uint64_t;
+
+// The "default" identifier (the paper's bottom, used by anonymous systems).
+inline constexpr Id kBottomId = 0;
+
+// Index of a process in Pi. Only the simulator, oracles and checkers use it.
+using ProcIndex = std::size_t;
+
+// Consensus proposal/decision value. The paper's bottom is represented as
+// std::nullopt wherever an estimate may be undefined.
+using Value = std::int64_t;
+using MaybeValue = std::optional<Value>;
+
+// Simulated time, in abstract ticks. The global clock of the model; processes
+// may only observe durations through their Env (timeouts), never the absolute
+// value.
+using SimTime = std::int64_t;
+inline constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();
+
+// One-shot timer identifier, local to a process.
+using TimerId = std::uint64_t;
+
+// Round number in the consensus algorithms and in the Fig. 6 polling
+// protocol.
+using Round = std::int64_t;
+
+}  // namespace hds

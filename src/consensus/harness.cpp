@@ -1,0 +1,476 @@
+#include "consensus/harness.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "consensus/majority_homega.h"
+#include "consensus/quorum_homega_hsigma.h"
+#include "fd/impl/ap_sync.h"
+#include "fd/impl/hsigma_sync.h"
+#include "fd/impl/ohp_polling.h"
+#include "fd/reduce/ap_to_hsigma.h"
+#include "fd/reduce/ap_to_ohp.h"
+#include "fd/reduce/ohp_to_homega.h"
+#include "sim/stacked_process.h"
+
+namespace hds {
+
+// ---------------------------------------------------------------- workloads
+
+std::vector<Id> ids_unique(std::size_t n) {
+  std::vector<Id> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = i + 1;
+  return out;
+}
+
+std::vector<Id> ids_anonymous(std::size_t n) { return std::vector<Id>(n, kBottomId); }
+
+std::vector<Id> ids_homonymous(std::size_t n, std::size_t distinct, std::uint64_t seed) {
+  if (distinct == 0 || distinct > n) {
+    throw std::invalid_argument("ids_homonymous: need 1 <= distinct <= n");
+  }
+  Rng rng(seed);
+  std::vector<Id> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // The first `distinct` processes pin one instance of each identifier;
+    // the rest collide pseudo-randomly.
+    out[i] = i < distinct ? i + 1 : static_cast<Id>(rng.uniform(1, static_cast<Value>(distinct)));
+  }
+  return out;
+}
+
+std::vector<std::optional<CrashPlan>> crashes_none(std::size_t n) {
+  return std::vector<std::optional<CrashPlan>>(n);
+}
+
+std::vector<std::optional<CrashPlan>> crashes_last_k(std::size_t n, std::size_t k, SimTime at,
+                                                     SimTime stagger, bool partial) {
+  if (k >= n) throw std::invalid_argument("crashes_last_k: would crash everyone");
+  auto out = crashes_none(n);
+  for (std::size_t j = 0; j < k; ++j) {
+    out[n - 1 - j] = CrashPlan{at + stagger * static_cast<SimTime>(j), partial};
+  }
+  return out;
+}
+
+std::vector<std::optional<SyncCrashPlan>> sync_crashes_last_k(std::size_t n, std::size_t k,
+                                                              std::size_t at_step,
+                                                              std::size_t stagger, bool partial) {
+  if (k >= n) throw std::invalid_argument("sync_crashes_last_k: would crash everyone");
+  std::vector<std::optional<SyncCrashPlan>> out(n);
+  for (std::size_t j = 0; j < k; ++j) {
+    out[n - 1 - j] = SyncCrashPlan{at_step + stagger * j, partial};
+  }
+  return out;
+}
+
+std::vector<Value> distinct_proposals(std::size_t n) {
+  std::vector<Value> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<Value>(100 + i);
+  return out;
+}
+
+// ------------------------------------------------------------- FD runs
+
+Fig6Result run_fig6(const Fig6Params& p) {
+  SystemConfig cfg;
+  cfg.ids = p.ids;
+  cfg.timing = std::make_unique<PartialSyncTiming>(p.net);
+  cfg.crashes = p.crashes;
+  cfg.seed = p.seed;
+  System sys(std::move(cfg));
+  for (ProcIndex i = 0; i < sys.n(); ++i) {
+    sys.set_process(i, std::make_unique<OHPPolling>(p.fd_opts));
+  }
+  sys.start();
+  sys.run_until(p.run_for);
+
+  const GroundTruth gt = GroundTruth::from(sys);
+  std::vector<const Trajectory<Multiset<Id>>*> trusted;
+  std::vector<const Trajectory<HOmegaOut>*> homega;
+  Fig6Result res;
+  for (ProcIndex i = 0; i < sys.n(); ++i) {
+    auto& fd = static_cast<OHPPolling&>(sys.process(i));
+    trusted.push_back(&fd.trusted_trace());
+    homega.push_back(&fd.homega_trace());
+    if (sys.is_correct(i)) {
+      res.max_final_timeout = std::max(res.max_final_timeout, fd.timeout());
+    }
+  }
+  res.ohp_check = check_ohp(gt, trusted, p.run_for, p.stable_window);
+  res.homega_check = check_homega(gt, homega, p.run_for, p.stable_window);
+  if (res.ohp_check) {
+    for (ProcIndex i = 0; i < sys.n(); ++i) {
+      if (sys.is_correct(i)) {
+        res.stabilization_time = std::max(res.stabilization_time, trusted[i]->last_change());
+      }
+    }
+  }
+  res.broadcasts = sys.net_stats().broadcasts;
+  res.copies_delivered = sys.net_stats().copies_delivered;
+  return res;
+}
+
+Fig7Result run_fig7(const Fig7Params& p) {
+  SyncConfig cfg;
+  cfg.ids = p.ids;
+  cfg.crashes = p.crashes;
+  cfg.seed = p.seed;
+  SyncSystem sys(std::move(cfg));
+  for (ProcIndex i = 0; i < sys.n(); ++i) {
+    sys.set_process(i, std::make_unique<HSigmaSyncProcess>(sys.id_of(i)));
+  }
+  sys.run_steps(p.steps);
+
+  const GroundTruth gt = GroundTruth::from(sys);
+  std::vector<const Trajectory<HSigmaSnapshot>*> snaps;
+  Fig7Result res;
+  for (ProcIndex i = 0; i < sys.n(); ++i) {
+    const auto& fd = static_cast<HSigmaSyncProcess&>(sys.process(i));
+    snaps.push_back(&fd.core().trace());
+    if (sys.is_correct(i) && !fd.core().trace().empty()) {
+      res.max_quora_stored =
+          std::max(res.max_quora_stored, fd.core().trace().final().quora.size());
+    }
+  }
+  res.check = check_hsigma(gt, snaps);
+  // First step from which every correct process holds a live quorum. With
+  // carriers fixed by the whole trace, the predicate is monotone in time.
+  if (res.check) {
+    SimTime all_live = -1;
+    for (ProcIndex i = 0; i < sys.n(); ++i) {
+      if (!sys.is_correct(i)) continue;
+      SimTime mine = -1;
+      for (const auto& [t, snap] : snaps[i]->points()) {
+        // A quorum whose multiset is within I(Correct) suffices here: in
+        // Fig. 7, S(m) ⊇ the senders observed, and the liveness pair is
+        // exactly (I(Correct), I(Correct)).
+        for (const auto& [x, m] : snap.quora) {
+          (void)x;
+          if (m.is_subset_of(gt.correct_ids())) {
+            mine = t;
+            break;
+          }
+        }
+        if (mine >= 0) break;
+      }
+      if (mine < 0) {
+        all_live = -1;
+        break;
+      }
+      all_live = std::max(all_live, mine);
+    }
+    res.liveness_step = all_live;
+  }
+  res.messages = sys.messages_sent();
+  return res;
+}
+
+// --------------------------------------------------------- consensus runs
+
+namespace {
+
+struct RunLoopOut {
+  bool all_decided = false;
+  SimTime end_time = 0;
+};
+
+// Runs the system in slices until every correct process reports a decision
+// (or max_time elapses).
+RunLoopOut run_until_decided(System& sys, const std::function<bool()>& all_decided,
+                             SimTime max_time) {
+  const SimTime slice = 250;
+  RunLoopOut out;
+  while (sys.now() < max_time) {
+    sys.run_until(std::min(max_time, sys.now() + slice));
+    if (all_decided()) {
+      out.all_decided = true;
+      break;
+    }
+  }
+  out.end_time = sys.now();
+  return out;
+}
+
+ConsensusRunResult finish_result(System& sys, const std::vector<Value>& proposals,
+                                 const std::vector<DecisionRecord>& decisions,
+                                 const RunLoopOut& loop, std::int64_t max_sub_round,
+                                 Round max_round) {
+  ConsensusRunResult res;
+  res.all_correct_decided = loop.all_decided;
+  res.proposals = proposals;
+  res.decisions = decisions;
+  res.max_round = max_round;
+  res.max_sub_round = max_sub_round;
+  for (ProcIndex i = 0; i < sys.n(); ++i) {
+    if (decisions[i].decided) {
+      res.last_decision_time = std::max(res.last_decision_time, decisions[i].at);
+    }
+  }
+  res.check = check_consensus(GroundTruth::from(sys), proposals, decisions);
+  res.broadcasts = sys.net_stats().broadcasts;
+  res.copies_delivered = sys.net_stats().copies_delivered;
+  res.broadcasts_by_type = sys.net_stats().broadcasts_by_type;
+  res.end_time = loop.end_time;
+  if (sys.trace().enabled()) res.trace_head = sys.trace().dump(400);
+  return res;
+}
+
+std::vector<Value> ensure_proposals(const std::vector<Value>& given, std::size_t n) {
+  if (given.empty()) return distinct_proposals(n);
+  if (given.size() != n) throw std::invalid_argument("proposals size != n");
+  return given;
+}
+
+}  // namespace
+
+ConsensusRunResult run_fig8_with_oracle(const Fig8OracleParams& p) {
+  const std::size_t n = p.ids.size();
+  const std::vector<Value> proposals = ensure_proposals(p.proposals, n);
+
+  SystemConfig cfg;
+  cfg.ids = p.ids;
+  cfg.timing = std::make_unique<AsyncTiming>(p.async_min, p.async_max);
+  cfg.crashes = p.crashes;
+  cfg.seed = p.seed;
+  System sys(std::move(cfg));
+
+  OracleHOmega oracle(GroundTruth::from(sys), [&sys] { return sys.now(); }, p.fd_stabilize,
+                      p.noise);
+  std::vector<MajorityHOmegaConsensus*> procs(n);
+  for (ProcIndex i = 0; i < n; ++i) {
+    MajorityConsensusConfig cons_cfg;
+    cons_cfg.n = n;
+    cons_cfg.t = p.t_known;
+    cons_cfg.proposal = proposals[i];
+    cons_cfg.alpha = p.alpha;
+    cons_cfg.skip_coordination_phase = p.skip_coordination_phase;
+    cons_cfg.guard_poll = p.guard_poll;
+    auto proc = std::make_unique<MajorityHOmegaConsensus>(cons_cfg, oracle.handle(i));
+    procs[i] = proc.get();
+    sys.set_process(i, std::move(proc));
+  }
+  sys.start();
+  auto loop = run_until_decided(
+      sys,
+      [&] {
+        for (ProcIndex i = 0; i < n; ++i) {
+          if (sys.is_correct(i) && !procs[i]->decision().decided) return false;
+        }
+        return true;
+      },
+      p.max_time);
+
+  std::vector<DecisionRecord> decisions(n);
+  Round max_round = 0;
+  for (ProcIndex i = 0; i < n; ++i) {
+    decisions[i] = procs[i]->decision();
+    if (sys.is_correct(i)) max_round = std::max(max_round, procs[i]->current_round());
+  }
+  return finish_result(sys, proposals, decisions, loop, 0, max_round);
+}
+
+ConsensusRunResult run_fig9_with_oracle(const Fig9OracleParams& p) {
+  const std::size_t n = p.ids.size();
+  const std::vector<Value> proposals = ensure_proposals(p.proposals, n);
+
+  SystemConfig cfg;
+  cfg.ids = p.ids;
+  cfg.timing = std::make_unique<AsyncTiming>(p.async_min, p.async_max);
+  cfg.crashes = p.crashes;
+  cfg.seed = p.seed;
+  System sys(std::move(cfg));
+
+  auto clock = [&sys] { return sys.now(); };
+  OracleHOmega fd1(GroundTruth::from(sys), clock, p.fd1_stabilize, p.noise);
+  OracleHSigma fd2(GroundTruth::from(sys), clock, p.fd2_stabilize);
+  std::vector<QuorumConsensus*> procs(n);
+  for (ProcIndex i = 0; i < n; ++i) {
+    auto proc = std::make_unique<QuorumConsensus>(QuorumConsensusConfig{proposals[i], p.guard_poll},
+                                                  fd1.handle(i), fd2.handle(i));
+    procs[i] = proc.get();
+    sys.set_process(i, std::move(proc));
+  }
+  sys.start();
+  auto loop = run_until_decided(
+      sys,
+      [&] {
+        for (ProcIndex i = 0; i < n; ++i) {
+          if (sys.is_correct(i) && !procs[i]->decision().decided) return false;
+        }
+        return true;
+      },
+      p.max_time);
+
+  std::vector<DecisionRecord> decisions(n);
+  Round max_round = 0;
+  std::int64_t max_sr = 0;
+  for (ProcIndex i = 0; i < n; ++i) {
+    decisions[i] = procs[i]->decision();
+    if (sys.is_correct(i)) {
+      max_round = std::max(max_round, procs[i]->current_round());
+      max_sr = std::max(max_sr, procs[i]->max_sub_round_seen());
+    }
+  }
+  return finish_result(sys, proposals, decisions, loop, max_sr, max_round);
+}
+
+ConsensusRunResult run_fig9_anon_aomega(const Fig9AnonOmegaParams& p) {
+  const std::size_t n = p.n;
+  const std::vector<Value> proposals = ensure_proposals(p.proposals, n);
+
+  SystemConfig cfg;
+  cfg.ids = ids_anonymous(n);
+  cfg.timing = std::make_unique<AsyncTiming>(p.async_min, p.async_max);
+  cfg.crashes = p.crashes;
+  cfg.seed = p.seed;
+  System sys(std::move(cfg));
+
+  auto clock = [&sys] { return sys.now(); };
+  OracleAOmega fd3(GroundTruth::from(sys), clock, p.aomega_stabilize);
+  OracleHSigma fd2(GroundTruth::from(sys), clock, p.fd2_stabilize);
+  std::vector<QuorumConsensus*> procs(n);
+  for (ProcIndex i = 0; i < n; ++i) {
+    auto proc = std::make_unique<QuorumConsensus>(QuorumConsensusConfig{proposals[i], 4},
+                                                  fd3.handle(i), fd2.handle(i));
+    procs[i] = proc.get();
+    sys.set_process(i, std::move(proc));
+  }
+  sys.start();
+  auto loop = run_until_decided(
+      sys,
+      [&] {
+        for (ProcIndex i = 0; i < n; ++i) {
+          if (sys.is_correct(i) && !procs[i]->decision().decided) return false;
+        }
+        return true;
+      },
+      p.max_time);
+
+  std::vector<DecisionRecord> decisions(n);
+  Round max_round = 0;
+  std::int64_t max_sr = 0;
+  for (ProcIndex i = 0; i < n; ++i) {
+    decisions[i] = procs[i]->decision();
+    if (sys.is_correct(i)) {
+      max_round = std::max(max_round, procs[i]->current_round());
+      max_sr = std::max(max_sr, procs[i]->max_sub_round_seen());
+    }
+  }
+  return finish_result(sys, proposals, decisions, loop, max_sr, max_round);
+}
+
+ConsensusRunResult run_fig8_full_stack(const Fig8FullStackParams& p) {
+  const std::size_t n = p.ids.size();
+  const std::vector<Value> proposals = ensure_proposals(p.proposals, n);
+
+  SystemConfig cfg;
+  cfg.ids = p.ids;
+  cfg.timing = std::make_unique<PartialSyncTiming>(p.net);
+  cfg.crashes = p.crashes;
+  cfg.seed = p.seed;
+  cfg.trace_capacity = p.trace_capacity;
+  System sys(std::move(cfg));
+
+  std::vector<MajorityHOmegaConsensus*> procs(n);
+  for (ProcIndex i = 0; i < n; ++i) {
+    auto stack = std::make_unique<StackedProcess>();
+    auto* fd = stack->add(std::make_unique<OHPPolling>());
+    MajorityConsensusConfig cons_cfg;
+    cons_cfg.n = n;
+    cons_cfg.t = p.t_known;
+    cons_cfg.proposal = proposals[i];
+    auto cons = std::make_unique<MajorityHOmegaConsensus>(cons_cfg, *fd);
+    procs[i] = stack->add(std::move(cons));
+    sys.set_process(i, std::move(stack));
+  }
+  sys.start();
+  auto loop = run_until_decided(
+      sys,
+      [&] {
+        for (ProcIndex i = 0; i < n; ++i) {
+          if (sys.is_correct(i) && !procs[i]->decision().decided) return false;
+        }
+        return true;
+      },
+      p.max_time);
+
+  std::vector<DecisionRecord> decisions(n);
+  Round max_round = 0;
+  for (ProcIndex i = 0; i < n; ++i) {
+    decisions[i] = procs[i]->decision();
+    if (sys.is_correct(i)) max_round = std::max(max_round, procs[i]->current_round());
+  }
+  return finish_result(sys, proposals, decisions, loop, 0, max_round);
+}
+
+ConsensusRunResult run_fig9_full_stack(const Fig9FullStackParams& p) {
+  const std::size_t n = p.ids.size();
+  const std::vector<Value> proposals = ensure_proposals(p.proposals, n);
+
+  SystemConfig cfg;
+  cfg.ids = p.ids;
+  // A synchronous system: every copy delivered within the known bound.
+  cfg.timing = std::make_unique<BoundedTiming>(p.delta);
+  cfg.crashes = p.crashes;
+  cfg.seed = p.seed;
+  cfg.trace_capacity = p.trace_capacity;
+  System sys(std::move(cfg));
+
+  // Adapters owned per node; kept alive alongside the system.
+  std::vector<std::unique_ptr<ApToOhp>> ap_ohp(n);
+  std::vector<std::unique_ptr<ApToHSigma>> ap_hsig(n);
+  std::vector<std::unique_ptr<OhpToHOmega>> ohp_homega(n);
+  std::vector<QuorumConsensus*> procs(n);
+
+  for (ProcIndex i = 0; i < n; ++i) {
+    auto stack = std::make_unique<StackedProcess>();
+    const HOmegaHandle* fd1 = nullptr;
+    const HSigmaHandle* fd2 = nullptr;
+    if (p.anonymous_ap_stack) {
+      // AP ▸ Lemma 2 ▸ Observation 1 gives HΩ; AP ▸ Lemma 3 gives HΣ.
+      auto* ap = stack->add(std::make_unique<APComponent>(p.delta + 1));
+      ap_ohp[i] = std::make_unique<ApToOhp>(*ap);
+      ohp_homega[i] = std::make_unique<OhpToHOmega>(*ap_ohp[i], sys.id_of(i));
+      ap_hsig[i] = std::make_unique<ApToHSigma>(*ap);
+      fd1 = ohp_homega[i].get();
+      fd2 = ap_hsig[i].get();
+    } else {
+      // Fig. 6 gives HΩ (Corollary 2); the Fig. 7 adapter gives HΣ.
+      auto* ohp = stack->add(std::make_unique<OHPPolling>());
+      auto* hsig = stack->add(std::make_unique<HSigmaComponent>(p.delta + 1));
+      fd1 = ohp;
+      fd2 = hsig;
+    }
+    auto cons = std::make_unique<QuorumConsensus>(QuorumConsensusConfig{proposals[i], 4}, *fd1,
+                                                  *fd2);
+    procs[i] = stack->add(std::move(cons));
+    sys.set_process(i, std::move(stack));
+  }
+  sys.start();
+  auto loop = run_until_decided(
+      sys,
+      [&] {
+        for (ProcIndex i = 0; i < n; ++i) {
+          if (sys.is_correct(i) && !procs[i]->decision().decided) return false;
+        }
+        return true;
+      },
+      p.max_time);
+
+  std::vector<DecisionRecord> decisions(n);
+  Round max_round = 0;
+  std::int64_t max_sr = 0;
+  for (ProcIndex i = 0; i < n; ++i) {
+    decisions[i] = procs[i]->decision();
+    if (sys.is_correct(i)) {
+      max_round = std::max(max_round, procs[i]->current_round());
+      max_sr = std::max(max_sr, procs[i]->max_sub_round_seen());
+    }
+  }
+  return finish_result(sys, proposals, decisions, loop, max_sr, max_round);
+}
+
+}  // namespace hds

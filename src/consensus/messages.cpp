@@ -1,0 +1,4 @@
+#include "consensus/messages.h"
+
+// Message bodies are plain aggregates; this translation unit exists to give
+// the header a home in the library target.

@@ -1,0 +1,102 @@
+// Figure 9: consensus in HAS[HΩ, HΣ] — homonymous asynchronous system,
+// reliable links, enriched with HΩ and HΣ. Works for ANY number of crash
+// failures; neither n nor t nor the membership is known.
+//
+// Rounds have the same Leaders' Coordination Phase and Phase 0 as Fig. 8.
+// Phases 1 and 2 replace the counted waits by HΣ quorums: a process
+// broadcasts (id, r, sr, current_labels, est) and exits the phase once, for
+// some pair (x, mset) of its h_quora and some sub-round sr', it holds a set
+// M of messages all carrying x in their label sets whose sender-identity
+// multiset is exactly mset. When the process's own h_labels changes, or a
+// higher sub-round is observed, it bumps sr and rebroadcasts with the fresh
+// labels (sub-rounds let quorums form after detector outputs settle).
+// Phase 1 may be short-circuited by any PH2 of the round (adopting its
+// estimate); Phase 2 by any COORD of the next round.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "consensus/messages.h"
+#include "fd/interfaces.h"
+#include "sim/process.h"
+#include "spec/consensus_checkers.h"
+
+namespace hds {
+
+struct QuorumConsensusConfig {
+  Value proposal = 0;
+  SimTime guard_poll = 4;  // FD re-evaluation period
+  // Instance tag: messages of other instances are ignored, letting several
+  // independent consensus slots share one node (see messages.h).
+  std::int64_t instance = 0;
+};
+
+class QuorumConsensus final : public Process {
+ public:
+  QuorumConsensus(QuorumConsensusConfig cfg, const HOmegaHandle& fd1, const HSigmaHandle& fd2);
+
+  // The paper's closing remark of Section 5.3: the same algorithm solves
+  // consensus in AAS[AΩ, HΣ] by dropping the Leaders' Coordination wait and
+  // letting Phase 0 test D3.a_leader instead of h_leader = id(p). The COORD
+  // broadcast is kept: Phase 2 uses it as the next-round signal.
+  QuorumConsensus(QuorumConsensusConfig cfg, const AOmegaHandle& aomega,
+                  const HSigmaHandle& fd2);
+
+  [[nodiscard]] const DecisionRecord& decision() const { return decision_; }
+  [[nodiscard]] Round current_round() const { return r_; }
+  [[nodiscard]] std::int64_t current_sub_round() const { return sr_; }
+  [[nodiscard]] std::int64_t max_sub_round_seen() const { return max_sr_seen_; }
+  [[nodiscard]] bool done() const { return phase_ == Phase::kDone; }
+
+  void on_start(Env& env) override;
+  void on_message(Env& env, const Message& m) override;
+  void on_timer(Env& env, TimerId id) override;
+
+ private:
+  enum class Phase { kCoord, kPh0, kPh1, kPh2, kDone };
+
+  template <typename M>
+  struct QuorumScan {
+    std::vector<const M*> quorum;  // the chosen message set M
+    bool found = false;
+  };
+
+  struct RoundBuf {
+    std::vector<CoordMsg> coord;
+    std::vector<Value> ph0;
+    std::vector<Ph1QMsg> ph1;
+    std::vector<Ph2QMsg> ph2;
+  };
+
+  void enter_round(Env& env, Round r);
+  void advance(Env& env);
+  bool try_advance_once(Env& env);
+  void decide(Env& env, Value v);
+  void enter_ph1(Env& env);
+  void enter_ph2(Env& env);
+
+  // Lines 25-28 / 45-48: find (x, mset) in h_quora and a sub-round sr such
+  // that the messages of round r_ at sr carrying x realize mset exactly.
+  template <typename M>
+  QuorumScan<M> scan_quorum(const std::vector<M>& msgs, const HSigmaSnapshot& snap) const;
+
+  QuorumConsensusConfig cfg_;
+  const HOmegaHandle* fd1_ = nullptr;    // homonymous mode
+  const AOmegaHandle* aomega_ = nullptr; // anonymous mode (AAS[AΩ, HΣ])
+  const HSigmaHandle* fd2_;
+
+  Phase phase_ = Phase::kCoord;
+  Round r_ = 0;
+  std::int64_t sr_ = 1;
+  std::int64_t max_sr_seen_ = 1;
+  std::set<Label> current_labels_;
+  Value est1_ = 0;
+  MaybeValue est2_;
+  std::map<Round, RoundBuf> bufs_;
+  DecisionRecord decision_;
+};
+
+}  // namespace hds

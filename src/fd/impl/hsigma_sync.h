@@ -1,0 +1,86 @@
+// Figure 7: implementation of HΣ in HSS[...] — homonymous synchronous
+// system, unknown membership.
+//
+// Each synchronous step every process broadcasts IDENT(id(p)) and gathers
+// the multiset mset of identifiers received in the step; the pair
+// (mset, mset) joins h_quora and mset joins h_labels (a quorum is labelled
+// by its own identifier multiset).
+//
+// Two hosts are provided around the shared core:
+//  - HSigmaSyncProcess: the paper-exact lock-step version for SyncSystem.
+//  - HSigmaComponent:   the same protocol in the event engine, where the
+//    known synchronous bounds are realized as a fixed step length strictly
+//    greater than the maximum link latency (so a step collects exactly the
+//    IDENTs broadcast in it). This is what lets the Fig. 9 consensus run on
+//    top of Fig. 7 in a single engine.
+#pragma once
+
+#include <vector>
+
+#include "common/multiset.h"
+#include "common/trajectory.h"
+#include "common/types.h"
+#include "fd/interfaces.h"
+#include "sim/process.h"
+#include "sim/sync_system.h"
+
+namespace hds {
+
+struct IdentMsg {
+  Id id;
+};
+
+// Protocol state shared by both hosts.
+class HSigmaCore {
+ public:
+  // Folds in the identifier multiset observed during one step.
+  void on_step_idents(SimTime t, const Multiset<Id>& mset);
+
+  [[nodiscard]] HSigmaSnapshot snapshot() const { return state_; }
+  [[nodiscard]] const Trajectory<HSigmaSnapshot>& trace() const { return trace_; }
+
+ private:
+  HSigmaSnapshot state_;
+  Trajectory<HSigmaSnapshot> trace_;
+};
+
+class HSigmaSyncProcess final : public SyncProcess, public HSigmaHandle {
+ public:
+  static constexpr const char* kMsgType = "IDENT";
+
+  explicit HSigmaSyncProcess(Id self_id) : self_id_(self_id) {}
+
+  std::vector<Message> step_send(std::size_t step) override;
+  void step_recv(std::size_t step, const std::vector<Message>& delivered) override;
+
+  [[nodiscard]] HSigmaSnapshot snapshot() const override { return core_.snapshot(); }
+  [[nodiscard]] const HSigmaCore& core() const { return core_; }
+
+ private:
+  Id self_id_;
+  HSigmaCore core_;
+};
+
+class HSigmaComponent final : public Process, public HSigmaHandle {
+ public:
+  // `step_len` must exceed the known link-latency bound of the synchronous
+  // system (e.g. BoundedTiming(delta) with step_len = delta + 1).
+  explicit HSigmaComponent(SimTime step_len);
+
+  void on_start(Env& env) override;
+  void on_message(Env& env, const Message& m) override;
+  void on_timer(Env& env, TimerId id) override;
+
+  [[nodiscard]] HSigmaSnapshot snapshot() const override { return core_.snapshot(); }
+  [[nodiscard]] const HSigmaCore& core() const { return core_; }
+
+ private:
+  void begin_step(Env& env);
+
+  SimTime step_len_;
+  TimerId step_timer_ = 0;
+  Multiset<Id> pending_;
+  HSigmaCore core_;
+};
+
+}  // namespace hds

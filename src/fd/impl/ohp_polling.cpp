@@ -1,0 +1,78 @@
+#include "fd/impl/ohp_polling.h"
+
+#include <algorithm>
+
+namespace hds {
+
+void OHPPolling::on_start(Env& env) {
+  started_ = true;
+  h_omega_ = HOmegaOut{env.self_id(), 1};
+  homega_trace_.record(env.local_now(), h_omega_);
+  trusted_trace_.record(env.local_now(), h_trusted_);
+  timeout_trace_.record(env.local_now(), timeout_);
+  begin_round(env);
+}
+
+void OHPPolling::begin_round(Env& env) {
+  env.broadcast(make_message(kPollType, PollingMsg{r_, env.self_id()}));
+  poll_timer_ = env.set_timer(timeout_);
+}
+
+void OHPPolling::on_timer(Env& env, TimerId id) {
+  if (id != poll_timer_) return;
+  finish_round(env);
+  begin_round(env);
+}
+
+void OHPPolling::finish_round(Env& env) {
+  // Lines 12-17: one identifier instance per stored reply covering r_.
+  Multiset<Id> tmp;
+  for (const StoredReply& rep : replies_) {
+    if (rep.lo <= r_ && r_ <= rep.hi) tmp.insert(rep.from_id);
+  }
+  h_trusted_ = tmp;
+  trusted_trace_.record(env.local_now(), h_trusted_);
+  // Corollary 2: HΩ from the smallest trusted identifier.
+  if (!h_trusted_.empty()) {
+    h_omega_ = HOmegaOut{h_trusted_.min(), h_trusted_.multiplicity(h_trusted_.min())};
+  } else {
+    h_omega_ = HOmegaOut{env.self_id(), 1};
+  }
+  homega_trace_.record(env.local_now(), h_omega_);
+  ++r_;
+  // Replies whose range ended before the (monotonically increasing) current
+  // round can never match again.
+  std::erase_if(replies_, [this](const StoredReply& rep) { return rep.hi < r_; });
+}
+
+void OHPPolling::on_message(Env& env, const Message& m) {
+  if (m.type == kPollType) {
+    const auto* poll = m.as<PollingMsg>();
+    if (poll == nullptr) return;
+    // Lines 23-27: first contact with this poller identifier.
+    if (mship_.insert(poll->id).second) latest_r_[poll->id] = 0;
+    Round& latest = latest_r_[poll->id];
+    // Lines 28-30: answer every round not yet answered for this identifier,
+    // piggybacked as one range.
+    if (latest < poll->r) {
+      env.broadcast(
+          make_message(kReplyType, PollReplyMsg{latest + 1, poll->r, poll->id, env.self_id()}));
+    }
+    latest = std::max(latest, poll->r);
+    return;
+  }
+  if (m.type == kReplyType) {
+    const auto* rep = m.as<PollReplyMsg>();
+    if (rep == nullptr) return;
+    if (rep->to_id != env.self_id()) return;  // answers some other identifier
+    if (rep->hi >= r_) replies_.push_back(StoredReply{rep->lo, rep->hi, rep->from_id});
+    // Lines 33-34: an outdated reply means our round outpaced the network —
+    // adapt the timeout.
+    if (opts_.adaptive_timeout && rep->lo < r_) {
+      ++timeout_;
+      timeout_trace_.record(env.local_now(), timeout_);
+    }
+  }
+}
+
+}  // namespace hds

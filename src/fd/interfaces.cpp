@@ -1,0 +1,14 @@
+#include "fd/interfaces.h"
+
+#include <limits>
+
+namespace hds {
+
+std::size_t rank_of(Id i, const std::vector<Id>& alive_list) {
+  for (std::size_t k = 0; k < alive_list.size(); ++k) {
+    if (alive_list[k] == i) return k + 1;
+  }
+  return std::numeric_limits<std::size_t>::max();
+}
+
+}  // namespace hds

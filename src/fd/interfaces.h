@@ -1,0 +1,127 @@
+// Failure-detector class interfaces.
+//
+// One handle type per failure-detector class from the paper (Section 3). A
+// handle is the per-process view: it exposes exactly the variables the class
+// definition gives to that process and nothing else. Implementations are
+// either oracles (fd/oracles.h, ground-truth driven, for studying the
+// consensus algorithms in HAS[...] where the detector is *given*), real
+// message-passing algorithms (fd/impl/), or reductions wrapping another
+// handle (fd/reduce/).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/label.h"
+#include "common/multiset.h"
+#include "common/types.h"
+
+namespace hds {
+
+// ◇HP̄ — eventually outputs forever the multiset I(Correct). Homonymous
+// counterpart of the complement-of-P detector ◇P̄.
+class OHPHandle {
+ public:
+  virtual ~OHPHandle() = default;
+  [[nodiscard]] virtual Multiset<Id> h_trusted() const = 0;
+};
+
+// HΩ — eventually the same pair (leader identifier of a correct process,
+// number of correct processes carrying it) at every correct process.
+struct HOmegaOut {
+  Id leader = kBottomId;
+  std::size_t multiplicity = 0;
+  friend bool operator==(const HOmegaOut&, const HOmegaOut&) = default;
+};
+
+class HOmegaHandle {
+ public:
+  virtual ~HOmegaHandle() = default;
+  [[nodiscard]] virtual HOmegaOut h_omega() const = 0;
+};
+
+// HΣ — the homonymous quorum detector: h_quora is a set of (label,
+// identifier-multiset) pairs, h_labels the labels whose quora this process
+// participates in. One snapshot carries both variables.
+struct HSigmaSnapshot {
+  std::set<Label> labels;
+  std::map<Label, Multiset<Id>> quora;
+  friend bool operator==(const HSigmaSnapshot&, const HSigmaSnapshot&) = default;
+};
+
+class HSigmaHandle {
+ public:
+  virtual ~HSigmaHandle() = default;
+  [[nodiscard]] virtual HSigmaSnapshot snapshot() const = 0;
+};
+
+// Σ — the classical quorum detector [Delporte-Gallet et al.]; trusted is a
+// multiset of identifiers per the paper's footnote 6 (in a unique-id system
+// every multiplicity is 1).
+class SigmaHandle {
+ public:
+  virtual ~SigmaHandle() = default;
+  [[nodiscard]] virtual Multiset<Id> trusted() const = 0;
+};
+
+// Class S (the paper's Definition 1, written with a calligraphic letter):
+// a sequence of identifiers such that eventually the correct processes
+// permanently occupy the prefix. Defined only for unique-id systems.
+class RankerHandle {
+ public:
+  virtual ~RankerHandle() = default;
+  // Front of the vector = rank 1.
+  [[nodiscard]] virtual std::vector<Id> alive_list() const = 0;
+};
+
+// rank(i, alive) per Definition 1: 1-based position, or SIZE_MAX if absent.
+std::size_t rank_of(Id i, const std::vector<Id>& alive_list);
+
+// AP — anonymous perfect detector [Bonnet & Raynal]: an upper bound on the
+// number of alive processes, eventually exactly |Correct|.
+class APHandle {
+ public:
+  virtual ~APHandle() = default;
+  [[nodiscard]] virtual std::size_t anap() const = 0;
+};
+
+// AΣ — anonymous quorum detector: pairs (label, count).
+struct ASigmaPair {
+  std::uint64_t label = 0;
+  std::size_t count = 0;
+  friend bool operator==(const ASigmaPair&, const ASigmaPair&) = default;
+};
+
+class ASigmaHandle {
+ public:
+  virtual ~ASigmaHandle() = default;
+  [[nodiscard]] virtual std::vector<ASigmaPair> a_sigma() const = 0;
+};
+
+// AΩ — anonymous leader: eventually exactly one correct process holds true.
+class AOmegaHandle {
+ public:
+  virtual ~AOmegaHandle() = default;
+  [[nodiscard]] virtual bool a_leader() const = 0;
+};
+
+// Ω — the classical eventual leader [Chandra, Hadzilacos & Toueg]:
+// eventually the same correct process identifier at every correct process.
+// Meaningful in unique-id systems.
+class OmegaHandle {
+ public:
+  virtual ~OmegaHandle() = default;
+  [[nodiscard]] virtual Id leader() const = 0;
+};
+
+// ◇P̄ — the complement of the eventually perfect detector: eventually
+// outputs permanently the *set* of correct identifiers. Unique-id systems.
+class OPbarHandle {
+ public:
+  virtual ~OPbarHandle() = default;
+  [[nodiscard]] virtual std::set<Id> trusted_set() const = 0;
+};
+
+}  // namespace hds

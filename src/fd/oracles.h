@@ -1,0 +1,162 @@
+// Ground-truth failure-detector oracles.
+//
+// The consensus algorithms of Section 5 are stated for systems *enriched
+// with* a detector of a given class; correctness must hold for every
+// detector in the class, including ones that misbehave arbitrarily before
+// stabilizing. Each oracle therefore takes a stabilization time and a noise
+// policy: before `stabilize_at` it emits adversarial (but class-legal where
+// the class constrains all times, e.g. HΣ safety) outputs, after it the
+// canonical stable output. Oracles read the run's ground truth — crash
+// schedule and membership — which processes themselves never see.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/multiset.h"
+#include "common/types.h"
+#include "fd/ground_truth.h"
+#include "fd/interfaces.h"
+
+namespace hds {
+
+// The oracle's notion of current time (the simulator clock, or a step
+// counter in the synchronous engine).
+using ClockFn = std::function<SimTime()>;
+
+// --------------------------------------------------------------------------
+// HΩ oracle. Pre-stability: rotating leaders with wrong multiplicities (the
+// class puts no constraint on any finite prefix). Post: leader is the
+// smallest identifier in I(Correct), multiplicity exact.
+class OracleHOmega {
+ public:
+  enum class Noise { kNone, kRotating };
+  OracleHOmega(GroundTruth gt, ClockFn now, SimTime stabilize_at, Noise noise = Noise::kRotating);
+
+  [[nodiscard]] const HOmegaHandle& handle(ProcIndex p) const { return *handles_.at(p); }
+
+ private:
+  class H;
+  GroundTruth gt_;
+  ClockFn now_;
+  SimTime stabilize_at_;
+  Noise noise_;
+  HOmegaOut stable_;
+  std::vector<std::unique_ptr<HOmegaHandle>> handles_;
+};
+
+// --------------------------------------------------------------------------
+// ◇HP̄ oracle. Pre-stability alternates between I(Pi) and spurious singleton
+// multisets; post-stability permanently I(Correct).
+class OracleOHP {
+ public:
+  enum class Noise { kNone, kChurn };
+  OracleOHP(GroundTruth gt, ClockFn now, SimTime stabilize_at, Noise noise = Noise::kChurn);
+
+  [[nodiscard]] const OHPHandle& handle(ProcIndex p) const { return *handles_.at(p); }
+
+ private:
+  class H;
+  GroundTruth gt_;
+  ClockFn now_;
+  SimTime stabilize_at_;
+  Noise noise_;
+  std::vector<std::unique_ptr<OHPHandle>> handles_;
+};
+
+// --------------------------------------------------------------------------
+// HΣ oracle. Label "all" with quorum I(Pi) is present everywhere from the
+// start (safe: the only matching quorum set is Pi itself); after
+// stabilization every correct process also carries label "correct" with
+// quorum I(Correct). Safety holds at all times, liveness from stabilization.
+class OracleHSigma {
+ public:
+  OracleHSigma(GroundTruth gt, ClockFn now, SimTime stabilize_at);
+
+  [[nodiscard]] const HSigmaHandle& handle(ProcIndex p) const { return *handles_.at(p); }
+
+ private:
+  class H;
+  GroundTruth gt_;
+  ClockFn now_;
+  SimTime stabilize_at_;
+  std::vector<std::unique_ptr<HSigmaHandle>> handles_;
+};
+
+// --------------------------------------------------------------------------
+// Σ oracle (unique-id systems). kCoarse: I(Pi) then I(Correct). kPivot: a
+// fixed correct pivot plus a pseudo-randomly varying subset — every two
+// outputs intersect at the pivot, exercising consumers against quorum churn.
+class OracleSigma {
+ public:
+  enum class Mode { kCoarse, kPivot };
+  OracleSigma(GroundTruth gt, ClockFn now, SimTime stabilize_at, Mode mode = Mode::kCoarse);
+
+  [[nodiscard]] const SigmaHandle& handle(ProcIndex p) const { return *handles_.at(p); }
+
+ private:
+  class H;
+  GroundTruth gt_;
+  ClockFn now_;
+  SimTime stabilize_at_;
+  Mode mode_;
+  Id pivot_;
+  std::vector<std::unique_ptr<SigmaHandle>> handles_;
+};
+
+// --------------------------------------------------------------------------
+// AP oracle. anap = an upper bound on |alive| at the query time (the exact
+// alive count when a counter is supplied, else n), and exactly |Correct|
+// from stabilization on.
+class OracleAP {
+ public:
+  OracleAP(GroundTruth gt, ClockFn now, SimTime stabilize_at,
+           std::function<std::size_t(SimTime)> alive_count = {});
+
+  [[nodiscard]] const APHandle& handle(ProcIndex p) const { return *handles_.at(p); }
+
+ private:
+  class H;
+  GroundTruth gt_;
+  ClockFn now_;
+  SimTime stabilize_at_;
+  std::function<std::size_t(SimTime)> alive_count_;
+  std::vector<std::unique_ptr<APHandle>> handles_;
+};
+
+// --------------------------------------------------------------------------
+// AΣ oracle: pair (0, n) everywhere from the start; pair (1, |Correct|) at
+// correct processes from stabilization.
+class OracleASigma {
+ public:
+  OracleASigma(GroundTruth gt, ClockFn now, SimTime stabilize_at);
+
+  [[nodiscard]] const ASigmaHandle& handle(ProcIndex p) const { return *handles_.at(p); }
+
+ private:
+  class H;
+  GroundTruth gt_;
+  ClockFn now_;
+  SimTime stabilize_at_;
+  std::vector<std::unique_ptr<ASigmaHandle>> handles_;
+};
+
+// --------------------------------------------------------------------------
+// AΩ oracle: from stabilization, true exactly at the first correct process.
+class OracleAOmega {
+ public:
+  OracleAOmega(GroundTruth gt, ClockFn now, SimTime stabilize_at);
+
+  [[nodiscard]] const AOmegaHandle& handle(ProcIndex p) const { return *handles_.at(p); }
+
+ private:
+  class H;
+  GroundTruth gt_;
+  ClockFn now_;
+  SimTime stabilize_at_;
+  ProcIndex stable_leader_;
+  std::vector<std::unique_ptr<AOmegaHandle>> handles_;
+};
+
+}  // namespace hds

@@ -1,0 +1,37 @@
+// AP → AΣ (a solid arrow of the paper's Figure 5, due to Bonnet & Raynal):
+// each observed value y of anap becomes the AΣ pair (y, y) — label y,
+// quorum size y — accumulated across observations. Safety mirrors Lemma 3:
+// AP over-approximates the alive count, so for y ≥ y' every y-sized carrier
+// set of label y intersects every y'-sized one (the carrier sets are nested
+// along the crash order). Completes the anonymous corner of Figure 5
+// alongside Lemmas 2-3.
+#pragma once
+
+#include <limits>
+#include <map>
+
+#include "fd/interfaces.h"
+
+namespace hds {
+
+class ApToASigma final : public ASigmaHandle {
+ public:
+  explicit ApToASigma(const APHandle& src) : src_(&src) {}
+
+  [[nodiscard]] std::vector<ASigmaPair> a_sigma() const override {
+    const std::size_t y = src_->anap();
+    if (y != std::numeric_limits<std::size_t>::max()) seen_[y] = y;
+    std::vector<ASigmaPair> out;
+    out.reserve(seen_.size());
+    for (const auto& [label, count] : seen_) {
+      out.push_back(ASigmaPair{static_cast<std::uint64_t>(label), count});
+    }
+    return out;
+  }
+
+ private:
+  const APHandle* src_;
+  mutable std::map<std::size_t, std::size_t> seen_;  // label -> count (equal)
+};
+
+}  // namespace hds

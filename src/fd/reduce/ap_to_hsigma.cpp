@@ -1,0 +1,15 @@
+#include "fd/reduce/ap_to_hsigma.h"
+
+namespace hds {
+
+HSigmaSnapshot ApToHSigma::snapshot() const {
+  const std::size_t y = src_->anap();
+  if (y != std::numeric_limits<std::size_t>::max()) {
+    const Label x = Label::of_count(y);
+    state_.labels.insert(x);
+    state_.quora.emplace(x, Multiset<Id>::with_copies(kBottomId, y));
+  }
+  return state_;
+}
+
+}  // namespace hds

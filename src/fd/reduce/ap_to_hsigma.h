@@ -1,0 +1,26 @@
+// Lemma 3: HΣ from AP in an anonymous asynchronous system, without
+// communication. Each observed value y of anap mints label bottom^y, which
+// joins h_labels, and the pair (bottom^y, bottom^y) joins h_quora. Safety
+// follows from AP's over-approximation: quora for y >= y' are nested.
+#pragma once
+
+#include <limits>
+
+#include "common/multiset.h"
+#include "common/types.h"
+#include "fd/interfaces.h"
+
+namespace hds {
+
+class ApToHSigma final : public HSigmaHandle {
+ public:
+  explicit ApToHSigma(const APHandle& src) : src_(&src) {}
+
+  [[nodiscard]] HSigmaSnapshot snapshot() const override;
+
+ private:
+  const APHandle* src_;
+  mutable HSigmaSnapshot state_;  // labels/quora accumulate per observation
+};
+
+}  // namespace hds

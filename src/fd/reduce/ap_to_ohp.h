@@ -1,0 +1,31 @@
+// Lemma 2: ◇HP̄ from AP in an anonymous asynchronous system, without
+// communication. h_trusted is a multiset of anap default identifiers;
+// once AP converges to |Correct| this is exactly I(Correct) (every
+// anonymous process carries bottom).
+#pragma once
+
+#include <limits>
+
+#include "common/multiset.h"
+#include "common/types.h"
+#include "fd/interfaces.h"
+
+namespace hds {
+
+class ApToOhp final : public OHPHandle {
+ public:
+  explicit ApToOhp(const APHandle& src) : src_(&src) {}
+
+  [[nodiscard]] Multiset<Id> h_trusted() const override {
+    const std::size_t y = src_->anap();
+    // Before AP's first estimate (our implementation's "infinity"
+    // bootstrap) ◇HP̄ may output anything; the empty multiset is simplest.
+    if (y == std::numeric_limits<std::size_t>::max()) return {};
+    return Multiset<Id>::with_copies(kBottomId, y);
+  }
+
+ private:
+  const APHandle* src_;
+};
+
+}  // namespace hds

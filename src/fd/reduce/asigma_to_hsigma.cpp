@@ -1,0 +1,14 @@
+#include "fd/reduce/asigma_to_hsigma.h"
+
+namespace hds {
+
+HSigmaSnapshot ASigmaToHSigma::snapshot() const {
+  for (const ASigmaPair& pair : src_->a_sigma()) {
+    const Label x = Label::of_asigma(pair.label);
+    state_.labels.insert(x);
+    state_.quora[x] = Multiset<Id>::with_copies(kBottomId, pair.count);
+  }
+  return state_;
+}
+
+}  // namespace hds

@@ -1,0 +1,27 @@
+// Theorem 3: HΣ from AΣ in an anonymous asynchronous system, without
+// communication. Every AΣ pair (x, y) becomes the HΣ pair
+// (x, bottom^y) — a multiset of y default identifiers — with label x added
+// to h_labels; a same-label pair is replaced (AΣ monotonicity guarantees y
+// only shrinks, preserving HΣ monotonicity).
+#pragma once
+
+#include "common/multiset.h"
+#include "common/types.h"
+#include "fd/interfaces.h"
+
+namespace hds {
+
+class ASigmaToHSigma final : public HSigmaHandle {
+ public:
+  explicit ASigmaToHSigma(const ASigmaHandle& src) : src_(&src) {}
+
+  [[nodiscard]] HSigmaSnapshot snapshot() const override;
+
+ private:
+  const ASigmaHandle* src_;
+  // Labels accumulate across samples (h_labels must be monotone even if the
+  // underlying AΣ output momentarily omits a pair).
+  mutable HSigmaSnapshot state_;
+};
+
+}  // namespace hds

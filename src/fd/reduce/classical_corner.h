@@ -1,0 +1,65 @@
+// The unique-identifier corner of the paper's Figure 5: "when all
+// identifiers are different, the class HΩ is equivalent to Ω" (Section 3.2)
+// and ◇HP̄ degenerates to ◇P̄. All four directions are communication-free
+// adapters; they are only sound when the underlying system has unique
+// identifiers (a multiset whose multiplicities are all 1).
+#pragma once
+
+#include "common/multiset.h"
+#include "common/types.h"
+#include "fd/interfaces.h"
+
+namespace hds {
+
+// HΩ → Ω: forget the multiplicity (which is 1 under unique ids).
+class HOmegaToOmega final : public OmegaHandle {
+ public:
+  explicit HOmegaToOmega(const HOmegaHandle& src) : src_(&src) {}
+  [[nodiscard]] Id leader() const override { return src_->h_omega().leader; }
+
+ private:
+  const HOmegaHandle* src_;
+};
+
+// Ω → HΩ: a unique leader has multiplicity 1.
+class OmegaToHOmega final : public HOmegaHandle {
+ public:
+  explicit OmegaToHOmega(const OmegaHandle& src) : src_(&src) {}
+  [[nodiscard]] HOmegaOut h_omega() const override { return HOmegaOut{src_->leader(), 1}; }
+
+ private:
+  const OmegaHandle* src_;
+};
+
+// ◇HP̄ → ◇P̄: the multiset's support is the set (all multiplicities 1).
+class OhpToOPbar final : public OPbarHandle {
+ public:
+  explicit OhpToOPbar(const OHPHandle& src) : src_(&src) {}
+  [[nodiscard]] std::set<Id> trusted_set() const override {
+    const Multiset<Id> trusted = src_->h_trusted();
+    std::set<Id> out;
+    for (const auto& [i, c] : trusted.counts()) {
+      (void)c;
+      out.insert(i);
+    }
+    return out;
+  }
+
+ private:
+  const OHPHandle* src_;
+};
+
+// ◇P̄ → ◇HP̄: each unique identifier appears once.
+class OPbarToOhp final : public OHPHandle {
+ public:
+  explicit OPbarToOhp(const OPbarHandle& src) : src_(&src) {}
+  [[nodiscard]] Multiset<Id> h_trusted() const override {
+    const auto s = src_->trusted_set();
+    return Multiset<Id>(s.begin(), s.end());
+  }
+
+ private:
+  const OPbarHandle* src_;
+};
+
+}  // namespace hds

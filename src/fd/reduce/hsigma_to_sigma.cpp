@@ -1,0 +1,65 @@
+#include "fd/reduce/hsigma_to_sigma.h"
+
+#include <limits>
+
+namespace hds {
+
+namespace {
+
+// m ⊆ idents[x] with unique identifiers: every instance has multiplicity 1
+// and its identifier is a known carrier of the label.
+bool explained(const Multiset<Id>& m, const std::set<Id>& carriers) {
+  for (const auto& [i, c] : m.counts()) {
+    if (c != 1 || !carriers.contains(i)) return false;
+  }
+  return !m.empty();
+}
+
+}  // namespace
+
+HSigmaToSigma::HSigmaToSigma(const HSigmaHandle& hsigma, const RankerHandle& ranker,
+                             SimTime period)
+    : hsigma_(hsigma), ranker_(ranker), period_(period) {}
+
+void HSigmaToSigma::on_start(Env& env) { tick(env); }
+
+void HSigmaToSigma::on_timer(Env& env, TimerId) { tick(env); }
+
+void HSigmaToSigma::tick(Env& env) {
+  const HSigmaSnapshot snap = hsigma_.snapshot();
+  // Line 5: publish our current label set.
+  env.broadcast(make_message(kMsgType, LabelsMsg{env.self_id(), snap.labels}));
+  // Lines 6-8: pick among explained candidates the multiset whose
+  // worst-ranked member sits highest in X.alive.
+  const std::vector<Id> alive = ranker_.alive_list();
+  const Multiset<Id>* best = nullptr;
+  std::size_t best_rank = std::numeric_limits<std::size_t>::max();
+  for (const auto& [x, m] : snap.quora) {
+    auto it = idents_.find(x);
+    if (it == idents_.end() || !explained(m, it->second)) continue;
+    std::size_t worst = 0;
+    for (const auto& [i, c] : m.counts()) {
+      (void)c;
+      worst = std::max(worst, rank_of(i, alive));
+    }
+    if (worst < best_rank || (worst == best_rank && best != nullptr && m < *best)) {
+      best = &m;
+      best_rank = worst;
+    }
+  }
+  if (best != nullptr) {
+    trusted_ = *best;
+    trace_.record(env.local_now(), trusted_);
+  }
+  env.set_timer(period_);
+}
+
+void HSigmaToSigma::on_message(Env&, const Message& m) {
+  if (m.type != kMsgType) return;
+  const auto* body = m.as<LabelsMsg>();
+  if (body == nullptr) return;
+  // Lines 13-17: idents[x] <- idents[x] U {i}.
+  for (const Label& x : body->labels) idents_[x].insert(body->id);
+}
+
+}  // namespace hds

@@ -1,0 +1,28 @@
+// Observation 1: HΩ from ◇HP̄ without any communication — the leader is the
+// smallest identifier in h_trusted, with its multiplicity. While h_trusted
+// is empty the process falls back to naming itself (HΩ constrains only the
+// eventual output).
+#pragma once
+
+#include "common/multiset.h"
+#include "common/types.h"
+#include "fd/interfaces.h"
+
+namespace hds {
+
+class OhpToHOmega final : public HOmegaHandle {
+ public:
+  OhpToHOmega(const OHPHandle& src, Id fallback) : src_(&src), fallback_(fallback) {}
+
+  [[nodiscard]] HOmegaOut h_omega() const override {
+    const Multiset<Id> trusted = src_->h_trusted();
+    if (trusted.empty()) return HOmegaOut{fallback_, 1};
+    return HOmegaOut{trusted.min(), trusted.multiplicity(trusted.min())};
+  }
+
+ private:
+  const OHPHandle* src_;
+  Id fallback_;
+};
+
+}  // namespace hds

@@ -1,0 +1,203 @@
+#include "rt/runtime.h"
+
+#include <queue>
+#include <stdexcept>
+#include <variant>
+
+namespace hds {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}
+
+// One node: its process, mailbox (time-ordered), and dispatch thread.
+class RtSystem::Node {
+ public:
+  Node(RtSystem& sys, ProcIndex idx) : sys_(sys), idx_(idx), env_(*this) {}
+
+  void install(std::unique_ptr<Process> p) { proc_ = std::move(p); }
+
+  void start() {
+    thread_ = std::jthread([this](std::stop_token st) { run(st); });
+    // Deliver on_start through the mailbox so it runs on the node thread.
+    enqueue(Clock::now(), Task{[](Process& p, Env& e) { p.on_start(e); }});
+  }
+
+  void crash() {
+    {
+      std::lock_guard lk(mu_);
+      crashed_ = true;
+      queue_ = {};
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool crashed() const {
+    std::lock_guard lk(mu_);
+    return crashed_;
+  }
+
+  void deliver(Clock::time_point at, std::shared_ptr<const Message> m) {
+    enqueue(at, Task{[m = std::move(m)](Process& p, Env& e) { p.on_message(e, *m); }});
+  }
+
+  void post(std::function<void(Process&)> fn) {
+    enqueue(Clock::now(), Task{[fn = std::move(fn)](Process& p, Env&) { fn(p); }});
+  }
+
+  void request_stop() {
+    thread_.request_stop();
+    cv_.notify_all();
+  }
+
+  void join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  struct Task {
+    std::function<void(Process&, Env&)> run;
+  };
+  struct Item {
+    Clock::time_point at;
+    std::uint64_t seq;
+    Task task;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  class NodeEnv final : public Env {
+   public:
+    explicit NodeEnv(Node& node) : node_(node) {}
+    [[nodiscard]] Id self_id() const override { return node_.sys_.ids_.at(node_.idx_); }
+    void broadcast(Message m) override { node_.sys_.broadcast_from(node_.idx_, m); }
+    TimerId set_timer(SimTime delay) override {
+      const TimerId id = node_.next_timer_++;
+      node_.enqueue(Clock::now() + std::chrono::milliseconds(delay),
+                    Task{[id](Process& p, Env& e) { p.on_timer(e, id); }});
+      return id;
+    }
+    [[nodiscard]] SimTime local_now() const override { return node_.sys_.now_ms(); }
+
+   private:
+    Node& node_;
+  };
+
+  void enqueue(Clock::time_point at, Task task) {
+    {
+      std::lock_guard lk(mu_);
+      if (crashed_) return;
+      queue_.push(Item{at, seq_++, std::move(task)});
+    }
+    cv_.notify_all();
+  }
+
+  void run(std::stop_token st) {
+    for (;;) {
+      Task task;
+      {
+        std::unique_lock lk(mu_);
+        for (;;) {
+          if (st.stop_requested() || crashed_) return;
+          if (!queue_.empty()) {
+            const auto at = queue_.top().at;
+            if (at <= Clock::now()) break;
+            cv_.wait_until(lk, at);
+          } else {
+            cv_.wait(lk);
+          }
+        }
+        task = queue_.top().task;
+        queue_.pop();
+      }
+      // Handlers run unlocked: only this thread touches proc_.
+      task.run(*proc_, env_);
+    }
+  }
+
+  RtSystem& sys_;
+  ProcIndex idx_;
+  NodeEnv env_;
+  std::unique_ptr<Process> proc_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  std::uint64_t seq_ = 0;
+  TimerId next_timer_ = 1;
+  bool crashed_ = false;
+  std::jthread thread_;
+};
+
+RtSystem::RtSystem(RtConfig cfg)
+    : ids_(std::move(cfg.ids)),
+      min_delay_ms_(cfg.min_delay_ms),
+      max_delay_ms_(cfg.max_delay_ms),
+      rng_(cfg.seed),
+      epoch_(Clock::now()) {
+  if (ids_.empty()) throw std::invalid_argument("RtSystem: need at least one process");
+  if (min_delay_ms_ < 0 || max_delay_ms_ < min_delay_ms_) {
+    throw std::invalid_argument("RtSystem: bad delay range");
+  }
+  nodes_.reserve(ids_.size());
+  for (ProcIndex i = 0; i < ids_.size(); ++i) nodes_.push_back(std::make_unique<Node>(*this, i));
+}
+
+RtSystem::~RtSystem() { stop(); }
+
+void RtSystem::set_process(ProcIndex i, std::unique_ptr<Process> p) {
+  if (started_) throw std::logic_error("RtSystem: set_process after start");
+  nodes_.at(i)->install(std::move(p));
+}
+
+void RtSystem::start() {
+  if (started_) throw std::logic_error("RtSystem: started twice");
+  started_ = true;
+  for (auto& node : nodes_) node->start();
+}
+
+void RtSystem::crash(ProcIndex i) { nodes_.at(i)->crash(); }
+
+bool RtSystem::is_crashed(ProcIndex i) const { return nodes_.at(i)->crashed(); }
+
+void RtSystem::post_task(ProcIndex i, std::function<void(Process&)> task) {
+  if (nodes_.at(i)->crashed()) throw std::runtime_error("RtSystem::query: node crashed");
+  nodes_.at(i)->post(std::move(task));
+}
+
+void RtSystem::broadcast_from(ProcIndex from, const Message& m) {
+  if (nodes_.at(from)->crashed()) return;
+  auto shared = std::make_shared<const Message>(m);
+  const auto now = Clock::now();
+  for (auto& node : nodes_) {
+    SimTime d;
+    {
+      std::lock_guard lk(rng_mu_);
+      d = rng_.uniform(min_delay_ms_, max_delay_ms_);
+    }
+    node->deliver(now + std::chrono::milliseconds(d), shared);
+  }
+}
+
+SimTime RtSystem::now_ms() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - epoch_).count();
+}
+
+bool RtSystem::wait_for(const std::function<bool()>& pred, std::chrono::milliseconds timeout,
+                        std::chrono::milliseconds poll) {
+  const auto deadline = Clock::now() + timeout;
+  while (Clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(poll);
+  }
+  return pred();
+}
+
+void RtSystem::stop() {
+  for (auto& node : nodes_) node->request_stop();
+  for (auto& node : nodes_) node->join();
+}
+
+}  // namespace hds

@@ -1,0 +1,97 @@
+// Thread-based runtime: one thread per process, mutex+condvar mailboxes,
+// wall-clock timers. Runs the exact same Process objects as the
+// discrete-event simulator (Env time units are interpreted as
+// milliseconds), demonstrating the algorithms under real concurrency.
+//
+// Concurrency discipline (CP.2/CP.3): each process's state is touched only
+// by its own node thread. External observers access it via query(), which
+// posts a closure into the node's mailbox and waits for the node thread to
+// execute it — no shared writable state beyond the mailboxes themselves.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/process.h"
+
+namespace hds {
+
+struct RtConfig {
+  std::vector<Id> ids;
+  std::uint64_t seed = 1;
+  // Per-copy artificial delivery delay, in milliseconds (models link
+  // latency; the scheduler's own jitter adds the asynchrony).
+  SimTime min_delay_ms = 0;
+  SimTime max_delay_ms = 2;
+};
+
+class RtSystem {
+ public:
+  explicit RtSystem(RtConfig cfg);
+  ~RtSystem();
+
+  RtSystem(const RtSystem&) = delete;
+  RtSystem& operator=(const RtSystem&) = delete;
+
+  void set_process(ProcIndex i, std::unique_ptr<Process> p);
+  void start();
+
+  // Crash injection: the node thread stops dispatching; pending and future
+  // deliveries to the node are dropped.
+  void crash(ProcIndex i);
+
+  [[nodiscard]] std::size_t n() const { return ids_.size(); }
+  [[nodiscard]] Id id_of(ProcIndex i) const { return ids_.at(i); }
+  [[nodiscard]] bool is_crashed(ProcIndex i) const;
+
+  // Runs `fn` on node i's own thread against its process object and returns
+  // the result. Blocks until executed (throws if the node has crashed).
+  template <typename F>
+  auto query(ProcIndex i, F&& fn) -> decltype(fn(std::declval<Process&>())) {
+    using R = decltype(fn(std::declval<Process&>()));
+    std::promise<R> prom;
+    auto fut = prom.get_future();
+    post_task(i, [&prom, fn = std::forward<F>(fn)](Process& p) mutable {
+      if constexpr (std::is_void_v<R>) {
+        fn(p);
+        prom.set_value();
+      } else {
+        prom.set_value(fn(p));
+      }
+    });
+    return fut.get();
+  }
+
+  // Polls `pred` (evaluated on the caller thread; use query() inside for
+  // per-node state) until it holds or the timeout elapses.
+  bool wait_for(const std::function<bool()>& pred, std::chrono::milliseconds timeout,
+                std::chrono::milliseconds poll = std::chrono::milliseconds(5));
+
+  // Requests every node thread to stop and joins them.
+  void stop();
+
+ private:
+  class Node;
+
+  void post_task(ProcIndex i, std::function<void(Process&)> task);
+  void broadcast_from(ProcIndex from, const Message& m);
+  [[nodiscard]] SimTime now_ms() const;
+
+  std::vector<Id> ids_;
+  SimTime min_delay_ms_, max_delay_ms_;
+  std::mutex rng_mu_;
+  Rng rng_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  bool started_ = false;
+};
+
+}  // namespace hds

@@ -1,0 +1,39 @@
+// Transport-level message.
+//
+// Fidelity note: the paper's model says "the receiving process cannot
+// identify the link through which a message was received", and several
+// messages (e.g. PH0/PH1/PH2 in Fig. 8) deliberately carry no sender
+// identity. The transport therefore exposes nothing about the sender to
+// algorithms: whatever identity information an algorithm needs must be part
+// of the body, exactly as in the pseudocode. `meta_sender` exists only for
+// instrumentation (network statistics, trace debugging) and must never be
+// read by protocol code.
+#pragma once
+
+#include <any>
+#include <string>
+
+#include "common/types.h"
+
+namespace hds {
+
+struct Message {
+  std::string type;  // e.g. "COORD", "POLLING"; used for routing and stats
+  std::any body;     // algorithm-defined value struct
+
+  // Instrumentation only (see header comment). Filled in by the network.
+  ProcIndex meta_sender = 0;
+  SimTime meta_sent_at = 0;
+
+  template <typename T>
+  [[nodiscard]] const T* as() const {
+    return std::any_cast<T>(&body);
+  }
+};
+
+template <typename T>
+Message make_message(std::string type, T body) {
+  return Message{std::move(type), std::move(body), 0};
+}
+
+}  // namespace hds

@@ -1,0 +1,30 @@
+#include "sim/network.h"
+
+namespace hds {
+
+void Network::broadcast(ProcIndex from, Message m, double dying_delivery_prob) {
+  ++stats_.broadcasts;
+  ++stats_.broadcasts_by_type[m.type];
+  m.meta_sender = from;
+  m.meta_sent_at = sched_.now();
+  auto shared = std::make_shared<const Message>(std::move(m));
+  const SimTime sent = sched_.now();
+  if (trace_ != nullptr) trace_->record(sent, TraceEvent::Kind::kBroadcast, from, shared->type);
+  for (ProcIndex to = 0; to < n_; ++to) {
+    ++stats_.copies_sent;
+    if (dying_delivery_prob < 1.0 && !rng_.chance(dying_delivery_prob)) {
+      ++stats_.copies_lost;
+      if (trace_ != nullptr) trace_->record(sent, TraceEvent::Kind::kLost, to, shared->type);
+      continue;
+    }
+    auto when = timing_.delivery_at(sent, from, to, shared->type, rng_);
+    if (!when) {
+      ++stats_.copies_lost;
+      if (trace_ != nullptr) trace_->record(sent, TraceEvent::Kind::kLost, to, shared->type);
+      continue;
+    }
+    sched_.at(*when, [this, to, shared] { deliver_(to, shared); });
+  }
+}
+
+}  // namespace hds

@@ -1,0 +1,75 @@
+// Broadcast network: fans a message out along the n directed links (one per
+// destination, self included), asking the timing model for each copy's fate.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/message.h"
+#include "sim/scheduler.h"
+#include "sim/timing.h"
+#include "sim/tracelog.h"
+
+namespace hds {
+
+struct NetworkStats {
+  std::uint64_t broadcasts = 0;        // broadcast() invocations
+  std::uint64_t copies_sent = 0;       // per-link copies put on the wire
+  std::uint64_t copies_delivered = 0;  // copies handed to an alive process
+  std::uint64_t copies_lost = 0;       // dropped by the timing model / dying sender
+  std::uint64_t copies_to_dead = 0;    // arrived after the destination crashed
+  std::map<std::string, std::uint64_t> broadcasts_by_type;
+
+  // Delivery latency aggregate over copies handed to alive processes.
+  SimTime latency_sum = 0;
+  SimTime latency_max = 0;
+
+  [[nodiscard]] double mean_latency() const {
+    return copies_delivered == 0 ? 0.0
+                                 : static_cast<double>(latency_sum) /
+                                       static_cast<double>(copies_delivered);
+  }
+};
+
+class Network {
+ public:
+  // `deliver` runs at each copy's delivery time; it must decide whether the
+  // destination is still alive (and count copies_to_dead via the setters).
+  using Deliver = std::function<void(ProcIndex to, const std::shared_ptr<const Message>&)>;
+
+  // `trace` may be null (tracing disabled).
+  Network(Scheduler& sched, TimingModel& timing, Rng& rng, std::size_t n, Deliver deliver,
+          TraceLog* trace = nullptr)
+      : sched_(sched), timing_(timing), rng_(rng), n_(n), deliver_(std::move(deliver)),
+        trace_(trace) {}
+
+  // Sends one copy to every process. If `dying_delivery_prob` < 1 the sender
+  // is crashing during this broadcast: each copy independently survives with
+  // that probability (the model's "received by an arbitrary subset").
+  void broadcast(ProcIndex from, Message m, double dying_delivery_prob = 1.0);
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  void note_copy_to_dead() { ++stats_.copies_to_dead; }
+  void note_delivered(SimTime latency) {
+    ++stats_.copies_delivered;
+    stats_.latency_sum += latency;
+    stats_.latency_max = std::max(stats_.latency_max, latency);
+  }
+
+ private:
+  Scheduler& sched_;
+  TimingModel& timing_;
+  Rng& rng_;
+  std::size_t n_;
+  Deliver deliver_;
+  TraceLog* trace_;
+  NetworkStats stats_;
+};
+
+}  // namespace hds

@@ -1,0 +1,32 @@
+#include "sim/scheduler.h"
+
+#include <stdexcept>
+
+namespace hds {
+
+void Scheduler::at(SimTime t, Action fn) {
+  if (t < now_) throw std::invalid_argument("Scheduler::at: time in the past");
+  queue_.push(Ev{t, next_seq_++, std::move(fn)});
+}
+
+bool Scheduler::step() {
+  if (queue_.empty()) return false;
+  Ev ev = queue_.top();
+  queue_.pop();
+  now_ = ev.at;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void Scheduler::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.top().at <= t) step();
+  if (now_ < t) now_ = t;
+}
+
+void Scheduler::run_all(std::uint64_t max_events) {
+  for (std::uint64_t i = 0; i < max_events && step(); ++i) {
+  }
+}
+
+}  // namespace hds

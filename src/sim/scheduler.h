@@ -1,0 +1,58 @@
+// Discrete-event scheduler: the simulator's global clock and event queue.
+//
+// Events at equal times run in scheduling order (a deterministic total
+// order), so a run is a pure function of the configuration seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hds {
+
+class Scheduler {
+ public:
+  using Action = std::function<void()>;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+  // Schedules `fn` at absolute time t (>= now).
+  void at(SimTime t, Action fn);
+
+  // Schedules `fn` after `delay` time units.
+  void after(SimTime delay, Action fn) { at(now_ + delay, std::move(fn)); }
+
+  // Runs the next event; returns false if the queue is empty.
+  bool step();
+
+  // Runs every event with time <= t, then advances the clock to t.
+  void run_until(SimTime t);
+
+  // Runs until the queue drains or `max_events` have executed.
+  void run_all(std::uint64_t max_events = UINT64_MAX);
+
+ private:
+  struct Ev {
+    SimTime at;
+    std::uint64_t seq;
+    Action fn;
+  };
+  struct Later {
+    bool operator()(const Ev& a, const Ev& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Ev, std::vector<Ev>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace hds

@@ -1,0 +1,51 @@
+#include "sim/stacked_process.h"
+
+namespace hds {
+
+// Wraps the node Env so that timers armed by component k are recorded as
+// owned by k.
+class StackedProcess::RoutingEnv final : public Env {
+ public:
+  RoutingEnv(Env& inner, StackedProcess& stack, std::size_t component)
+      : inner_(inner), stack_(stack), component_(component) {}
+
+  [[nodiscard]] Id self_id() const override { return inner_.self_id(); }
+  void broadcast(Message m) override { inner_.broadcast(std::move(m)); }
+  [[nodiscard]] SimTime local_now() const override { return inner_.local_now(); }
+
+  TimerId set_timer(SimTime delay) override {
+    TimerId id = inner_.set_timer(delay);
+    stack_.timer_owner_[id] = component_;
+    return id;
+  }
+
+ private:
+  Env& inner_;
+  StackedProcess& stack_;
+  std::size_t component_;
+};
+
+void StackedProcess::on_start(Env& env) {
+  for (std::size_t k = 0; k < components_.size(); ++k) {
+    RoutingEnv renv(env, *this, k);
+    components_[k]->on_start(renv);
+  }
+}
+
+void StackedProcess::on_message(Env& env, const Message& m) {
+  for (std::size_t k = 0; k < components_.size(); ++k) {
+    RoutingEnv renv(env, *this, k);
+    components_[k]->on_message(renv, m);
+  }
+}
+
+void StackedProcess::on_timer(Env& env, TimerId id) {
+  auto it = timer_owner_.find(id);
+  if (it == timer_owner_.end()) return;
+  const std::size_t k = it->second;
+  timer_owner_.erase(it);
+  RoutingEnv renv(env, *this, k);
+  components_[k]->on_timer(renv, id);
+}
+
+}  // namespace hds

@@ -1,0 +1,40 @@
+// StackedProcess multiplexes several protocol components on one node.
+//
+// A real node runs its failure-detector implementation and the consensus
+// algorithm side by side over the same broadcast primitive. Components are
+// ordinary Process objects; every message is offered to every component
+// (each ignores types it does not own), while timers are routed to the
+// component that armed them.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/process.h"
+
+namespace hds {
+
+class StackedProcess final : public Process {
+ public:
+  // Returns a non-owning pointer so callers can wire components together
+  // (e.g. hand the consensus component a handle into the FD component).
+  template <typename T>
+  T* add(std::unique_ptr<T> component) {
+    T* raw = component.get();
+    components_.push_back(std::move(component));
+    return raw;
+  }
+
+  void on_start(Env& env) override;
+  void on_message(Env& env, const Message& m) override;
+  void on_timer(Env& env, TimerId id) override;
+
+ private:
+  class RoutingEnv;
+
+  std::vector<std::unique_ptr<Process>> components_;
+  std::map<TimerId, std::size_t> timer_owner_;
+};
+
+}  // namespace hds

@@ -1,0 +1,76 @@
+#include "sim/sync_system.h"
+
+#include <stdexcept>
+
+namespace hds {
+
+SyncSystem::SyncSystem(SyncConfig cfg)
+    : ids_(std::move(cfg.ids)),
+      crashes_(std::move(cfg.crashes)),
+      dying_copy_delivery_prob_(cfg.dying_copy_delivery_prob),
+      rng_(cfg.seed) {
+  if (ids_.empty()) throw std::invalid_argument("SyncSystem: need at least one process");
+  if (crashes_.empty()) crashes_.resize(ids_.size());
+  if (crashes_.size() != ids_.size()) {
+    throw std::invalid_argument("SyncSystem: crash plan size != n");
+  }
+  procs_.resize(ids_.size());
+}
+
+void SyncSystem::set_process(ProcIndex i, std::unique_ptr<SyncProcess> p) {
+  procs_.at(i) = std::move(p);
+}
+
+void SyncSystem::run_steps(std::size_t count) {
+  for (ProcIndex i = 0; i < procs_.size(); ++i) {
+    if (!procs_[i]) throw std::logic_error("SyncSystem: process not installed");
+  }
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t s = step_++;
+    // Per-destination inboxes: a dying sender's copies are dropped
+    // independently per destination, so destinations see different subsets.
+    std::vector<std::vector<Message>> inbox(n());
+    for (ProcIndex i = 0; i < n(); ++i) {
+      if (!alive_in_step(i, s)) continue;
+      const bool dying = crashes_[i] && crashes_[i]->at_step == s;
+      const bool partial = dying && crashes_[i]->partial_broadcast;
+      for (Message& m : procs_[i]->step_send(s)) {
+        m.meta_sender = i;
+        ++messages_sent_;
+        for (ProcIndex to = 0; to < n(); ++to) {
+          if (partial && !rng_.chance(dying_copy_delivery_prob_)) continue;
+          inbox[to].push_back(m);
+        }
+      }
+    }
+    for (ProcIndex i = 0; i < n(); ++i) {
+      const bool dying = crashes_[i] && crashes_[i]->at_step == s;
+      if (!alive_in_step(i, s) || dying) continue;
+      procs_[i]->step_recv(s, inbox[i]);
+    }
+  }
+}
+
+std::vector<ProcIndex> SyncSystem::correct_set() const {
+  std::vector<ProcIndex> out;
+  for (ProcIndex i = 0; i < ids_.size(); ++i) {
+    if (is_correct(i)) out.push_back(i);
+  }
+  return out;
+}
+
+Multiset<Id> SyncSystem::correct_ids() const {
+  Multiset<Id> out;
+  for (ProcIndex i : correct_set()) out.insert(ids_[i]);
+  return out;
+}
+
+std::size_t SyncSystem::alive_count_in_step(std::size_t s) const {
+  std::size_t c = 0;
+  for (ProcIndex i = 0; i < ids_.size(); ++i) {
+    if (alive_in_step(i, s)) ++c;
+  }
+  return c;
+}
+
+}  // namespace hds

@@ -1,0 +1,79 @@
+// Lock-step synchronous engine: the HSS[...] model.
+//
+// Each step s has two phases. First every process alive at step s produces
+// its broadcasts (step_send). Then every message broadcast in step s is
+// delivered to every process still alive (step_recv) — "wait for the
+// messages sent in this synchronous step". A process whose crash is
+// scheduled at step s executes step_send(s), each copy of its messages
+// survives independently with dying_copy_delivery_prob (crash during
+// broadcast), and it never executes step_recv again.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/multiset.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/message.h"
+
+namespace hds {
+
+class SyncProcess {
+ public:
+  virtual ~SyncProcess() = default;
+  virtual std::vector<Message> step_send(std::size_t step) = 0;
+  virtual void step_recv(std::size_t step, const std::vector<Message>& delivered) = 0;
+};
+
+struct SyncCrashPlan {
+  std::size_t at_step = 0;
+  bool partial_broadcast = false;
+};
+
+struct SyncConfig {
+  std::vector<Id> ids;
+  std::vector<std::optional<SyncCrashPlan>> crashes;  // empty, or size n
+  std::uint64_t seed = 1;
+  double dying_copy_delivery_prob = 0.5;
+};
+
+class SyncSystem {
+ public:
+  explicit SyncSystem(SyncConfig cfg);
+
+  void set_process(ProcIndex i, std::unique_ptr<SyncProcess> p);
+
+  // Runs `count` further synchronous steps.
+  void run_steps(std::size_t count);
+
+  [[nodiscard]] std::size_t steps_run() const { return step_; }
+  [[nodiscard]] std::size_t n() const { return ids_.size(); }
+  [[nodiscard]] Id id_of(ProcIndex i) const { return ids_.at(i); }
+
+  [[nodiscard]] bool is_correct(ProcIndex i) const { return !crashes_.at(i).has_value(); }
+  // Alive during step s: has not crashed at an earlier step (a process
+  // crashing at step s is still alive while sending in s).
+  [[nodiscard]] bool alive_in_step(ProcIndex i, std::size_t s) const {
+    return !crashes_.at(i) || s <= crashes_.at(i)->at_step;
+  }
+  [[nodiscard]] std::vector<ProcIndex> correct_set() const;
+  [[nodiscard]] Multiset<Id> correct_ids() const;
+  [[nodiscard]] Multiset<Id> all_ids() const { return Multiset<Id>(ids_.begin(), ids_.end()); }
+  [[nodiscard]] std::size_t alive_count_in_step(std::size_t s) const;
+
+  [[nodiscard]] SyncProcess& process(ProcIndex i) { return *procs_.at(i); }
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
+
+ private:
+  std::vector<Id> ids_;
+  std::vector<std::optional<SyncCrashPlan>> crashes_;
+  double dying_copy_delivery_prob_;
+  Rng rng_;
+  std::vector<std::unique_ptr<SyncProcess>> procs_;
+  std::size_t step_ = 0;
+  std::uint64_t messages_sent_ = 0;
+};
+
+}  // namespace hds

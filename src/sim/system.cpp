@@ -1,0 +1,133 @@
+#include "sim/system.h"
+
+#include <stdexcept>
+
+namespace hds {
+
+class System::NodeEnv final : public Env {
+ public:
+  NodeEnv(System& sys, ProcIndex idx) : sys_(sys), idx_(idx) {}
+
+  [[nodiscard]] Id self_id() const override { return sys_.ids_.at(idx_); }
+
+  void broadcast(Message m) override {
+    if (!sys_.is_alive(idx_)) return;
+    double p = 1.0;
+    const auto& plan = sys_.crashes_.at(idx_);
+    if (plan && plan->partial_broadcast && sys_.now() == plan->at) {
+      p = sys_.dying_copy_delivery_prob_;
+    }
+    sys_.net_->broadcast(idx_, std::move(m), p);
+  }
+
+  TimerId set_timer(SimTime delay) override {
+    if (delay < 0) throw std::invalid_argument("set_timer: negative delay");
+    TimerId id = next_timer_++;
+    sys_.sched_.after(delay, [this, id] {
+      if (!sys_.is_alive(idx_)) return;
+      sys_.trace_.record(sys_.now(), TraceEvent::Kind::kTimer, idx_);
+      sys_.procs_.at(idx_)->on_timer(*this, id);
+    });
+    return id;
+  }
+
+  [[nodiscard]] SimTime local_now() const override { return sys_.sched_.now(); }
+
+ private:
+  System& sys_;
+  ProcIndex idx_;
+  TimerId next_timer_ = 1;
+};
+
+System::~System() = default;
+
+System::System(SystemConfig cfg)
+    : ids_(std::move(cfg.ids)),
+      crashes_(std::move(cfg.crashes)),
+      dying_copy_delivery_prob_(cfg.dying_copy_delivery_prob),
+      rng_(cfg.seed),
+      trace_(cfg.trace_capacity),
+      timing_(std::move(cfg.timing)) {
+  if (ids_.empty()) throw std::invalid_argument("System: need at least one process");
+  if (!timing_) throw std::invalid_argument("System: timing model required");
+  if (crashes_.empty()) crashes_.resize(ids_.size());
+  if (crashes_.size() != ids_.size()) throw std::invalid_argument("System: crash plan size != n");
+  procs_.resize(ids_.size());
+  envs_.reserve(ids_.size());
+  for (ProcIndex i = 0; i < ids_.size(); ++i) {
+    envs_.push_back(std::make_unique<NodeEnv>(*this, i));
+  }
+  net_ = std::make_unique<Network>(
+      sched_, *timing_, rng_, ids_.size(),
+      [this](ProcIndex to, const std::shared_ptr<const Message>& m) { deliver(to, m); },
+      trace_.enabled() ? &trace_ : nullptr);
+}
+
+void System::set_process(ProcIndex i, std::unique_ptr<Process> p) {
+  if (started_) throw std::logic_error("System: set_process after start");
+  procs_.at(i) = std::move(p);
+}
+
+void System::start() {
+  if (started_) throw std::logic_error("System: started twice");
+  for (ProcIndex i = 0; i < procs_.size(); ++i) {
+    if (!procs_[i]) throw std::logic_error("System: process not installed at index " +
+                                           std::to_string(i));
+  }
+  started_ = true;
+  for (ProcIndex i = 0; i < procs_.size(); ++i) {
+    sched_.at(0, [this, i] {
+      if (!is_alive(i)) return;
+      trace_.record(0, TraceEvent::Kind::kStart, i);
+      procs_[i]->on_start(*envs_[i]);
+    });
+    if (trace_.enabled() && crashes_[i]) {
+      const SimTime when = crashes_[i]->at;
+      sched_.at(when, [this, i, when] { trace_.record(when, TraceEvent::Kind::kCrash, i); });
+    }
+  }
+}
+
+bool System::run_all(std::uint64_t max_events) {
+  sched_.run_all(max_events);
+  return sched_.empty();
+}
+
+void System::deliver(ProcIndex to, const std::shared_ptr<const Message>& m) {
+  if (!is_alive(to)) {
+    net_->note_copy_to_dead();
+    trace_.record(now(), TraceEvent::Kind::kToDead, to, m->type);
+    return;
+  }
+  net_->note_delivered(now() - m->meta_sent_at);
+  trace_.record(now(), TraceEvent::Kind::kDeliver, to, m->type);
+  procs_.at(to)->on_message(*envs_.at(to), *m);
+}
+
+Env& System::env(ProcIndex i) { return *envs_.at(i); }
+
+std::vector<ProcIndex> System::correct_set() const {
+  std::vector<ProcIndex> out;
+  for (ProcIndex i = 0; i < ids_.size(); ++i) {
+    if (is_correct(i)) out.push_back(i);
+  }
+  return out;
+}
+
+Multiset<Id> System::correct_ids() const {
+  Multiset<Id> out;
+  for (ProcIndex i : correct_set()) out.insert(ids_[i]);
+  return out;
+}
+
+Multiset<Id> System::all_ids() const { return Multiset<Id>(ids_.begin(), ids_.end()); }
+
+std::size_t System::alive_count_at(SimTime t) const {
+  std::size_t c = 0;
+  for (ProcIndex i = 0; i < ids_.size(); ++i) {
+    if (is_alive_at(i, t)) ++c;
+  }
+  return c;
+}
+
+}  // namespace hds

@@ -1,0 +1,98 @@
+// The event-driven homonymous system: n processes, a broadcast network with
+// a pluggable timing model, and a crash schedule.
+//
+// Processes see only the Env interface (own id, broadcast, timers, local
+// clock). Ground-truth accessors — I(Pi), I(Correct), aliveness — exist for
+// oracles, checkers and benchmarks only, mirroring the paper's stance that
+// Pi is a formalization device the processes do not know.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/multiset.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/network.h"
+#include "sim/process.h"
+#include "sim/scheduler.h"
+#include "sim/timing.h"
+#include "sim/tracelog.h"
+
+namespace hds {
+
+struct CrashPlan {
+  SimTime at = 0;
+  // When true, a broadcast issued exactly at the crash instant reaches an
+  // arbitrary subset of processes ("if a process crashes while broadcasting
+  // a message, the message is received by an arbitrary subset").
+  bool partial_broadcast = false;
+};
+
+struct SystemConfig {
+  std::vector<Id> ids;                            // ids[i] = identity of process i; size n
+  std::unique_ptr<TimingModel> timing;            // shared by all links
+  std::vector<std::optional<CrashPlan>> crashes;  // empty, or size n
+  std::uint64_t seed = 1;
+  double dying_copy_delivery_prob = 0.5;  // per-copy survival of a dying broadcast
+  std::size_t trace_capacity = 0;         // > 0 enables the structured event log
+};
+
+class System {
+ public:
+  explicit System(SystemConfig cfg);
+  ~System();  // defined where NodeEnv is complete
+
+  // Installs the algorithm at node i. Must happen before start().
+  void set_process(ProcIndex i, std::unique_ptr<Process> p);
+
+  // Schedules every process's on_start at time 0.
+  void start();
+
+  void run_until(SimTime t) { sched_.run_until(t); }
+  // Runs until the event queue drains (or the safety caps hit). Returns true
+  // if the queue drained.
+  bool run_all(std::uint64_t max_events = 50'000'000);
+
+  [[nodiscard]] SimTime now() const { return sched_.now(); }
+  [[nodiscard]] std::size_t n() const { return ids_.size(); }
+  [[nodiscard]] Id id_of(ProcIndex i) const { return ids_.at(i); }
+  [[nodiscard]] const std::vector<Id>& ids() const { return ids_; }
+
+  // Ground truth (checkers/oracles only).
+  [[nodiscard]] bool is_correct(ProcIndex i) const { return !crashes_.at(i).has_value(); }
+  [[nodiscard]] bool is_alive_at(ProcIndex i, SimTime t) const {
+    return !crashes_.at(i) || t <= crashes_.at(i)->at;
+  }
+  [[nodiscard]] bool is_alive(ProcIndex i) const { return is_alive_at(i, now()); }
+  [[nodiscard]] std::vector<ProcIndex> correct_set() const;
+  [[nodiscard]] Multiset<Id> correct_ids() const;  // I(Correct)
+  [[nodiscard]] Multiset<Id> all_ids() const;      // I(Pi)
+  [[nodiscard]] std::size_t alive_count_at(SimTime t) const;
+
+  [[nodiscard]] Process& process(ProcIndex i) { return *procs_.at(i); }
+  [[nodiscard]] Env& env(ProcIndex i);
+  [[nodiscard]] Scheduler& scheduler() { return sched_; }
+  [[nodiscard]] const NetworkStats& net_stats() const { return net_->stats(); }
+  [[nodiscard]] const TraceLog& trace() const { return trace_; }
+
+ private:
+  class NodeEnv;
+
+  void deliver(ProcIndex to, const std::shared_ptr<const Message>& m);
+
+  std::vector<Id> ids_;
+  std::vector<std::optional<CrashPlan>> crashes_;
+  double dying_copy_delivery_prob_;
+  Rng rng_;
+  Scheduler sched_;
+  TraceLog trace_{0};
+  std::unique_ptr<TimingModel> timing_;
+  std::unique_ptr<Network> net_;
+  std::vector<std::unique_ptr<Process>> procs_;
+  std::vector<std::unique_ptr<NodeEnv>> envs_;
+  bool started_ = false;
+};
+
+}  // namespace hds

@@ -1,0 +1,76 @@
+#include "sim/tracelog.h"
+
+#include <sstream>
+
+namespace hds {
+
+const char* TraceEvent::kind_name(Kind k) {
+  switch (k) {
+    case Kind::kStart:
+      return "start";
+    case Kind::kBroadcast:
+      return "broadcast";
+    case Kind::kDeliver:
+      return "deliver";
+    case Kind::kLost:
+      return "lost";
+    case Kind::kToDead:
+      return "to-dead";
+    case Kind::kTimer:
+      return "timer";
+    case Kind::kCrash:
+      return "crash";
+  }
+  return "?";
+}
+
+void TraceLog::record(SimTime at, TraceEvent::Kind kind, ProcIndex proc, std::string msg_type) {
+  if (!enabled()) return;
+  if (events_.size() >= capacity_) {
+    truncated_ = true;
+    return;
+  }
+  events_.push_back(TraceEvent{at, kind, proc, std::move(msg_type)});
+}
+
+std::vector<TraceEvent> TraceLog::by_proc(ProcIndex p) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.proc == p) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceLog::by_type(const std::string& msg_type) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.msg_type == msg_type) out.push_back(e);
+  }
+  return out;
+}
+
+std::map<std::string, std::size_t> TraceLog::counts_by_type(TraceEvent::Kind kind) const {
+  std::map<std::string, std::size_t> out;
+  for (const auto& e : events_) {
+    if (e.kind == kind) ++out[e.msg_type];
+  }
+  return out;
+}
+
+std::string TraceLog::dump(std::size_t max_lines) const {
+  std::ostringstream os;
+  std::size_t lines = 0;
+  for (const auto& e : events_) {
+    if (lines++ >= max_lines) {
+      os << "... (" << events_.size() - max_lines << " more)\n";
+      break;
+    }
+    os << 't' << e.at << " p" << e.proc << ' ' << TraceEvent::kind_name(e.kind);
+    if (!e.msg_type.empty()) os << ' ' << e.msg_type;
+    os << '\n';
+  }
+  if (truncated_) os << "[trace truncated at capacity]\n";
+  return os.str();
+}
+
+}  // namespace hds

@@ -1,0 +1,62 @@
+// Structured event log of a simulated run: starts, broadcasts, deliveries,
+// losses, timer firings and crashes, in global time order. Disabled by
+// default (SystemConfig::trace_capacity = 0); when enabled it is the
+// debugging view of a run — filter by process or message type, or dump a
+// readable transcript.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hds {
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kStart,      // process began executing
+    kBroadcast,  // process invoked broadcast(m)
+    kDeliver,    // one copy handed to an alive process
+    kLost,       // copy dropped by the link (pre-GST loss / dying broadcast)
+    kToDead,     // copy arrived after the destination crashed
+    kTimer,      // timer fired at the process
+    kCrash,      // the process's crash instant passed
+  };
+
+  SimTime at = 0;
+  Kind kind = Kind::kStart;
+  ProcIndex proc = 0;        // the acting/receiving process
+  std::string msg_type;      // empty for non-message events
+
+  [[nodiscard]] static const char* kind_name(Kind k);
+};
+
+class TraceLog {
+ public:
+  // capacity == 0 disables recording entirely.
+  explicit TraceLog(std::size_t capacity) : capacity_(capacity) {}
+
+  [[nodiscard]] bool enabled() const { return capacity_ > 0; }
+  // True once events were discarded because the capacity was reached.
+  [[nodiscard]] bool truncated() const { return truncated_; }
+
+  void record(SimTime at, TraceEvent::Kind kind, ProcIndex proc, std::string msg_type = {});
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+
+  [[nodiscard]] std::vector<TraceEvent> by_proc(ProcIndex p) const;
+  [[nodiscard]] std::vector<TraceEvent> by_type(const std::string& msg_type) const;
+  [[nodiscard]] std::map<std::string, std::size_t> counts_by_type(TraceEvent::Kind kind) const;
+
+  // Human-readable transcript (at most max_lines lines).
+  [[nodiscard]] std::string dump(std::size_t max_lines = 200) const;
+
+ private:
+  std::size_t capacity_;
+  bool truncated_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace hds

@@ -1,0 +1,64 @@
+#include "spec/consensus_checkers.h"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+
+namespace hds {
+
+namespace {
+
+CheckResult check_consensus_impl(const GroundTruth& gt, const std::vector<Value>& proposals,
+                                 const std::vector<DecisionRecord>& decisions,
+                                 bool uniform_agreement) {
+  if (proposals.size() != gt.n() || decisions.size() != gt.n()) {
+    return CheckResult::fail("consensus: record count mismatch");
+  }
+  std::optional<Value> decided;
+  for (std::size_t p = 0; p < gt.n(); ++p) {
+    const DecisionRecord& d = decisions[p];
+    if (d.decided && !uniform_agreement && !gt.correct[p]) {
+      // Non-uniform mode: a faulty decision must still be a proposed value,
+      // but is exempt from agreement.
+      if (std::find(proposals.begin(), proposals.end(), d.value) == proposals.end()) {
+        return CheckResult::fail("validity: faulty process " + std::to_string(p) + " decided " +
+                                 std::to_string(d.value) + ", never proposed");
+      }
+      continue;
+    }
+    if (d.decided) {
+      // Validity: the decided value is one of the proposed values.
+      if (std::find(proposals.begin(), proposals.end(), d.value) == proposals.end()) {
+        return CheckResult::fail("validity: process " + std::to_string(p) + " decided " +
+                                 std::to_string(d.value) + ", never proposed");
+      }
+      // Agreement: all decided values are the same.
+      if (decided && *decided != d.value) {
+        return CheckResult::fail("agreement: values " + std::to_string(*decided) + " and " +
+                                 std::to_string(d.value) + " both decided");
+      }
+      decided = d.value;
+    } else if (gt.correct[p]) {
+      // Termination: every correct process eventually decides.
+      return CheckResult::fail("termination: correct process " + std::to_string(p) +
+                               " never decided");
+    }
+  }
+  if (!decided) return CheckResult::fail("termination: nobody decided");
+  return CheckResult::pass();
+}
+
+}  // namespace
+
+CheckResult check_consensus(const GroundTruth& gt, const std::vector<Value>& proposals,
+                            const std::vector<DecisionRecord>& decisions) {
+  return check_consensus_impl(gt, proposals, decisions, /*uniform_agreement=*/true);
+}
+
+CheckResult check_consensus_correct_only(const GroundTruth& gt,
+                                         const std::vector<Value>& proposals,
+                                         const std::vector<DecisionRecord>& decisions) {
+  return check_consensus_impl(gt, proposals, decisions, /*uniform_agreement=*/false);
+}
+
+}  // namespace hds

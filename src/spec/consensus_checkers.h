@@ -1,0 +1,33 @@
+// Machine-checked consensus properties (Section 5.1): Validity, Agreement,
+// Termination — plus Integrity (at most one decision per process, implied
+// by the record structure but validated against double reporting).
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "spec/fd_checkers.h"
+
+namespace hds {
+
+struct DecisionRecord {
+  bool decided = false;
+  SimTime at = 0;
+  Value value = 0;
+  Round round = 0;
+};
+
+// proposals[i] is v_p of process i; decisions[i] its outcome.
+// Agreement is checked over ALL decisions, including those of processes
+// that later crashed (uniform agreement) — the paper's Section 5.1 property.
+CheckResult check_consensus(const GroundTruth& gt, const std::vector<Value>& proposals,
+                            const std::vector<DecisionRecord>& decisions);
+
+// Relaxed variant for early-stopping baselines: agreement is required among
+// correct processes only (non-uniform agreement). Validity and termination
+// are unchanged.
+CheckResult check_consensus_correct_only(const GroundTruth& gt,
+                                         const std::vector<Value>& proposals,
+                                         const std::vector<DecisionRecord>& decisions);
+
+}  // namespace hds

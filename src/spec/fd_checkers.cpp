@@ -1,0 +1,397 @@
+#include "spec/fd_checkers.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace hds {
+
+namespace {
+
+std::string at_proc(std::size_t p) { return " (process " + std::to_string(p) + ")"; }
+
+// Common skeleton for "eventually-permanently" checks of one trajectory.
+template <typename V, typename Pred>
+CheckResult eventually_stable(const GroundTruth& gt,
+                              const std::vector<const Trajectory<V>*>& trajs, SimTime run_end,
+                              SimTime stable_window, Pred final_ok, const char* what) {
+  if (trajs.size() != gt.n()) return CheckResult::fail(std::string(what) + ": trajectory count");
+  for (std::size_t p = 0; p < gt.n(); ++p) {
+    if (!gt.correct[p]) continue;
+    const auto& tr = *trajs[p];
+    if (tr.empty()) return CheckResult::fail(std::string(what) + ": no output" + at_proc(p));
+    std::string why;
+    if (!final_ok(tr.final(), why)) {
+      return CheckResult::fail(std::string(what) + ": " + why + at_proc(p));
+    }
+    if (tr.last_change() > run_end - stable_window) {
+      return CheckResult::fail(std::string(what) + ": output still changing at " +
+                               std::to_string(tr.last_change()) + at_proc(p));
+    }
+  }
+  return CheckResult::pass();
+}
+
+}  // namespace
+
+CheckResult check_ohp(const GroundTruth& gt,
+                      const std::vector<const Trajectory<Multiset<Id>>*>& h_trusted,
+                      SimTime run_end, SimTime stable_window) {
+  const Multiset<Id> want = gt.correct_ids();
+  return eventually_stable(
+      gt, h_trusted, run_end, stable_window,
+      [&](const Multiset<Id>& v, std::string& why) {
+        if (v == want) return true;
+        why = "final h_trusted " + v.to_string() + " != I(Correct) " + want.to_string();
+        return false;
+      },
+      "OHP liveness");
+}
+
+CheckResult check_homega(const GroundTruth& gt,
+                         const std::vector<const Trajectory<HOmegaOut>*>& outputs,
+                         SimTime run_end, SimTime stable_window) {
+  const Multiset<Id> correct = gt.correct_ids();
+  // All correct processes must converge to one common pair; find it from the
+  // first correct process and require it everywhere.
+  const HOmegaOut* agreed = nullptr;
+  for (std::size_t p = 0; p < gt.n(); ++p) {
+    if (gt.correct[p] && !outputs[p]->empty()) {
+      agreed = &outputs[p]->final();
+      break;
+    }
+  }
+  if (agreed == nullptr) return CheckResult::fail("HOmega: no correct output at all");
+  if (!correct.contains(agreed->leader)) {
+    return CheckResult::fail("HOmega: leader " + std::to_string(agreed->leader) +
+                             " not a correct identifier");
+  }
+  if (agreed->multiplicity != correct.multiplicity(agreed->leader)) {
+    return CheckResult::fail("HOmega: multiplicity " + std::to_string(agreed->multiplicity) +
+                             " != " + std::to_string(correct.multiplicity(agreed->leader)));
+  }
+  const HOmegaOut want = *agreed;
+  return eventually_stable(
+      gt, outputs, run_end, stable_window,
+      [&](const HOmegaOut& v, std::string& why) {
+        if (v == want) return true;
+        why = "final leader (" + std::to_string(v.leader) + "," +
+              std::to_string(v.multiplicity) + ") differs from (" + std::to_string(want.leader) +
+              "," + std::to_string(want.multiplicity) + ")";
+        return false;
+      },
+      "HOmega election");
+}
+
+CheckResult check_hsigma_monotonicity(
+    const std::vector<const Trajectory<HSigmaSnapshot>*>& snaps) {
+  for (std::size_t p = 0; p < snaps.size(); ++p) {
+    const auto& pts = snaps[p]->points();
+    for (std::size_t k = 1; k < pts.size(); ++k) {
+      const HSigmaSnapshot& prev = pts[k - 1].second;
+      const HSigmaSnapshot& cur = pts[k].second;
+      if (!std::includes(cur.labels.begin(), cur.labels.end(), prev.labels.begin(),
+                         prev.labels.end())) {
+        return CheckResult::fail("HSigma monotonicity: h_labels shrank" + at_proc(p));
+      }
+      for (const auto& [x, m] : prev.quora) {
+        auto it = cur.quora.find(x);
+        if (it == cur.quora.end()) {
+          return CheckResult::fail("HSigma monotonicity: pair with label " + x.repr() +
+                                   " disappeared" + at_proc(p));
+        }
+        if (!it->second.is_subset_of(m)) {
+          return CheckResult::fail("HSigma monotonicity: quorum for " + x.repr() +
+                                   " grew from " + m.to_string() + " to " +
+                                   it->second.to_string() + at_proc(p));
+        }
+      }
+    }
+  }
+  return CheckResult::pass();
+}
+
+namespace {
+
+// S(x): the processes that ever carry label x.
+std::map<Label, std::vector<ProcIndex>> carrier_sets(
+    const std::vector<const Trajectory<HSigmaSnapshot>*>& snaps) {
+  std::map<Label, std::set<ProcIndex>> acc;
+  for (std::size_t p = 0; p < snaps.size(); ++p) {
+    for (const auto& [t, snap] : snaps[p]->points()) {
+      (void)t;
+      for (const Label& x : snap.labels) acc[x].insert(p);
+    }
+  }
+  std::map<Label, std::vector<ProcIndex>> out;
+  for (auto& [x, s] : acc) out.emplace(x, std::vector<ProcIndex>(s.begin(), s.end()));
+  return out;
+}
+
+}  // namespace
+
+CheckResult check_hsigma_liveness(const GroundTruth& gt,
+                                  const std::vector<const Trajectory<HSigmaSnapshot>*>& snaps) {
+  const auto carriers = carrier_sets(snaps);
+  for (std::size_t p = 0; p < gt.n(); ++p) {
+    if (!gt.correct[p]) continue;
+    if (snaps[p]->empty()) return CheckResult::fail("HSigma liveness: no output" + at_proc(p));
+    const HSigmaSnapshot& fin = snaps[p]->final();
+    bool found = false;
+    for (const auto& [x, m] : fin.quora) {
+      auto it = carriers.find(x);
+      if (it == carriers.end()) continue;
+      Multiset<Id> correct_carriers;  // I(S(x) ∩ Correct)
+      for (ProcIndex q : it->second) {
+        if (gt.correct[q]) correct_carriers.insert(gt.ids[q]);
+      }
+      if (m.is_subset_of(correct_carriers)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return CheckResult::fail("HSigma liveness: no pair (x,m) with m ⊆ I(S(x) ∩ Correct)" +
+                               at_proc(p));
+    }
+  }
+  return CheckResult::pass();
+}
+
+bool hsigma_pair_violable(const Multiset<Id>& m1, const std::vector<ProcIndex>& s1,
+                          const Multiset<Id>& m2, const std::vector<ProcIndex>& s2,
+                          const std::vector<Id>& ids) {
+  const std::set<ProcIndex> set1(s1.begin(), s1.end());
+  const std::set<ProcIndex> set2(s2.begin(), s2.end());
+  // Per-identifier tallies of exclusive and shared carriers.
+  std::map<Id, std::size_t> only1, only2, shared;
+  for (ProcIndex p : s1) (set2.contains(p) ? shared : only1)[ids[p]]++;
+  for (ProcIndex p : s2) {
+    if (!set1.contains(p)) only2[ids[p]]++;
+  }
+  auto get = [](const std::map<Id, std::size_t>& m, Id i) {
+    auto it = m.find(i);
+    return it == m.end() ? std::size_t{0} : it->second;
+  };
+  std::set<Id> involved;
+  for (const auto& [i, c] : m1.counts()) {
+    (void)c;
+    involved.insert(i);
+  }
+  for (const auto& [i, c] : m2.counts()) {
+    (void)c;
+    involved.insert(i);
+  }
+  for (Id i : involved) {
+    const std::size_t need1 = m1.multiplicity(i);
+    const std::size_t need2 = m2.multiplicity(i);
+    const std::size_t a_only = get(only1, i);
+    const std::size_t b_only = get(only2, i);
+    const std::size_t both = get(shared, i);
+    // Realizability of each quorum alone.
+    if (need1 > a_only + both || need2 > b_only + both) return false;
+    // Disjoint choice: exclusive carriers first, remainder from the shared
+    // pool, which both sides must fit into together.
+    const std::size_t r1 = need1 > a_only ? need1 - a_only : 0;
+    const std::size_t r2 = need2 > b_only ? need2 - b_only : 0;
+    if (r1 + r2 > both) return false;
+  }
+  return true;  // two disjoint realizations exist: safety is violated
+}
+
+CheckResult check_hsigma_safety(const GroundTruth& gt,
+                                const std::vector<const Trajectory<HSigmaSnapshot>*>& snaps) {
+  const auto carriers = carrier_sets(snaps);
+  static const std::vector<ProcIndex> kNone;
+  auto s_of = [&](const Label& x) -> const std::vector<ProcIndex>& {
+    auto it = carriers.find(x);
+    return it == carriers.end() ? kNone : it->second;
+  };
+  // Union of every (x, m) pair that ever appears in any h_quora.
+  std::set<std::pair<Label, Multiset<Id>>> pairs;
+  for (const auto* tr : snaps) {
+    for (const auto& [t, snap] : tr->points()) {
+      (void)t;
+      for (const auto& [x, m] : snap.quora) pairs.emplace(x, m);
+    }
+  }
+  for (auto it1 = pairs.begin(); it1 != pairs.end(); ++it1) {
+    for (auto it2 = it1; it2 != pairs.end(); ++it2) {
+      if (hsigma_pair_violable(it1->second, s_of(it1->first), it2->second, s_of(it2->first),
+                               gt.ids)) {
+        std::ostringstream os;
+        os << "HSigma safety: disjoint quora realizable for (" << it1->first << ","
+           << it1->second << ") and (" << it2->first << "," << it2->second << ")";
+        return CheckResult::fail(os.str());
+      }
+    }
+  }
+  return CheckResult::pass();
+}
+
+CheckResult check_hsigma(const GroundTruth& gt,
+                         const std::vector<const Trajectory<HSigmaSnapshot>*>& snaps) {
+  if (auto r = check_hsigma_monotonicity(snaps); !r) return r;
+  if (auto r = check_hsigma_liveness(gt, snaps); !r) return r;
+  return check_hsigma_safety(gt, snaps);
+}
+
+CheckResult check_sigma(const GroundTruth& gt,
+                        const std::vector<const Trajectory<Multiset<Id>>*>& trusted,
+                        SimTime run_end, SimTime stable_window) {
+  // Safety: every two assigned outputs, across processes and times,
+  // intersect.
+  std::set<Multiset<Id>> outputs;
+  for (const auto* tr : trusted) {
+    for (const auto& [t, v] : tr->points()) {
+      (void)t;
+      if (!v.empty()) outputs.insert(v);
+    }
+  }
+  for (auto it1 = outputs.begin(); it1 != outputs.end(); ++it1) {
+    for (auto it2 = it1; it2 != outputs.end(); ++it2) {
+      if (!it1->intersects(*it2)) {
+        return CheckResult::fail("Sigma safety: " + it1->to_string() + " and " +
+                                 it2->to_string() + " are disjoint");
+      }
+    }
+  }
+  // Liveness: Σ does not require the output to settle on one value — only
+  // that from some point on every output is within I(Correct). Check every
+  // record inside the stable window plus the final value.
+  const Multiset<Id> correct = gt.correct_ids();
+  for (std::size_t p = 0; p < gt.n(); ++p) {
+    if (!gt.correct[p]) continue;
+    const auto& tr = *trusted[p];
+    if (tr.empty() || tr.final().empty()) {
+      return CheckResult::fail("Sigma liveness: no assigned output (process " +
+                               std::to_string(p) + ")");
+    }
+    auto within = [&](const Multiset<Id>& v) { return !v.empty() && v.is_subset_of(correct); };
+    if (!within(tr.final())) {
+      return CheckResult::fail("Sigma liveness: final trusted " + tr.final().to_string() +
+                               " not within I(Correct) " + correct.to_string() + " (process " +
+                               std::to_string(p) + ")");
+    }
+    for (const auto& [t, v] : tr.points()) {
+      if (t > run_end - stable_window && !within(v)) {
+        return CheckResult::fail("Sigma liveness: trusted " + v.to_string() + " at time " +
+                                 std::to_string(t) + " not within I(Correct) (process " +
+                                 std::to_string(p) + ")");
+      }
+    }
+  }
+  return CheckResult::pass();
+}
+
+CheckResult check_ranker(const GroundTruth& gt,
+                         const std::vector<const Trajectory<std::vector<Id>>*>& alive_lists,
+                         SimTime run_end, SimTime stable_window) {
+  const std::size_t bound = gt.correct_count();
+  const Multiset<Id> correct = gt.correct_ids();
+  if (alive_lists.size() != gt.n()) return CheckResult::fail("Ranker: trajectory count");
+  for (std::size_t p = 0; p < gt.n(); ++p) {
+    if (!gt.correct[p]) continue;
+    const auto& tr = *alive_lists[p];
+    if (tr.empty()) return CheckResult::fail("Ranker: no output" + at_proc(p));
+    // The list may keep reordering within the correct prefix forever; the
+    // property is about ranks, so check every point in the stable window.
+    for (const auto& [t, list] : tr.points()) {
+      if (t <= run_end - stable_window) continue;
+      for (const auto& [i, c] : correct.counts()) {
+        (void)c;
+        if (rank_of(i, list) > bound) {
+          return CheckResult::fail("Ranker: correct id " + std::to_string(i) + " at rank " +
+                                   std::to_string(rank_of(i, list)) + " > |Correct|=" +
+                                   std::to_string(bound) + " at time " + std::to_string(t) +
+                                   at_proc(p));
+        }
+      }
+    }
+    // And at the final state.
+    for (const auto& [i, c] : correct.counts()) {
+      (void)c;
+      if (rank_of(i, tr.final()) > bound) {
+        return CheckResult::fail("Ranker: correct id " + std::to_string(i) +
+                                 " outside prefix in final list" + at_proc(p));
+      }
+    }
+  }
+  return CheckResult::pass();
+}
+
+CheckResult check_omega(const GroundTruth& gt,
+                        const std::vector<const Trajectory<Id>*>& leaders, SimTime run_end,
+                        SimTime stable_window) {
+  const Multiset<Id> correct = gt.correct_ids();
+  // Find the common final leader and require it everywhere.
+  const Id* agreed = nullptr;
+  for (std::size_t p = 0; p < gt.n(); ++p) {
+    if (gt.correct[p] && !leaders[p]->empty()) {
+      agreed = &leaders[p]->final();
+      break;
+    }
+  }
+  if (agreed == nullptr) return CheckResult::fail("Omega: no correct output at all");
+  if (!correct.contains(*agreed)) {
+    return CheckResult::fail("Omega: leader " + std::to_string(*agreed) +
+                             " not a correct identifier");
+  }
+  const Id want = *agreed;
+  return eventually_stable(
+      gt, leaders, run_end, stable_window,
+      [&](Id v, std::string& why) {
+        if (v == want) return true;
+        why = "final leader " + std::to_string(v) + " != " + std::to_string(want);
+        return false;
+      },
+      "Omega election");
+}
+
+CheckResult check_opbar(const GroundTruth& gt,
+                        const std::vector<const Trajectory<std::set<Id>>*>& trusted,
+                        SimTime run_end, SimTime stable_window) {
+  std::set<Id> want;
+  for (std::size_t i = 0; i < gt.n(); ++i) {
+    if (gt.correct[i]) want.insert(gt.ids[i]);
+  }
+  return eventually_stable(
+      gt, trusted, run_end, stable_window,
+      [&](const std::set<Id>& v, std::string& why) {
+        if (v == want) return true;
+        why = "final trusted set has " + std::to_string(v.size()) + " ids, want " +
+              std::to_string(want.size());
+        return false;
+      },
+      "OPbar liveness");
+}
+
+CheckResult check_ap(const GroundTruth& gt,
+                     const std::vector<const Trajectory<std::size_t>*>& anap,
+                     const std::function<std::size_t(SimTime)>& alive_count, SimTime run_end,
+                     SimTime stable_window) {
+  // Safety: each recorded value must dominate the alive count at the moment
+  // it takes effect (alive counts only shrink, so the start of the interval
+  // is the binding instant).
+  for (std::size_t p = 0; p < anap.size(); ++p) {
+    for (const auto& [t, v] : anap[p]->points()) {
+      if (v < alive_count(t)) {
+        return CheckResult::fail("AP safety: anap=" + std::to_string(v) + " < alive=" +
+                                 std::to_string(alive_count(t)) + " at time " +
+                                 std::to_string(t) + at_proc(p));
+      }
+    }
+  }
+  const std::size_t want = gt.correct_count();
+  return eventually_stable(
+      gt, anap, run_end, stable_window,
+      [&](std::size_t v, std::string& why) {
+        if (v == want) return true;
+        why = "final anap " + std::to_string(v) + " != |Correct| " + std::to_string(want);
+        return false;
+      },
+      "AP liveness");
+}
+
+}  // namespace hds

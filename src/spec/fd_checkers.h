@@ -1,0 +1,100 @@
+// Machine-checked versions of the failure-detector class properties
+// (Section 3 definitions). Each checker evaluates a recorded run: the
+// per-process output trajectories plus the run's ground truth.
+//
+// Eventual ("there is a time after which ...") properties are evaluated on
+// the finite trace as: the final output is the required one and it has been
+// stable since `run_end - stable_window` (callers choose a window long
+// enough that a latent change would have surfaced). Perpetual properties
+// (HΣ validity/monotonicity/safety, Σ intersection, AP safety) are checked
+// at every recorded point.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/multiset.h"
+#include "common/trajectory.h"
+#include "common/types.h"
+#include "fd/ground_truth.h"
+#include "fd/interfaces.h"
+
+namespace hds {
+
+struct CheckResult {
+  bool ok = true;
+  std::string detail;
+
+  static CheckResult pass() { return {}; }
+  static CheckResult fail(std::string why) { return {false, std::move(why)}; }
+  explicit operator bool() const { return ok; }
+};
+
+// ◇HP̄ liveness: for every correct p, the final h_trusted equals I(Correct)
+// and has not changed within the last `stable_window` of the run.
+CheckResult check_ohp(const GroundTruth& gt,
+                      const std::vector<const Trajectory<Multiset<Id>>*>& h_trusted,
+                      SimTime run_end, SimTime stable_window);
+
+// HΩ election: eventually every correct process permanently outputs the
+// same (l, c) with l ∈ I(Correct) and c = mult_{I(Correct)}(l).
+CheckResult check_homega(const GroundTruth& gt,
+                         const std::vector<const Trajectory<HOmegaOut>*>& outputs,
+                         SimTime run_end, SimTime stable_window);
+
+// HΣ: all four properties. S(x) is computed from the complete label
+// history of every process (Definition: q ∈ S(x) iff x ∈ h_labels_q at some
+// time). The exported sub-checkers allow negative tests of the spec layer.
+CheckResult check_hsigma(const GroundTruth& gt,
+                         const std::vector<const Trajectory<HSigmaSnapshot>*>& snaps);
+CheckResult check_hsigma_monotonicity(
+    const std::vector<const Trajectory<HSigmaSnapshot>*>& snaps);
+CheckResult check_hsigma_liveness(const GroundTruth& gt,
+                                  const std::vector<const Trajectory<HSigmaSnapshot>*>& snaps);
+CheckResult check_hsigma_safety(const GroundTruth& gt,
+                                const std::vector<const Trajectory<HSigmaSnapshot>*>& snaps);
+
+// Σ (multiset flavour, footnote 6): liveness — final trusted of each
+// correct process ⊆ I(Correct), stable over the window; safety — every two
+// outputs (any processes, any times) intersect. Empty outputs mean "not yet
+// assigned" and are skipped (the Fig. 4 transformer starts unassigned).
+CheckResult check_sigma(const GroundTruth& gt,
+                        const std::vector<const Trajectory<Multiset<Id>>*>& trusted,
+                        SimTime run_end, SimTime stable_window);
+
+// Class S (Definition 1): eventually every correct identifier permanently
+// has rank <= |Correct| at every correct process. Unique-id systems only.
+CheckResult check_ranker(const GroundTruth& gt,
+                         const std::vector<const Trajectory<std::vector<Id>>*>& alive_lists,
+                         SimTime run_end, SimTime stable_window);
+
+// AP: safety — at every recorded point, anap >= |alive at that time|;
+// liveness — final value == |Correct| for every correct process.
+CheckResult check_ap(const GroundTruth& gt,
+                     const std::vector<const Trajectory<std::size_t>*>& anap,
+                     const std::function<std::size_t(SimTime)>& alive_count, SimTime run_end,
+                     SimTime stable_window);
+
+// Ω (classical, unique ids): eventually the same correct identifier,
+// permanently, at every correct process.
+CheckResult check_omega(const GroundTruth& gt,
+                        const std::vector<const Trajectory<Id>*>& leaders, SimTime run_end,
+                        SimTime stable_window);
+
+// ◇P̄ (classical, unique ids): eventually the set of correct identifiers,
+// permanently, at every correct process.
+CheckResult check_opbar(const GroundTruth& gt,
+                        const std::vector<const Trajectory<std::set<Id>>*>& trusted,
+                        SimTime run_end, SimTime stable_window);
+
+// Exposed for direct testing: can quora (x1, m1) and (x2, m2) be realized
+// by two *disjoint* process sets, given the label-carrier sets? (A "true"
+// answer is an HΣ safety violation.) Polynomial via per-identifier counting:
+// choices for different identifiers are independent because a process
+// carries exactly one identifier.
+bool hsigma_pair_violable(const Multiset<Id>& m1, const std::vector<ProcIndex>& s1,
+                          const Multiset<Id>& m2, const std::vector<ProcIndex>& s2,
+                          const std::vector<Id>& ids);
+
+}  // namespace hds

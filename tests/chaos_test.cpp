@@ -1,0 +1,107 @@
+// Chaos sweeps: randomized configurations — system size, homonymy degree,
+// crash counts/times/partiality, detector stabilization, link parameters —
+// each run fully property-checked. The deterministic seeds make any
+// failure replayable verbatim.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "consensus/harness.h"
+
+namespace hds {
+namespace {
+
+struct ChaosConfig {
+  std::size_t n;
+  std::size_t distinct;
+  std::size_t crash_k;
+  SimTime crash_at;
+  SimTime stagger;
+  bool partial;
+  SimTime stabilize;
+};
+
+ChaosConfig draw(Rng& rng, std::size_t max_crash_num, std::size_t max_crash_den) {
+  ChaosConfig c;
+  c.n = static_cast<std::size_t>(rng.uniform(2, 9));
+  c.distinct = static_cast<std::size_t>(rng.uniform(1, static_cast<Value>(c.n)));
+  const std::size_t max_k = (c.n * max_crash_num) / max_crash_den;
+  c.crash_k = max_k == 0 ? 0 : static_cast<std::size_t>(rng.uniform(0, static_cast<Value>(max_k)));
+  c.crash_at = rng.uniform(0, 120);
+  c.stagger = rng.uniform(0, 20);
+  c.partial = rng.chance(0.5);
+  c.stabilize = rng.uniform(0, 150);
+  return c;
+}
+
+TEST(Chaos, Fig8OracleRandomizedConfigurations) {
+  Rng rng(20260706);
+  for (int trial = 0; trial < 60; ++trial) {
+    // Fig. 8 needs a strict minority of crashes.
+    ChaosConfig c = draw(rng, 1, 2);
+    if (2 * c.crash_k >= c.n) c.crash_k = (c.n - 1) / 2;
+    Fig8OracleParams p;
+    p.ids = ids_homonymous(c.n, c.distinct, 1000 + trial);
+    p.t_known = std::max<std::size_t>(c.crash_k, (c.n - 1) / 2);
+    if (2 * p.t_known >= c.n) p.t_known = (c.n - 1) / 2;
+    if (c.crash_k > 0) p.crashes = crashes_last_k(c.n, c.crash_k, c.crash_at, c.stagger, c.partial);
+    p.fd_stabilize = c.stabilize;
+    p.seed = 5000 + static_cast<std::uint64_t>(trial);
+    auto r = run_fig8_with_oracle(p);
+    ASSERT_TRUE(r.all_correct_decided)
+        << "trial " << trial << " n=" << c.n << " l=" << c.distinct << " k=" << c.crash_k;
+    ASSERT_TRUE(r.check.ok) << "trial " << trial << ": " << r.check.detail;
+  }
+}
+
+TEST(Chaos, Fig9OracleRandomizedConfigurations) {
+  Rng rng(987654);
+  for (int trial = 0; trial < 60; ++trial) {
+    // Fig. 9 tolerates any number of crashes short of all.
+    ChaosConfig c = draw(rng, 9, 10);
+    if (c.crash_k >= c.n) c.crash_k = c.n - 1;
+    Fig9OracleParams p;
+    p.ids = ids_homonymous(c.n, c.distinct, 2000 + trial);
+    if (c.crash_k > 0) p.crashes = crashes_last_k(c.n, c.crash_k, c.crash_at, c.stagger, c.partial);
+    p.fd1_stabilize = c.stabilize;
+    p.fd2_stabilize = c.stabilize + 40;
+    p.seed = 7000 + static_cast<std::uint64_t>(trial);
+    auto r = run_fig9_with_oracle(p);
+    ASSERT_TRUE(r.all_correct_decided)
+        << "trial " << trial << " n=" << c.n << " l=" << c.distinct << " k=" << c.crash_k;
+    ASSERT_TRUE(r.check.ok) << "trial " << trial << ": " << r.check.detail;
+  }
+}
+
+TEST(Chaos, Fig9FullStackRandomizedConfigurations) {
+  Rng rng(13579);
+  for (int trial = 0; trial < 25; ++trial) {
+    ChaosConfig c = draw(rng, 3, 4);
+    if (c.crash_k >= c.n) c.crash_k = c.n - 1;
+    Fig9FullStackParams p;
+    p.ids = ids_homonymous(c.n, c.distinct, 3000 + trial);
+    if (c.crash_k > 0) p.crashes = crashes_last_k(c.n, c.crash_k, c.crash_at, c.stagger, c.partial);
+    p.delta = rng.uniform(1, 4);
+    p.seed = 9000 + static_cast<std::uint64_t>(trial);
+    auto r = run_fig9_full_stack(p);
+    ASSERT_TRUE(r.all_correct_decided)
+        << "trial " << trial << " n=" << c.n << " l=" << c.distinct << " k=" << c.crash_k
+        << " delta=" << p.delta;
+    ASSERT_TRUE(r.check.ok) << "trial " << trial << ": " << r.check.detail;
+  }
+}
+
+TEST(Chaos, SoakModeratelyLargeFullStack) {
+  // One larger configuration end-to-end: 24 processes, 8 identifiers,
+  // 11 crashes, full synchronous Fig. 6 + Fig. 7-adapter + Fig. 9 stack.
+  Fig9FullStackParams p;
+  p.ids = ids_homonymous(24, 8, 42);
+  p.crashes = crashes_last_k(24, 11, 40, 6, /*partial=*/true);
+  p.delta = 3;
+  p.seed = 4242;
+  auto r = run_fig9_full_stack(p);
+  EXPECT_TRUE(r.all_correct_decided);
+  EXPECT_TRUE(r.check.ok) << r.check.detail;
+}
+
+}  // namespace
+}  // namespace hds

@@ -1,0 +1,286 @@
+// Tests of the spec layer itself — including negative tests: deliberately
+// broken detectors must be flagged, otherwise the property sweeps elsewhere
+// prove nothing.
+#include "spec/fd_checkers.h"
+
+#include <gtest/gtest.h>
+
+#include "spec/consensus_checkers.h"
+
+namespace hds {
+namespace {
+
+GroundTruth gt_of(std::vector<Id> ids, std::vector<bool> correct) {
+  return GroundTruth{std::move(ids), std::move(correct)};
+}
+
+// ------------------------------------------------------------- pair_violable
+
+TEST(HSigmaPairViolable, DisjointCarrierSetsViolate) {
+  // Quorum {1} carried by process 0 and quorum {2} carried by process 1:
+  // realizable disjointly — a violation.
+  std::vector<Id> ids{1, 2};
+  EXPECT_TRUE(hsigma_pair_violable(Multiset<Id>{1}, {0}, Multiset<Id>{2}, {1}, ids));
+}
+
+TEST(HSigmaPairViolable, SharedMandatoryProcessCannotBeSplit) {
+  // Both quora need the only process with id 1: never disjoint.
+  std::vector<Id> ids{1, 2};
+  EXPECT_FALSE(hsigma_pair_violable(Multiset<Id>{1}, {0, 1}, Multiset<Id>{1}, {0, 1}, ids));
+}
+
+TEST(HSigmaPairViolable, HomonymsAllowSplitOnlyWithEnoughCarriers) {
+  // Two processes share id 7; each quorum needs one "7".
+  std::vector<Id> ids{7, 7};
+  // Both carriers available to both labels: can pick disjointly — violation.
+  EXPECT_TRUE(hsigma_pair_violable(Multiset<Id>{7}, {0, 1}, Multiset<Id>{7}, {0, 1}, ids));
+  // Only one carrier each, the same process: no split.
+  EXPECT_FALSE(hsigma_pair_violable(Multiset<Id>{7}, {0}, Multiset<Id>{7}, {0}, ids));
+}
+
+TEST(HSigmaPairViolable, MultiplicityTwoForcesOverlap) {
+  // Three homonyms; each quorum needs two of them: 2+2 > 3, must overlap.
+  std::vector<Id> ids{5, 5, 5};
+  EXPECT_FALSE(hsigma_pair_violable(Multiset<Id>{5, 5}, {0, 1, 2}, Multiset<Id>{5, 5}, {0, 1, 2},
+                                    ids));
+  // With four homonyms, 2+2 fit disjointly — a violation.
+  std::vector<Id> ids4{5, 5, 5, 5};
+  EXPECT_TRUE(hsigma_pair_violable(Multiset<Id>{5, 5}, {0, 1, 2, 3}, Multiset<Id>{5, 5},
+                                   {0, 1, 2, 3}, ids4));
+}
+
+TEST(HSigmaPairViolable, UnrealizableQuorumIsVacuouslySafe) {
+  // The quorum needs two instances of id 1 but only one carrier exists.
+  std::vector<Id> ids{1, 2};
+  EXPECT_FALSE(hsigma_pair_violable(Multiset<Id>{1, 1}, {0}, Multiset<Id>{2}, {1}, ids));
+}
+
+TEST(HSigmaPairViolable, EmptyQuorumViolatesAgainstAnything) {
+  std::vector<Id> ids{1, 2};
+  EXPECT_TRUE(hsigma_pair_violable(Multiset<Id>{}, {}, Multiset<Id>{2}, {1}, ids));
+}
+
+// ------------------------------------------------------- negative detectors
+
+Trajectory<HSigmaSnapshot> snap_traj(std::initializer_list<std::pair<SimTime, HSigmaSnapshot>> pts) {
+  Trajectory<HSigmaSnapshot> t;
+  for (auto& [at, v] : pts) t.record(at, v);
+  return t;
+}
+
+HSigmaSnapshot snap(std::set<Label> labels,
+                    std::initializer_list<std::pair<Label, Multiset<Id>>> quora) {
+  HSigmaSnapshot s;
+  s.labels = std::move(labels);
+  for (auto& [x, m] : quora) s.quora.emplace(x, m);
+  return s;
+}
+
+TEST(HSigmaChecker, FlagsNonIntersectingQuora) {
+  // Two processes with different ids each certify a singleton quorum of
+  // themselves under different labels: classic split brain.
+  GroundTruth gt = gt_of({1, 2}, {true, true});
+  Label la = Label::of_text("a"), lb = Label::of_text("b");
+  auto t0 = snap_traj({{0, snap({la}, {{la, Multiset<Id>{1}}})}});
+  auto t1 = snap_traj({{0, snap({lb}, {{lb, Multiset<Id>{2}}})}});
+  auto res = check_hsigma_safety(gt, {&t0, &t1});
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(HSigmaChecker, FlagsShrinkingLabels) {
+  GroundTruth gt = gt_of({1}, {true});
+  Label la = Label::of_text("a");
+  auto t0 = snap_traj({{0, snap({la}, {})}, {1, snap({}, {})}});
+  auto res = check_hsigma_monotonicity({&t0});
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(HSigmaChecker, FlagsGrowingQuorumMultiset) {
+  GroundTruth gt = gt_of({1}, {true});
+  Label la = Label::of_text("a");
+  auto t0 = snap_traj({{0, snap({la}, {{la, Multiset<Id>{1}}})},
+                       {1, snap({la}, {{la, Multiset<Id>{1, 1}}})}});
+  auto res = check_hsigma_monotonicity({&t0});
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(HSigmaChecker, FlagsMissingLiveQuorum) {
+  // The only pair references a faulty-only quorum: liveness fails.
+  GroundTruth gt = gt_of({1, 2}, {true, false});
+  Label la = Label::of_text("a");
+  // S(a) = {1 (faulty? no: process 0 has id 1 and is correct)} — make the
+  // quorum require id 2, whose only carrier is faulty.
+  auto t0 = snap_traj({{0, snap({la}, {{la, Multiset<Id>{2}}})}});
+  auto t1 = snap_traj({{0, snap({la}, {})}});
+  auto res = check_hsigma_liveness(gt, {&t0, &t1});
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(SigmaChecker, FlagsDisjointOutputs) {
+  GroundTruth gt = gt_of({1, 2}, {true, true});
+  Trajectory<Multiset<Id>> t0, t1;
+  t0.record(0, Multiset<Id>{1});
+  t1.record(0, Multiset<Id>{2});
+  auto res = check_sigma(gt, {&t0, &t1}, 100, 10);
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(SigmaChecker, FlagsFaultyIdInFinalOutput) {
+  GroundTruth gt = gt_of({1, 2}, {true, false});
+  Trajectory<Multiset<Id>> t0, t1;
+  t0.record(0, Multiset<Id>{1, 2});  // keeps trusting the crashed id 2
+  t1.record(0, Multiset<Id>{1, 2});
+  auto res = check_sigma(gt, {&t0, &t1}, 100, 10);
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(OhpChecker, FlagsWrongFinalMultiset) {
+  GroundTruth gt = gt_of({1, 1, 2}, {true, true, false});
+  Trajectory<Multiset<Id>> t0, t1, t2;
+  t0.record(0, Multiset<Id>{1, 1});      // correct: I(Correct) = {1,1}
+  t1.record(0, Multiset<Id>{1, 1, 2});   // stale: still includes the crashed 2
+  t2.record(0, Multiset<Id>{});
+  auto res = check_ohp(gt, {&t0, &t1, &t2}, 100, 10);
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(OhpChecker, FlagsLateChurn) {
+  GroundTruth gt = gt_of({1}, {true});
+  Trajectory<Multiset<Id>> t0;
+  t0.record(0, Multiset<Id>{});
+  t0.record(95, Multiset<Id>{1});  // changed within the stability window
+  auto res = check_ohp(gt, {&t0}, 100, 10);
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(HOmegaChecker, FlagsDisagreeingLeaders) {
+  GroundTruth gt = gt_of({1, 2}, {true, true});
+  Trajectory<HOmegaOut> t0, t1;
+  t0.record(0, HOmegaOut{1, 1});
+  t1.record(0, HOmegaOut{2, 1});
+  auto res = check_homega(gt, {&t0, &t1}, 100, 10);
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(HOmegaChecker, FlagsWrongMultiplicity) {
+  GroundTruth gt = gt_of({1, 1, 2}, {true, true, true});
+  Trajectory<HOmegaOut> t0, t1, t2;
+  for (auto* t : {&t0, &t1, &t2}) t->record(0, HOmegaOut{1, 1});  // mult should be 2
+  auto res = check_homega(gt, {&t0, &t1, &t2}, 100, 10);
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(HOmegaChecker, FlagsFaultyLeader) {
+  GroundTruth gt = gt_of({1, 2}, {false, true});
+  Trajectory<HOmegaOut> t0, t1;
+  t0.record(0, HOmegaOut{1, 1});
+  t1.record(0, HOmegaOut{1, 1});
+  auto res = check_homega(gt, {&t0, &t1}, 100, 10);
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(RankerChecker, FlagsCorrectIdBelowPrefix) {
+  GroundTruth gt = gt_of({1, 2, 3}, {true, true, false});
+  Trajectory<std::vector<Id>> t0, t1, t2;
+  // Process 0 lists the crashed id 3 above correct id 2: rank(2) = 3 > 2.
+  t0.record(0, std::vector<Id>{1, 3, 2});
+  t1.record(0, std::vector<Id>{1, 2, 3});
+  t2.record(0, std::vector<Id>{1, 2, 3});
+  auto res = check_ranker(gt, {&t0, &t1, &t2}, 100, 10);
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(ApChecker, FlagsUndercount) {
+  GroundTruth gt = gt_of({0, 0, 0}, {true, true, true});
+  Trajectory<std::size_t> t0, t1, t2;
+  t0.record(0, std::size_t{2});  // 3 alive at time 0
+  t1.record(0, std::size_t{3});
+  t2.record(0, std::size_t{3});
+  auto res = check_ap(gt, {&t0, &t1, &t2}, [](SimTime) { return std::size_t{3}; }, 100, 10);
+  EXPECT_FALSE(res.ok);
+}
+
+// ----------------------------------------------------------- edge shapes
+
+TEST(CheckerEdges, EmptyTrajectoryOfACorrectProcessFails) {
+  GroundTruth gt = gt_of({1, 2}, {true, true});
+  Trajectory<Multiset<Id>> t0, t1;
+  t0.record(0, Multiset<Id>{1, 2});
+  // t1 never recorded anything.
+  auto res = check_ohp(gt, {&t0, &t1}, 100, 10);
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(CheckerEdges, FaultyProcessTrajectoriesAreExemptFromLiveness) {
+  GroundTruth gt = gt_of({1, 2}, {true, false});
+  Trajectory<Multiset<Id>> t0, t1;
+  t0.record(0, Multiset<Id>{1});
+  t1.record(0, Multiset<Id>{2, 2, 2});  // garbage from the faulty process
+  auto res = check_ohp(gt, {&t0, &t1}, 100, 10);
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+TEST(CheckerEdges, TrajectoryCountMismatchIsAnError) {
+  GroundTruth gt = gt_of({1, 2}, {true, true});
+  Trajectory<Multiset<Id>> t0;
+  t0.record(0, Multiset<Id>{1, 2});
+  auto res = check_ohp(gt, {&t0}, 100, 10);
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(CheckerEdges, HSigmaSafetyOnEmptyTracesPasses) {
+  GroundTruth gt = gt_of({1}, {true});
+  Trajectory<HSigmaSnapshot> t0;
+  EXPECT_TRUE(check_hsigma_safety(gt, {&t0}).ok);
+  EXPECT_TRUE(check_hsigma_monotonicity({&t0}).ok);
+  EXPECT_FALSE(check_hsigma_liveness(gt, {&t0}).ok);  // but liveness needs output
+}
+
+TEST(CheckerEdges, ConsensusRecordCountMismatch) {
+  GroundTruth gt = gt_of({1, 2}, {true, true});
+  EXPECT_FALSE(check_consensus(gt, {10}, {{}, {}}).ok);
+  EXPECT_FALSE(check_consensus(gt, {10, 20}, {{}}).ok);
+}
+
+// --------------------------------------------------------------- consensus
+
+TEST(ConsensusChecker, PassesOnCleanRun) {
+  GroundTruth gt = gt_of({1, 2, 3}, {true, true, false});
+  std::vector<Value> props{10, 20, 30};
+  std::vector<DecisionRecord> dec(3);
+  dec[0] = {true, 5, 20, 1};
+  dec[1] = {true, 7, 20, 1};
+  auto res = check_consensus(gt, props, dec);
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+TEST(ConsensusChecker, FlagsInventedValue) {
+  GroundTruth gt = gt_of({1}, {true});
+  std::vector<DecisionRecord> dec{{true, 1, 999, 1}};
+  EXPECT_FALSE(check_consensus(gt, {10}, dec).ok);
+}
+
+TEST(ConsensusChecker, FlagsDisagreement) {
+  GroundTruth gt = gt_of({1, 2}, {true, true});
+  std::vector<DecisionRecord> dec{{true, 1, 10, 1}, {true, 1, 20, 1}};
+  EXPECT_FALSE(check_consensus(gt, {10, 20}, dec).ok);
+}
+
+TEST(ConsensusChecker, FlagsNonTermination) {
+  GroundTruth gt = gt_of({1, 2}, {true, true});
+  std::vector<DecisionRecord> dec{{true, 1, 10, 1}, {}};
+  EXPECT_FALSE(check_consensus(gt, {10, 20}, dec).ok);
+}
+
+TEST(ConsensusChecker, FaultyProcessMayDecideOrNot) {
+  GroundTruth gt = gt_of({1, 2}, {true, false});
+  std::vector<DecisionRecord> dec{{true, 1, 10, 1}, {}};
+  EXPECT_TRUE(check_consensus(gt, {10, 20}, dec).ok);
+  dec[1] = {true, 1, 10, 1};
+  EXPECT_TRUE(check_consensus(gt, {10, 20}, dec).ok);
+  dec[1] = {true, 1, 20, 1};  // but a faulty decision still must agree
+  EXPECT_FALSE(check_consensus(gt, {10, 20}, dec).ok);
+}
+
+}  // namespace
+}  // namespace hds

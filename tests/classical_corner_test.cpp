@@ -1,0 +1,111 @@
+// The unique-identifier corner: HΩ ≡ Ω and ◇HP̄ ≡ ◇P̄ under unique ids
+// (Section 3.2's remark made executable, both directions), including a
+// round trip through the real Fig. 6 implementation.
+#include "fd/reduce/classical_corner.h"
+
+#include <gtest/gtest.h>
+
+#include "consensus/harness.h"
+#include "fd/impl/ohp_polling.h"
+#include "fd/oracles.h"
+#include "sim/system.h"
+#include "spec/fd_checkers.h"
+
+namespace hds {
+namespace {
+
+TEST(ClassicalCorner, HOmegaToOmegaOverOracle) {
+  GroundTruth gt{{1, 2, 3, 4}, {true, true, false, true}};
+  SimTime now = 0;
+  OracleHOmega src(gt, [&now] { return now; }, 40);
+  std::vector<HOmegaToOmega> reds;
+  for (ProcIndex p = 0; p < 4; ++p) reds.emplace_back(src.handle(p));
+  std::vector<Trajectory<Id>> trajs(4);
+  for (now = 0; now <= 120; ++now) {
+    for (ProcIndex p = 0; p < 4; ++p) trajs[p].record(now, reds[p].leader());
+  }
+  std::vector<const Trajectory<Id>*> ptrs;
+  for (auto& t : trajs) ptrs.push_back(&t);
+  auto res = check_omega(gt, ptrs, 120, 30);
+  EXPECT_TRUE(res.ok) << res.detail;
+  EXPECT_EQ(trajs[0].final(), 1u);
+}
+
+TEST(ClassicalCorner, OmegaRoundTripPreservesLeader) {
+  class FixedOmega final : public OmegaHandle {
+   public:
+    [[nodiscard]] Id leader() const override { return 5; }
+  };
+  FixedOmega omega;
+  OmegaToHOmega up(omega);
+  EXPECT_EQ(up.h_omega(), (HOmegaOut{5, 1}));
+  HOmegaToOmega down(up);
+  EXPECT_EQ(down.leader(), 5u);
+}
+
+TEST(ClassicalCorner, OhpToOPbarOverRealFig6) {
+  // Full pipeline: Fig. 6 in HPS with unique ids, its ◇HP̄ output adapted to
+  // a classical ◇P̄, checked against the ◇P̄ class definition.
+  SystemConfig cfg;
+  cfg.ids = ids_unique(5);
+  cfg.timing = std::make_unique<PartialSyncTiming>(PartialSyncTiming::Params{
+      .gst = 60, .delta = 3, .pre_gst_loss = 0.3, .pre_gst_max_delay = 25});
+  cfg.crashes = crashes_last_k(5, 2, 30, 7);
+  cfg.seed = 6;
+  System sys(std::move(cfg));
+  std::vector<OHPPolling*> fds;
+  for (ProcIndex i = 0; i < 5; ++i) {
+    auto fd = std::make_unique<OHPPolling>();
+    fds.push_back(fd.get());
+    sys.set_process(i, std::move(fd));
+  }
+  sys.start();
+  // Sample the adapter as the run progresses.
+  std::vector<OhpToOPbar> adapters;
+  for (auto* fd : fds) adapters.emplace_back(*fd);
+  std::vector<Trajectory<std::set<Id>>> trajs(5);
+  const SimTime end = 2500;
+  for (SimTime t = 0; t <= end; t += 10) {
+    sys.run_until(t);
+    for (ProcIndex i = 0; i < 5; ++i) {
+      if (sys.is_alive(i)) trajs[i].record(t, adapters[i].trusted_set());
+    }
+  }
+  std::vector<const Trajectory<std::set<Id>>*> ptrs;
+  for (auto& t : trajs) ptrs.push_back(&t);
+  auto res = check_opbar(GroundTruth::from(sys), ptrs, end, 250);
+  EXPECT_TRUE(res.ok) << res.detail;
+  EXPECT_EQ(trajs[0].final(), (std::set<Id>{1, 2, 3}));
+}
+
+TEST(ClassicalCorner, OPbarToOhpLiftsToMultiset) {
+  class FixedOPbar final : public OPbarHandle {
+   public:
+    [[nodiscard]] std::set<Id> trusted_set() const override { return {2, 4, 6}; }
+  };
+  FixedOPbar src;
+  OPbarToOhp up(src);
+  EXPECT_EQ(up.h_trusted(), (Multiset<Id>{2, 4, 6}));
+  EXPECT_EQ(up.h_trusted().multiplicity(4), 1u);
+}
+
+TEST(ClassicalCorner, OmegaCheckerFlagsSplitLeadership) {
+  GroundTruth gt{{1, 2}, {true, true}};
+  Trajectory<Id> t0, t1;
+  t0.record(0, Id{1});
+  t1.record(0, Id{2});
+  auto res = check_omega(gt, {&t0, &t1}, 100, 10);
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(ClassicalCorner, OPbarCheckerFlagsStaleSet) {
+  GroundTruth gt{{1, 2}, {true, false}};
+  Trajectory<std::set<Id>> t0, t1;
+  t0.record(0, std::set<Id>{1, 2});  // keeps the crashed id
+  t1.record(0, std::set<Id>{1});
+  auto res = check_opbar(gt, {&t0, &t1}, 100, 10);
+  EXPECT_FALSE(res.ok);
+}
+
+}  // namespace
+}  // namespace hds

@@ -1,0 +1,120 @@
+// Contract tests of the experiment harness: parameter validation, result
+// structure invariants, and the relationships between reported quantities.
+#include "consensus/harness.h"
+
+#include <gtest/gtest.h>
+
+#include "consensus/messages.h"
+
+namespace hds {
+namespace {
+
+TEST(Harness, ProposalSizeMismatchThrows) {
+  Fig8OracleParams p;
+  p.ids = ids_unique(4);
+  p.t_known = 1;
+  p.proposals = {1, 2};  // wrong size
+  EXPECT_THROW(run_fig8_with_oracle(p), std::invalid_argument);
+}
+
+TEST(Harness, Fig6StabilizationNeverPrecedesGst) {
+  Fig6Params p;
+  p.ids = ids_homonymous(5, 2, 3);
+  p.crashes = crashes_last_k(5, 2, 100, 9);
+  p.net = {.gst = 200, .delta = 3, .pre_gst_loss = 0.4, .pre_gst_max_delay = 60};
+  p.run_for = 4000;
+  auto r = run_fig6(p);
+  ASSERT_TRUE(r.ohp_check.ok) << r.ohp_check.detail;
+  // With crashes at 100/109 and chaos until GST=200, the output cannot have
+  // settled on I(Correct) before the crashes happened.
+  EXPECT_GE(r.stabilization_time, 100);
+  EXPECT_GT(r.broadcasts, 0u);
+  EXPECT_GT(r.copies_delivered, 0u);
+}
+
+TEST(Harness, ConsensusResultAccountingIsConsistent) {
+  Fig8OracleParams p;
+  p.ids = ids_homonymous(6, 3, 5);
+  p.t_known = 2;
+  p.crashes = crashes_last_k(6, 2, 25, 9);
+  p.fd_stabilize = 50;
+  auto r = run_fig8_with_oracle(p);
+  ASSERT_TRUE(r.check.ok) << r.check.detail;
+  // Decision times never exceed the run end; rounds are positive.
+  for (const auto& d : r.decisions) {
+    if (d.decided) {
+      EXPECT_LE(d.at, r.end_time);
+      EXPECT_GE(d.round, 1);
+      EXPECT_LE(d.at, r.last_decision_time);
+    }
+  }
+  // Per-type accounting sums to the total broadcast count.
+  std::uint64_t sum = 0;
+  for (const auto& [type, c] : r.broadcasts_by_type) {
+    (void)type;
+    sum += c;
+  }
+  EXPECT_EQ(sum, r.broadcasts);
+  // Fig. 8's phases all appear in the type map.
+  for (const char* type : {kCoordType, kPh0Type, kPh1Type, kPh2Type, kDecideType}) {
+    EXPECT_TRUE(r.broadcasts_by_type.contains(type)) << type;
+  }
+}
+
+TEST(Harness, Fig9GuardPollIsHonoured) {
+  // A coarser guard poll cannot make the run fail, only slower.
+  Fig9OracleParams p;
+  p.ids = ids_homonymous(5, 2, 3);
+  p.crashes = crashes_last_k(5, 2, 10, 5);
+  p.fd1_stabilize = 60;
+  p.fd2_stabilize = 90;
+  p.guard_poll = 32;
+  auto coarse = run_fig9_with_oracle(p);
+  ASSERT_TRUE(coarse.check.ok) << coarse.check.detail;
+  p.guard_poll = 2;
+  auto fine = run_fig9_with_oracle(p);
+  ASSERT_TRUE(fine.check.ok) << fine.check.detail;
+  EXPECT_LE(fine.last_decision_time, coarse.last_decision_time);
+}
+
+TEST(Harness, DistinctProposalsAreDistinct) {
+  auto props = distinct_proposals(7);
+  std::set<Value> seen(props.begin(), props.end());
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Harness, AnonymousIdsAreAllBottom) {
+  for (Id id : ids_anonymous(5)) EXPECT_EQ(id, kBottomId);
+  auto unique = ids_unique(5);
+  std::set<Id> s(unique.begin(), unique.end());
+  EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(Harness, FullStackTraceCaptureWhenRequested) {
+  Fig9FullStackParams p;
+  p.ids = ids_homonymous(3, 2, 3);
+  p.delta = 2;
+  p.trace_capacity = 50'000;
+  auto r = run_fig9_full_stack(p);
+  ASSERT_TRUE(r.check.ok) << r.check.detail;
+  EXPECT_NE(r.trace_head.find("start"), std::string::npos);
+  EXPECT_NE(r.trace_head.find("COORD"), std::string::npos);
+  // Off by default.
+  p.trace_capacity = 0;
+  auto quiet = run_fig9_full_stack(p);
+  EXPECT_TRUE(quiet.trace_head.empty());
+}
+
+TEST(Harness, SyncCrashHelperShape) {
+  auto crashes = sync_crashes_last_k(5, 2, 3, 2, true);
+  EXPECT_FALSE(crashes[0].has_value());
+  ASSERT_TRUE(crashes[4].has_value());
+  EXPECT_EQ(crashes[4]->at_step, 3u);
+  EXPECT_TRUE(crashes[4]->partial_broadcast);
+  ASSERT_TRUE(crashes[3].has_value());
+  EXPECT_EQ(crashes[3]->at_step, 5u);
+  EXPECT_THROW(sync_crashes_last_k(2, 2, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hds

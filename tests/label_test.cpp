@@ -1,0 +1,41 @@
+// Unit tests for quorum labels.
+#include "common/label.h"
+
+#include <gtest/gtest.h>
+
+namespace hds {
+namespace {
+
+TEST(Label, MultisetLabelsEqualIffMultisetsEqual) {
+  Multiset<Id> a{1, 1, 2};
+  Multiset<Id> b{1, 2, 1};
+  Multiset<Id> c{1, 2};
+  EXPECT_EQ(Label::of_multiset(a), Label::of_multiset(b));
+  EXPECT_NE(Label::of_multiset(a), Label::of_multiset(c));
+}
+
+TEST(Label, DifferentProvenancesNeverCollide) {
+  // A set {3} and a multiset {3} are different labels; a count of 3 too.
+  EXPECT_NE(Label::of_set({3}), Label::of_multiset(Multiset<Id>{3}));
+  EXPECT_NE(Label::of_count(3), Label::of_asigma(3));
+  EXPECT_NE(Label::of_text("3"), Label::of_count(3));
+}
+
+TEST(Label, SetLabelIsOrderIndependent) {
+  EXPECT_EQ(Label::of_set({5, 2, 9}), Label::of_set({9, 5, 2}));
+}
+
+TEST(Label, TotallyOrderedForMapKeys) {
+  Label a = Label::of_count(1);
+  Label b = Label::of_count(2);
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_FALSE(a < a);
+}
+
+TEST(Label, DefaultIsEmptyRepr) {
+  Label l;
+  EXPECT_EQ(l.repr(), "");
+}
+
+}  // namespace
+}  // namespace hds

@@ -1,0 +1,93 @@
+// Algebraic property tests of the multiset operations over randomized
+// inputs: the HΣ machinery leans on subset/intersection laws, so they are
+// pinned here rather than assumed.
+#include <gtest/gtest.h>
+
+#include "common/multiset.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace hds {
+namespace {
+
+Multiset<Id> random_multiset(Rng& rng, std::size_t max_size, Id max_id) {
+  Multiset<Id> m;
+  const auto k = static_cast<std::size_t>(rng.uniform(0, static_cast<Value>(max_size)));
+  for (std::size_t i = 0; i < k; ++i) {
+    m.insert(static_cast<Id>(rng.uniform(1, static_cast<Value>(max_id))));
+  }
+  return m;
+}
+
+struct MultisetProps : ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MultisetProps, UnionMaxLaws) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    auto a = random_multiset(rng, 8, 5);
+    auto b = random_multiset(rng, 8, 5);
+    auto c = random_multiset(rng, 8, 5);
+    // Commutative, associative, idempotent; both operands are subsets.
+    EXPECT_EQ(a.union_max(b), b.union_max(a));
+    EXPECT_EQ(a.union_max(b).union_max(c), a.union_max(b.union_max(c)));
+    EXPECT_EQ(a.union_max(a), a);
+    EXPECT_TRUE(a.is_subset_of(a.union_max(b)));
+    EXPECT_TRUE(b.is_subset_of(a.union_max(b)));
+  }
+}
+
+TEST_P(MultisetProps, IntersectionLaws) {
+  Rng rng(GetParam() + 1);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto a = random_multiset(rng, 8, 5);
+    auto b = random_multiset(rng, 8, 5);
+    EXPECT_EQ(a.intersection(b), b.intersection(a));
+    EXPECT_TRUE(a.intersection(b).is_subset_of(a));
+    EXPECT_TRUE(a.intersection(b).is_subset_of(b));
+    // Absorption: a ∩ (a ∪ b) == a.
+    EXPECT_EQ(a.intersection(a.union_max(b)), a);
+    // intersects() agrees with non-emptiness of intersection().
+    EXPECT_EQ(a.intersects(b), !a.intersection(b).empty());
+  }
+}
+
+TEST_P(MultisetProps, SumAndSizeLaws) {
+  Rng rng(GetParam() + 2);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto a = random_multiset(rng, 8, 5);
+    auto b = random_multiset(rng, 8, 5);
+    EXPECT_EQ(a.sum(b).size(), a.size() + b.size());
+    EXPECT_EQ(a.sum(b), b.sum(a));
+    // |union| + |intersection| == |a| + |b| (inclusion-exclusion for max/min).
+    EXPECT_EQ(a.union_max(b).size() + a.intersection(b).size(), a.size() + b.size());
+  }
+}
+
+TEST_P(MultisetProps, SubsetIsAPartialOrder) {
+  Rng rng(GetParam() + 3);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto a = random_multiset(rng, 6, 4);
+    auto b = random_multiset(rng, 6, 4);
+    auto c = random_multiset(rng, 6, 4);
+    // Antisymmetry.
+    if (a.is_subset_of(b) && b.is_subset_of(a)) EXPECT_EQ(a, b);
+    // Transitivity.
+    if (a.is_subset_of(b) && b.is_subset_of(c)) EXPECT_TRUE(a.is_subset_of(c));
+  }
+}
+
+TEST_P(MultisetProps, ToVectorRoundTrips) {
+  Rng rng(GetParam() + 4);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto a = random_multiset(rng, 10, 6);
+    auto v = a.to_vector();
+    Multiset<Id> back(v.begin(), v.end());
+    EXPECT_EQ(back, a);
+    EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultisetProps, ::testing::Values<std::uint64_t>(11, 22, 33));
+
+}  // namespace
+}  // namespace hds

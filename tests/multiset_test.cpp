@@ -1,0 +1,133 @@
+// Unit tests for the multiset algebra (the paper's I(S) / mult_I machinery).
+#include "common/multiset.h"
+
+#include <gtest/gtest.h>
+
+#include "common/types.h"
+
+namespace hds {
+namespace {
+
+TEST(Multiset, EmptyBasics) {
+  Multiset<Id> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.distinct_size(), 0u);
+  EXPECT_EQ(m.multiplicity(7), 0u);
+  EXPECT_FALSE(m.contains(7));
+  EXPECT_THROW((void)m.min(), std::out_of_range);
+}
+
+TEST(Multiset, InsertCountsInstances) {
+  Multiset<Id> m{5, 5, 9};
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.distinct_size(), 2u);
+  EXPECT_EQ(m.multiplicity(5), 2u);
+  EXPECT_EQ(m.multiplicity(9), 1u);
+  m.insert(9, 3);
+  EXPECT_EQ(m.multiplicity(9), 4u);
+  EXPECT_EQ(m.size(), 6u);
+}
+
+TEST(Multiset, SizeEqualsCardinalityOfS) {
+  // |I(S)| = |S| even with homonyms — the defining property of the bag view.
+  std::vector<Id> ids{1, 1, 1, 2, 2, 3};
+  Multiset<Id> m(ids.begin(), ids.end());
+  EXPECT_EQ(m.size(), ids.size());
+}
+
+TEST(Multiset, EraseOne) {
+  Multiset<Id> m{4, 4};
+  m.erase_one(4);
+  EXPECT_EQ(m.multiplicity(4), 1u);
+  m.erase_one(4);
+  EXPECT_FALSE(m.contains(4));
+  EXPECT_THROW(m.erase_one(4), std::out_of_range);
+}
+
+TEST(Multiset, MinIsSmallestElement) {
+  Multiset<Id> m{42, 7, 7, 100};
+  EXPECT_EQ(m.min(), 7u);
+}
+
+TEST(Multiset, SubsetRespectsMultiplicity) {
+  Multiset<Id> small{1, 1};
+  Multiset<Id> big{1, 1, 2};
+  EXPECT_TRUE(small.is_subset_of(big));
+  EXPECT_FALSE(big.is_subset_of(small));
+  Multiset<Id> three_ones{1, 1, 1};
+  EXPECT_FALSE(three_ones.is_subset_of(big));  // needs multiplicity 3
+  EXPECT_TRUE(Multiset<Id>{}.is_subset_of(small));
+}
+
+TEST(Multiset, SubsetIsReflexive) {
+  Multiset<Id> m{1, 2, 2, 3};
+  EXPECT_TRUE(m.is_subset_of(m));
+}
+
+TEST(Multiset, UnionMaxTakesPerElementMax) {
+  Multiset<Id> a{1, 1, 2};
+  Multiset<Id> b{1, 2, 2, 3};
+  Multiset<Id> u = a.union_max(b);
+  EXPECT_EQ(u.multiplicity(1), 2u);
+  EXPECT_EQ(u.multiplicity(2), 2u);
+  EXPECT_EQ(u.multiplicity(3), 1u);
+  EXPECT_EQ(u.size(), 5u);
+}
+
+TEST(Multiset, SumAddsMultiplicities) {
+  Multiset<Id> a{1, 2};
+  Multiset<Id> b{1, 3};
+  Multiset<Id> s = a.sum(b);
+  EXPECT_EQ(s.multiplicity(1), 2u);
+  EXPECT_EQ(s.size(), 4u);
+}
+
+TEST(Multiset, IntersectionTakesPerElementMin) {
+  Multiset<Id> a{1, 1, 2, 4};
+  Multiset<Id> b{1, 2, 2, 3};
+  Multiset<Id> i = a.intersection(b);
+  EXPECT_EQ(i.multiplicity(1), 1u);
+  EXPECT_EQ(i.multiplicity(2), 1u);
+  EXPECT_FALSE(i.contains(3));
+  EXPECT_FALSE(i.contains(4));
+}
+
+TEST(Multiset, Intersects) {
+  Multiset<Id> a{1, 2};
+  Multiset<Id> b{2, 3};
+  Multiset<Id> c{4};
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_FALSE(Multiset<Id>{}.intersects(a));
+}
+
+TEST(Multiset, WithCopies) {
+  auto m = Multiset<Id>::with_copies(kBottomId, 4);
+  EXPECT_EQ(m.size(), 4u);
+  EXPECT_EQ(m.multiplicity(kBottomId), 4u);
+  EXPECT_EQ(Multiset<Id>::with_copies(1, 0).size(), 0u);
+}
+
+TEST(Multiset, ToVectorSortedWithRepetitions) {
+  Multiset<Id> m{3, 1, 3, 2};
+  EXPECT_EQ(m.to_vector(), (std::vector<Id>{1, 2, 3, 3}));
+}
+
+TEST(Multiset, EqualityAndOrdering) {
+  Multiset<Id> a{1, 2};
+  Multiset<Id> b{1, 2};
+  Multiset<Id> c{1, 2, 2};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(a < c || c < a);  // total order usable as map key
+}
+
+TEST(Multiset, ToStringShowsInstances) {
+  Multiset<Id> m{2, 1, 2};
+  EXPECT_EQ(m.to_string(), "{1,2,2}");
+  EXPECT_EQ(Multiset<Id>{}.to_string(), "{}");
+}
+
+}  // namespace
+}  // namespace hds

@@ -1,0 +1,165 @@
+// The oracles must themselves be members of the classes they claim: we
+// sample their outputs over simulated time into trajectories and run the
+// spec checkers on them — including during the adversarial pre-stability
+// window, where the perpetual (safety) properties must already hold.
+#include "fd/oracles.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "spec/fd_checkers.h"
+
+namespace hds {
+namespace {
+
+struct Fixture {
+  GroundTruth gt;
+  SimTime now = 0;
+  ClockFn clock() {
+    return [this] { return now; };
+  }
+};
+
+Fixture make_fixture(std::vector<Id> ids, std::vector<bool> correct) {
+  Fixture f;
+  f.gt.ids = std::move(ids);
+  f.gt.correct = std::move(correct);
+  return f;
+}
+
+constexpr SimTime kStab = 50;
+constexpr SimTime kEnd = 120;
+constexpr SimTime kWin = 30;
+
+TEST(OracleHOmega, StableOutputIsMinCorrectIdWithMultiplicity) {
+  auto f = make_fixture({3, 1, 1, 2}, {true, true, true, false});
+  OracleHOmega o(f.gt, f.clock(), kStab);
+  f.now = kStab;
+  EXPECT_EQ(o.handle(0).h_omega(), (HOmegaOut{1, 2}));
+  EXPECT_EQ(o.handle(3).h_omega(), (HOmegaOut{1, 2}));
+}
+
+TEST(OracleHOmega, SatisfiesElectionCheckerDespiteNoise) {
+  auto f = make_fixture({3, 1, 1, 2}, {true, true, false, true});
+  OracleHOmega o(f.gt, f.clock(), kStab);
+  std::vector<Trajectory<HOmegaOut>> trajs(4);
+  for (f.now = 0; f.now <= kEnd; ++f.now) {
+    for (ProcIndex p = 0; p < 4; ++p) trajs[p].record(f.now, o.handle(p).h_omega());
+  }
+  std::vector<const Trajectory<HOmegaOut>*> ptrs;
+  for (auto& t : trajs) ptrs.push_back(&t);
+  auto res = check_homega(f.gt, ptrs, kEnd, kWin);
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+TEST(OracleHOmega, NoisyPrefixReallyIsNoisy) {
+  auto f = make_fixture({1, 2, 3, 4, 5, 6}, {true, true, true, true, true, true});
+  OracleHOmega o(f.gt, f.clock(), 1000);
+  std::set<Id> leaders_seen;
+  for (f.now = 0; f.now < 100; ++f.now) leaders_seen.insert(o.handle(0).h_omega().leader);
+  EXPECT_GT(leaders_seen.size(), 1u);
+}
+
+TEST(OracleHOmega, RejectsAllFaulty) {
+  auto f = make_fixture({1, 2}, {false, false});
+  EXPECT_THROW(OracleHOmega(f.gt, f.clock(), 0), std::invalid_argument);
+}
+
+TEST(OracleOHP, SatisfiesLivenessChecker) {
+  auto f = make_fixture({2, 2, 5}, {true, false, true});
+  OracleOHP o(f.gt, f.clock(), kStab);
+  std::vector<Trajectory<Multiset<Id>>> trajs(3);
+  for (f.now = 0; f.now <= kEnd; ++f.now) {
+    for (ProcIndex p = 0; p < 3; ++p) trajs[p].record(f.now, o.handle(p).h_trusted());
+  }
+  std::vector<const Trajectory<Multiset<Id>>*> ptrs;
+  for (auto& t : trajs) ptrs.push_back(&t);
+  auto res = check_ohp(f.gt, ptrs, kEnd, kWin);
+  EXPECT_TRUE(res.ok) << res.detail;
+  EXPECT_EQ(trajs[0].final(), (Multiset<Id>{2, 5}));
+}
+
+TEST(OracleHSigma, SatisfiesAllFourProperties) {
+  auto f = make_fixture({1, 1, 2, 3}, {true, false, true, true});
+  OracleHSigma o(f.gt, f.clock(), kStab);
+  std::vector<Trajectory<HSigmaSnapshot>> trajs(4);
+  for (f.now = 0; f.now <= kEnd; ++f.now) {
+    for (ProcIndex p = 0; p < 4; ++p) trajs[p].record(f.now, o.handle(p).snapshot());
+  }
+  std::vector<const Trajectory<HSigmaSnapshot>*> ptrs;
+  for (auto& t : trajs) ptrs.push_back(&t);
+  auto res = check_hsigma(f.gt, ptrs);
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+TEST(OracleSigma, CoarseAndPivotModesPassTheChecker) {
+  for (auto mode : {OracleSigma::Mode::kCoarse, OracleSigma::Mode::kPivot}) {
+    auto f = make_fixture({1, 2, 3, 4, 5}, {true, true, true, false, false});
+    OracleSigma o(f.gt, f.clock(), kStab, mode);
+    std::vector<Trajectory<Multiset<Id>>> trajs(5);
+    for (f.now = 0; f.now <= kEnd; ++f.now) {
+      for (ProcIndex p = 0; p < 5; ++p) trajs[p].record(f.now, o.handle(p).trusted());
+    }
+    std::vector<const Trajectory<Multiset<Id>>*> ptrs;
+    for (auto& t : trajs) ptrs.push_back(&t);
+    auto res = check_sigma(f.gt, ptrs, kEnd, 1);
+    EXPECT_TRUE(res.ok) << "mode=" << static_cast<int>(mode) << ": " << res.detail;
+  }
+}
+
+TEST(OracleSigma, PivotOutputsVaryButAlwaysIntersect) {
+  auto f = make_fixture({1, 2, 3, 4, 5, 6}, {true, true, true, true, true, true});
+  OracleSigma o(f.gt, f.clock(), 0, OracleSigma::Mode::kPivot);
+  std::set<Multiset<Id>> outputs;
+  for (f.now = 0; f.now < 200; f.now += 5) {
+    for (ProcIndex p = 0; p < 6; ++p) outputs.insert(o.handle(p).trusted());
+  }
+  EXPECT_GT(outputs.size(), 2u);
+  for (const auto& a : outputs) {
+    for (const auto& b : outputs) EXPECT_TRUE(a.intersects(b));
+  }
+}
+
+TEST(OracleAP, UpperBoundAndConvergence) {
+  auto f = make_fixture({0, 0, 0, 0}, {true, true, false, false});
+  // Alive counter: 4 until time 20, 3 until 40, then 2.
+  auto alive = [](SimTime t) -> std::size_t { return t < 20 ? 4 : (t < 40 ? 3 : 2); };
+  OracleAP o(f.gt, f.clock(), kStab, alive);
+  f.now = 10;
+  EXPECT_EQ(o.handle(0).anap(), 4u);
+  f.now = 30;
+  EXPECT_EQ(o.handle(0).anap(), 3u);
+  f.now = kStab;
+  EXPECT_EQ(o.handle(0).anap(), 2u);
+}
+
+TEST(OracleASigma, PairsAreWellFormed) {
+  auto f = make_fixture({0, 0, 0}, {true, true, false});
+  OracleASigma o(f.gt, f.clock(), kStab);
+  f.now = 0;
+  auto pre = o.handle(0).a_sigma();
+  ASSERT_EQ(pre.size(), 1u);
+  EXPECT_EQ(pre[0].count, 3u);
+  f.now = kStab;
+  auto post = o.handle(0).a_sigma();
+  ASSERT_EQ(post.size(), 2u);
+  EXPECT_EQ(post[1].count, 2u);
+  // Faulty process never gets the correct-quorum pair.
+  EXPECT_EQ(o.handle(2).a_sigma().size(), 1u);
+}
+
+TEST(OracleAOmega, ExactlyOneStableLeader) {
+  auto f = make_fixture({0, 0, 0, 0}, {false, true, true, true});
+  OracleAOmega o(f.gt, f.clock(), kStab);
+  f.now = kStab + 1;
+  int leaders = 0;
+  for (ProcIndex p = 0; p < 4; ++p) {
+    if (o.handle(p).a_leader()) ++leaders;
+  }
+  EXPECT_EQ(leaders, 1);
+  EXPECT_TRUE(o.handle(1).a_leader());  // the first correct process
+}
+
+}  // namespace
+}  // namespace hds

@@ -1,0 +1,73 @@
+// Unit tests for the deterministic random source.
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace hds {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int k = 0; k < 100; ++k) EXPECT_EQ(a.uniform(0, 1000), b.uniform(0, 1000));
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int k = 0; k < 100; ++k) {
+    if (a.uniform(0, 1'000'000) == b.uniform(0, 1'000'000)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng r(7);
+  for (int k = 0; k < 1000; ++k) {
+    auto v = r.uniform(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformSingletonRange) {
+  Rng r(7);
+  EXPECT_EQ(r.uniform(4, 4), 4);
+}
+
+TEST(Rng, UniformRejectsEmptyRange) {
+  Rng r(7);
+  EXPECT_THROW(r.uniform(5, 4), std::invalid_argument);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(7);
+  for (int k = 0; k < 50; ++k) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Rng r(7);
+  int hits = 0;
+  for (int k = 0; k < 10000; ++k) {
+    if (r.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits, 3000, 300);
+}
+
+TEST(Rng, IndexBoundsAndRejectsEmpty) {
+  Rng r(7);
+  for (int k = 0; k < 200; ++k) EXPECT_LT(r.index(7), 7u);
+  EXPECT_THROW(r.index(0), std::invalid_argument);
+}
+
+TEST(Rng, ForkIsIndependentButDeterministic) {
+  Rng a(9), b(9);
+  Rng fa = a.fork();
+  Rng fb = b.fork();
+  EXPECT_EQ(fa.uniform(0, 1 << 30), fb.uniform(0, 1 << 30));
+}
+
+}  // namespace
+}  // namespace hds

@@ -1,0 +1,206 @@
+// Thread-runtime tests: the same Process objects under real concurrency —
+// mailbox delivery, timers, crash injection, and a full consensus stack
+// (Fig. 6 ▸ Corollary 2 ▸ Fig. 8) across real threads.
+#include "rt/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "consensus/majority_homega.h"
+#include "consensus/quorum_homega_hsigma.h"
+#include "fd/impl/ohp_polling.h"
+#include "fd/oracles.h"
+#include "sim/stacked_process.h"
+
+namespace hds {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct PingMsg {
+  int v;
+};
+
+class Probe final : public Process {
+ public:
+  void on_start(Env& env) override {
+    if (send_on_start) env.broadcast(make_message("PING", PingMsg{1}));
+    if (timer_ms >= 0) env.set_timer(timer_ms);
+  }
+  void on_message(Env&, const Message& m) override {
+    if (m.type == "PING") ++pings;
+  }
+  void on_timer(Env& env, TimerId) override {
+    ++timers;
+    if (send_on_timer) env.broadcast(make_message("PING", PingMsg{2}));
+  }
+
+  bool send_on_start = false;
+  bool send_on_timer = false;
+  SimTime timer_ms = -1;
+  std::atomic<int> pings{0};   // atomics: read from the test thread
+  std::atomic<int> timers{0};
+};
+
+TEST(RtSystem, BroadcastReachesAllNodesIncludingSelf) {
+  RtConfig cfg;
+  cfg.ids = {1, 2, 3};
+  RtSystem sys(std::move(cfg));
+  std::vector<Probe*> probes;
+  for (ProcIndex i = 0; i < 3; ++i) {
+    auto p = std::make_unique<Probe>();
+    p->send_on_start = (i == 0);
+    probes.push_back(p.get());
+    sys.set_process(i, std::move(p));
+  }
+  sys.start();
+  ASSERT_TRUE(sys.wait_for([&] { return probes[0]->pings >= 1 && probes[1]->pings >= 1 &&
+                                        probes[2]->pings >= 1; },
+                           5000ms));
+  sys.stop();
+  for (auto* p : probes) EXPECT_EQ(p->pings, 1);
+}
+
+TEST(RtSystem, TimersFire) {
+  RtConfig cfg;
+  cfg.ids = {1};
+  RtSystem sys(std::move(cfg));
+  auto p = std::make_unique<Probe>();
+  p->timer_ms = 10;
+  auto* probe = p.get();
+  sys.set_process(0, std::move(p));
+  sys.start();
+  EXPECT_TRUE(sys.wait_for([&] { return probe->timers >= 1; }, 5000ms));
+  sys.stop();
+}
+
+TEST(RtSystem, CrashedNodeStopsReceiving) {
+  RtConfig cfg;
+  cfg.ids = {1, 2};
+  RtSystem sys(std::move(cfg));
+  auto a = std::make_unique<Probe>();
+  a->timer_ms = 30;       // broadcasts after node 1 has crashed
+  a->send_on_timer = true;
+  auto* ap = a.get();
+  auto b = std::make_unique<Probe>();
+  auto* bp = b.get();
+  sys.set_process(0, std::move(a));
+  sys.set_process(1, std::move(b));
+  sys.start();
+  sys.crash(1);
+  EXPECT_TRUE(sys.is_crashed(1));
+  EXPECT_THROW(sys.query(1, [](Process&) {}), std::runtime_error);
+  // Node 0 receives its own post-crash broadcast; node 1 receives nothing.
+  ASSERT_TRUE(sys.wait_for([&] { return ap->pings >= 1; }, 5000ms));
+  sys.stop();
+  EXPECT_EQ(bp->pings, 0);
+}
+
+TEST(RtSystem, ValidatesConfig) {
+  RtConfig empty;
+  EXPECT_THROW(RtSystem{std::move(empty)}, std::invalid_argument);
+  RtConfig bad;
+  bad.ids = {1};
+  bad.min_delay_ms = 5;
+  bad.max_delay_ms = 1;
+  EXPECT_THROW(RtSystem{std::move(bad)}, std::invalid_argument);
+}
+
+TEST(RtSystem, FullConsensusStackAcrossRealThreads) {
+  // Fig. 6 (◇HP̄/HΩ) + Fig. 8 consensus on 4 threads, one crash mid-run.
+  const std::size_t n = 4;
+  RtConfig cfg;
+  cfg.ids = {1, 1, 2, 3};  // homonymous pair
+  cfg.max_delay_ms = 2;
+  RtSystem sys(std::move(cfg));
+  std::vector<MajorityHOmegaConsensus*> cons(n);
+  for (ProcIndex i = 0; i < n; ++i) {
+    auto stack = std::make_unique<StackedProcess>();
+    auto* fd = stack->add(std::make_unique<OHPPolling>());
+    MajorityConsensusConfig ccfg;
+    ccfg.n = n;
+    ccfg.t = 1;
+    ccfg.proposal = static_cast<Value>(100 + i);
+    ccfg.guard_poll = 5;
+    cons[i] = stack->add(std::make_unique<MajorityHOmegaConsensus>(ccfg, *fd));
+    sys.set_process(i, std::move(stack));
+  }
+  sys.start();
+  std::this_thread::sleep_for(30ms);
+  sys.crash(3);
+
+  auto decided = [&](ProcIndex i) {
+    return sys.query(i, [&](Process&) { return cons[i]->decision(); });
+  };
+  ASSERT_TRUE(sys.wait_for(
+      [&] {
+        for (ProcIndex i = 0; i < 3; ++i) {
+          if (!decided(i).decided) return false;
+        }
+        return true;
+      },
+      20000ms, 20ms))
+      << "consensus did not terminate across threads";
+  const Value v = decided(0).value;
+  for (ProcIndex i = 1; i < 3; ++i) EXPECT_EQ(decided(i).value, v);
+  EXPECT_GE(v, 100);
+  EXPECT_LE(v, 103);
+  sys.stop();
+}
+
+TEST(RtSystem, QuorumConsensusWithOraclesAcrossThreads) {
+  // Fig. 9 over HΩ+HΣ oracles on real threads: the oracles read wall-clock
+  // milliseconds and a crash plan the test enacts via sys.crash().
+  const std::size_t n = 4;
+  RtConfig cfg;
+  cfg.ids = {1, 1, 2, 3};
+  cfg.max_delay_ms = 2;
+  RtSystem sys(std::move(cfg));
+
+  GroundTruth gt;
+  gt.ids = {1, 1, 2, 3};
+  gt.correct = {true, true, true, false};  // node 3 will be crashed below
+  const auto epoch = std::chrono::steady_clock::now();
+  ClockFn clock = [epoch] {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - epoch)
+        .count();
+  };
+  OracleHOmega fd1(gt, clock, /*stabilize_at=*/60);
+  OracleHSigma fd2(gt, clock, /*stabilize_at=*/80);
+
+  std::vector<QuorumConsensus*> cons(n);
+  for (ProcIndex i = 0; i < n; ++i) {
+    QuorumConsensusConfig ccfg;
+    ccfg.proposal = static_cast<Value>(500 + i);
+    ccfg.guard_poll = 5;
+    auto proc = std::make_unique<QuorumConsensus>(ccfg, fd1.handle(i), fd2.handle(i));
+    cons[i] = proc.get();
+    sys.set_process(i, std::move(proc));
+  }
+  sys.start();
+  std::this_thread::sleep_for(25ms);
+  sys.crash(3);
+
+  auto decided = [&](ProcIndex i) {
+    return sys.query(i, [&](Process&) { return cons[i]->decision(); });
+  };
+  ASSERT_TRUE(sys.wait_for(
+      [&] {
+        for (ProcIndex i = 0; i < 3; ++i) {
+          if (!decided(i).decided) return false;
+        }
+        return true;
+      },
+      20000ms, 20ms))
+      << "Fig. 9 did not terminate across threads";
+  const Value v = decided(0).value;
+  for (ProcIndex i = 1; i < 3; ++i) EXPECT_EQ(decided(i).value, v);
+  EXPECT_GE(v, 500);
+  EXPECT_LE(v, 503);
+  sys.stop();
+}
+
+}  // namespace
+}  // namespace hds

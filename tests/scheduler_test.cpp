@@ -1,0 +1,101 @@
+// Unit tests for the discrete-event scheduler.
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+namespace hds {
+namespace {
+
+TEST(Scheduler, StartsAtZeroEmpty) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.at(10, [&] { order.push_back(1); });
+  s.at(5, [&] { order.push_back(2); });
+  s.at(7, [&] { order.push_back(3); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{2, 3, 1}));
+  EXPECT_EQ(s.now(), 10);
+}
+
+TEST(Scheduler, EqualTimesRunInSchedulingOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int k = 0; k < 5; ++k) s.at(3, [&order, k] { order.push_back(k); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, AfterIsRelativeToNow) {
+  Scheduler s;
+  SimTime seen = -1;
+  s.at(4, [&] { s.after(6, [&] { seen = s.now(); }); });
+  s.run_all();
+  EXPECT_EQ(seen, 10);
+}
+
+TEST(Scheduler, RejectsPastEvents) {
+  Scheduler s;
+  s.at(5, [] {});
+  s.run_all();
+  EXPECT_THROW(s.at(3, [] {}), std::invalid_argument);
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Scheduler s;
+  int ran = 0;
+  s.at(5, [&] { ++ran; });
+  s.at(15, [&] { ++ran; });
+  s.run_until(10);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(s.now(), 10);
+  s.run_until(20);
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Scheduler, RunUntilIncludesBoundaryEvents) {
+  Scheduler s;
+  bool ran = false;
+  s.at(10, [&] { ran = true; });
+  s.run_until(10);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Scheduler, EventsScheduledDuringRunExecute) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) s.after(1, chain);
+  };
+  s.at(0, chain);
+  s.run_all();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(s.now(), 4);
+}
+
+TEST(Scheduler, MaxEventsCapStopsRunaway) {
+  Scheduler s;
+  std::function<void()> forever = [&] { s.after(1, forever); };
+  s.at(0, forever);
+  s.run_all(100);
+  EXPECT_EQ(s.executed(), 100u);
+  EXPECT_FALSE(s.empty());
+}
+
+TEST(Scheduler, PendingCountsQueuedEvents) {
+  Scheduler s;
+  s.at(1, [] {});
+  s.at(2, [] {});
+  EXPECT_EQ(s.pending(), 2u);
+  s.step();
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace hds

@@ -1,0 +1,59 @@
+// Unit tests for the time-indexed value history.
+#include "common/trajectory.h"
+
+#include <gtest/gtest.h>
+
+namespace hds {
+namespace {
+
+TEST(Trajectory, EmptyThrowsOnAccess) {
+  Trajectory<int> tr;
+  EXPECT_TRUE(tr.empty());
+  EXPECT_THROW((void)tr.final(), std::out_of_range);
+  EXPECT_THROW((void)tr.last_change(), std::out_of_range);
+  EXPECT_THROW((void)tr.at(0), std::out_of_range);
+}
+
+TEST(Trajectory, RecordsAndReadsBack) {
+  Trajectory<int> tr;
+  tr.record(1, 10);
+  tr.record(5, 20);
+  EXPECT_EQ(tr.final(), 20);
+  EXPECT_EQ(tr.last_change(), 5);
+  EXPECT_EQ(tr.at(1), 10);
+  EXPECT_EQ(tr.at(4), 10);
+  EXPECT_EQ(tr.at(5), 20);
+  EXPECT_EQ(tr.at(100), 20);
+}
+
+TEST(Trajectory, AtBeforeFirstRecordThrows) {
+  Trajectory<int> tr;
+  tr.record(5, 1);
+  EXPECT_THROW((void)tr.at(4), std::out_of_range);
+}
+
+TEST(Trajectory, CoalescesEqualValues) {
+  Trajectory<int> tr;
+  tr.record(1, 7);
+  tr.record(3, 7);
+  tr.record(9, 7);
+  EXPECT_EQ(tr.points().size(), 1u);
+  EXPECT_EQ(tr.last_change(), 1);  // never actually changed
+}
+
+TEST(Trajectory, RejectsTimeGoingBackwards) {
+  Trajectory<int> tr;
+  tr.record(5, 1);
+  EXPECT_THROW(tr.record(4, 2), std::invalid_argument);
+}
+
+TEST(Trajectory, SameTimeOverwriteAllowedForNewValue) {
+  // Two records at the same instant keep both points (last one is final).
+  Trajectory<int> tr;
+  tr.record(5, 1);
+  tr.record(5, 2);
+  EXPECT_EQ(tr.final(), 2);
+}
+
+}  // namespace
+}  // namespace hds
