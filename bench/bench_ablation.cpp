@@ -113,4 +113,4 @@ BENCHMARK(BM_Ablation_AlphaVsExactN)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+HDS_BENCH_MAIN();

@@ -130,4 +130,4 @@ BENCHMARK(BM_AnonPrice_AnonAOmegaVariant)->Arg(5)->Arg(9)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+HDS_BENCH_MAIN();

@@ -116,4 +116,4 @@ BENCHMARK(BM_Theorem1_LabelUniverseBlowup)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+HDS_BENCH_MAIN();

@@ -112,4 +112,4 @@ BENCHMARK(BM_Fig3_MoveToFrontThroughput)->Arg(16)->Arg(256)->Arg(4096)->Iteratio
 
 }  // namespace
 
-BENCHMARK_MAIN();
+HDS_BENCH_MAIN();

@@ -86,4 +86,4 @@ BENCHMARK(BM_Fig4_ConvergeVsCrashes)->Arg(0)->Arg(2)->Arg(5)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+HDS_BENCH_MAIN();

@@ -98,4 +98,4 @@ BENCHMARK(BM_Observation1_OhpToHOmegaQuery)->Arg(8)->Arg(64)->Arg(512);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+HDS_BENCH_MAIN();

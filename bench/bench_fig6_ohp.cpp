@@ -27,6 +27,7 @@ Fig6Result run(std::size_t n, std::size_t distinct, SimTime gst, SimTime delta,
   p.seed = seed;
   p.run_for = 4000 + 40 * static_cast<SimTime>(n) + 60 * delta;
   p.stable_window = 300;
+  p.metrics = hds::bench::metrics_sink();
   return run_fig6(p);
 }
 
@@ -134,4 +135,4 @@ BENCHMARK(BM_Fig6_VsHeartbeatCost)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+HDS_BENCH_MAIN();

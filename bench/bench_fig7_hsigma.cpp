@@ -16,6 +16,7 @@ Fig7Result run(std::size_t n, std::size_t distinct, std::size_t crash_k, std::si
   if (crash_k > 0) p.crashes = sync_crashes_last_k(n, crash_k, 1, stagger, true);
   p.steps = 10 + crash_k * stagger + 5;
   p.seed = seed;
+  p.metrics = hds::bench::metrics_sink();
   return run_fig7(p);
 }
 
@@ -54,4 +55,4 @@ BENCHMARK(BM_Fig7_HomonymyDegree)->Arg(1)->Arg(3)->Arg(6)->Arg(12)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+HDS_BENCH_MAIN();

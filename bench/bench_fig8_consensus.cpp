@@ -36,6 +36,7 @@ void BM_Fig8_ScaleVsN(benchmark::State& state) {
     if (n > 2) p.crashes = crashes_last_k(n, (n - 1) / 2, 20, 9);
     p.fd_stabilize = 60;
     p.seed = 1;
+    p.metrics = hds::bench::metrics_sink();
     r = run_fig8_with_oracle(p);
   }
   hds::bench::require(state, r.check.ok, r.check.detail);
@@ -54,6 +55,7 @@ void BM_Fig8_HomonymyDegree(benchmark::State& state) {
     p.crashes = crashes_last_k(9, 3, 25, 9);
     p.fd_stabilize = 60;
     p.seed = 2;
+    p.metrics = hds::bench::metrics_sink();
     r = run_fig8_with_oracle(p);
   }
   hds::bench::require(state, r.check.ok, r.check.detail);
@@ -72,6 +74,7 @@ void BM_Fig8_VsFdStabilization(benchmark::State& state) {
     p.crashes = crashes_last_k(7, 2, 15, 9);
     p.fd_stabilize = stab;
     p.seed = 3;
+    p.metrics = hds::bench::metrics_sink();
     r = run_fig8_with_oracle(p);
   }
   hds::bench::require(state, r.check.ok, r.check.detail);
@@ -92,6 +95,7 @@ void BM_Fig8_VsCrashCount(benchmark::State& state) {
     if (k > 0) p.crashes = crashes_last_k(11, k, 15, 11);
     p.fd_stabilize = 60;
     p.seed = 4;
+    p.metrics = hds::bench::metrics_sink();
     r = run_fig8_with_oracle(p);
   }
   hds::bench::require(state, r.check.ok, r.check.detail);
@@ -110,6 +114,7 @@ void BM_Fig8_FullStackVsGst(benchmark::State& state) {
     p.crashes = crashes_last_k(5, 2, gst / 2 + 5, 13);
     p.net = {.gst = gst, .delta = 3, .pre_gst_loss = 0.0, .pre_gst_max_delay = 40};
     p.seed = 2;
+    p.metrics = hds::bench::metrics_sink();
     r = run_fig8_full_stack(p);
   }
   hds::bench::require(state, r.check.ok, r.check.detail);
@@ -121,4 +126,4 @@ BENCHMARK(BM_Fig8_FullStackVsGst)->Arg(0)->Arg(100)->Arg(400)->Arg(1600)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+HDS_BENCH_MAIN();

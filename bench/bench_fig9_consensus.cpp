@@ -37,6 +37,7 @@ void BM_Fig9_VsCrashCountUpToAllButOne(benchmark::State& state) {
     p.fd1_stabilize = 60;
     p.fd2_stabilize = 90;
     p.seed = 1;
+    p.metrics = hds::bench::metrics_sink();
     r = run_fig9_with_oracle(p);
   }
   hds::bench::require(state, r.check.ok, r.check.detail);
@@ -55,6 +56,7 @@ void BM_Fig9_ScaleVsN(benchmark::State& state) {
     p.fd1_stabilize = 60;
     p.fd2_stabilize = 80;
     p.seed = 2;
+    p.metrics = hds::bench::metrics_sink();
     r = run_fig9_with_oracle(p);
   }
   hds::bench::require(state, r.check.ok, r.check.detail);
@@ -73,6 +75,7 @@ void BM_Fig9_VsHSigmaStabilization(benchmark::State& state) {
     p.fd1_stabilize = 30;
     p.fd2_stabilize = stab;
     p.seed = 3;
+    p.metrics = hds::bench::metrics_sink();
     r = run_fig9_with_oracle(p);
   }
   hds::bench::require(state, r.check.ok, r.check.detail);
@@ -92,6 +95,7 @@ void BM_Fig9_FullSyncStack(benchmark::State& state) {
     p.crashes = crashes_last_k(n, n - 2, 37, 11);
     p.delta = 3;
     p.seed = 8;
+    p.metrics = hds::bench::metrics_sink();
     r = run_fig9_full_stack(p);
   }
   hds::bench::require(state, r.check.ok, r.check.detail);
@@ -110,6 +114,7 @@ void BM_Fig9_AnonymousApStack(benchmark::State& state) {
     p.delta = 2;
     p.seed = 13;
     p.anonymous_ap_stack = true;
+    p.metrics = hds::bench::metrics_sink();
     r = run_fig9_full_stack(p);
   }
   hds::bench::require(state, r.check.ok, r.check.detail);
@@ -120,4 +125,4 @@ BENCHMARK(BM_Fig9_AnonymousApStack)->Arg(3)->Arg(6)->Arg(10)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+HDS_BENCH_MAIN();

@@ -63,6 +63,37 @@ void BM_System_BroadcastFloodThroughput(benchmark::State& state) {
 BENCHMARK(BM_System_BroadcastFloodThroughput)->Arg(4)->Arg(16)->Arg(64)
     ->Unit(benchmark::kMillisecond);
 
+// Observability overhead: the same flood with the metrics registry detached
+// (instrument pointers null, the default) vs attached. The arg toggles the
+// registry; compare the two series to confirm the detached path costs
+// nothing measurable.
+void BM_System_FloodMetricsOverhead(benchmark::State& state) {
+  const bool instrumented = state.range(0) != 0;
+  const std::size_t n = 16;
+  obs::MetricsRegistry reg;
+  std::uint64_t delivered = 0;
+  for (auto _ : state) {
+    SystemConfig cfg;
+    for (std::size_t i = 0; i < n; ++i) cfg.ids.push_back(i + 1);
+    cfg.timing = std::make_unique<AsyncTiming>(1, 4);
+    cfg.seed = 1;
+    if (instrumented) cfg.metrics = &reg;
+    System sys(std::move(cfg));
+    for (ProcIndex i = 0; i < n; ++i) sys.set_process(i, std::make_unique<Flooder>(2));
+    sys.start();
+    sys.run_until(200);
+    delivered = sys.net_stats().copies_delivered;
+  }
+  state.counters["copies_delivered"] = static_cast<double>(delivered);
+  if (instrumented) {
+    state.counters["metric_series"] = static_cast<double>(reg.series_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(delivered));
+}
+BENCHMARK(BM_System_FloodMetricsOverhead)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+HDS_BENCH_MAIN();

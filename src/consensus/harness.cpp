@@ -72,6 +72,12 @@ std::vector<Value> distinct_proposals(std::size_t n) {
   return out;
 }
 
+namespace {
+
+obs::Labels proc_labels(ProcIndex i) { return {{"proc", std::to_string(i)}}; }
+
+}  // namespace
+
 // ------------------------------------------------------------- FD runs
 
 Fig6Result run_fig6(const Fig6Params& p) {
@@ -80,9 +86,12 @@ Fig6Result run_fig6(const Fig6Params& p) {
   cfg.timing = std::make_unique<PartialSyncTiming>(p.net);
   cfg.crashes = p.crashes;
   cfg.seed = p.seed;
+  cfg.metrics = p.metrics;
   System sys(std::move(cfg));
   for (ProcIndex i = 0; i < sys.n(); ++i) {
-    sys.set_process(i, std::make_unique<OHPPolling>(p.fd_opts));
+    auto fd = std::make_unique<OHPPolling>(p.fd_opts);
+    fd->attach_metrics(p.metrics, proc_labels(i));
+    sys.set_process(i, std::move(fd));
   }
   sys.start();
   sys.run_until(p.run_for);
@@ -110,6 +119,9 @@ Fig6Result run_fig6(const Fig6Params& p) {
   }
   res.broadcasts = sys.net_stats().broadcasts;
   res.copies_delivered = sys.net_stats().copies_delivered;
+  if (p.metrics != nullptr && res.stabilization_time >= 0) {
+    p.metrics->gauge("fd_stabilization_time").set(res.stabilization_time);
+  }
   return res;
 }
 
@@ -120,7 +132,9 @@ Fig7Result run_fig7(const Fig7Params& p) {
   cfg.seed = p.seed;
   SyncSystem sys(std::move(cfg));
   for (ProcIndex i = 0; i < sys.n(); ++i) {
-    sys.set_process(i, std::make_unique<HSigmaSyncProcess>(sys.id_of(i)));
+    auto fd = std::make_unique<HSigmaSyncProcess>(sys.id_of(i));
+    fd->attach_metrics(p.metrics, proc_labels(i));
+    sys.set_process(i, std::move(fd));
   }
   sys.run_steps(p.steps);
 
@@ -214,7 +228,11 @@ ConsensusRunResult finish_result(System& sys, const std::vector<Value>& proposal
   res.copies_delivered = sys.net_stats().copies_delivered;
   res.broadcasts_by_type = sys.net_stats().broadcasts_by_type;
   res.end_time = loop.end_time;
-  if (sys.trace().enabled()) res.trace_head = sys.trace().dump(400);
+  if (sys.trace().enabled()) {
+    res.trace_head = sys.trace().dump(400);
+    res.trace_events = sys.trace().events();
+    res.trace_dropped = sys.trace().dropped();
+  }
   return res;
 }
 
@@ -235,6 +253,7 @@ ConsensusRunResult run_fig8_with_oracle(const Fig8OracleParams& p) {
   cfg.timing = std::make_unique<AsyncTiming>(p.async_min, p.async_max);
   cfg.crashes = p.crashes;
   cfg.seed = p.seed;
+  cfg.metrics = p.metrics;
   System sys(std::move(cfg));
 
   OracleHOmega oracle(GroundTruth::from(sys), [&sys] { return sys.now(); }, p.fd_stabilize,
@@ -249,6 +268,7 @@ ConsensusRunResult run_fig8_with_oracle(const Fig8OracleParams& p) {
     cons_cfg.skip_coordination_phase = p.skip_coordination_phase;
     cons_cfg.guard_poll = p.guard_poll;
     auto proc = std::make_unique<MajorityHOmegaConsensus>(cons_cfg, oracle.handle(i));
+    proc->attach_metrics(p.metrics, proc_labels(i));
     procs[i] = proc.get();
     sys.set_process(i, std::move(proc));
   }
@@ -281,6 +301,7 @@ ConsensusRunResult run_fig9_with_oracle(const Fig9OracleParams& p) {
   cfg.timing = std::make_unique<AsyncTiming>(p.async_min, p.async_max);
   cfg.crashes = p.crashes;
   cfg.seed = p.seed;
+  cfg.metrics = p.metrics;
   System sys(std::move(cfg));
 
   auto clock = [&sys] { return sys.now(); };
@@ -290,6 +311,7 @@ ConsensusRunResult run_fig9_with_oracle(const Fig9OracleParams& p) {
   for (ProcIndex i = 0; i < n; ++i) {
     auto proc = std::make_unique<QuorumConsensus>(QuorumConsensusConfig{proposals[i], p.guard_poll},
                                                   fd1.handle(i), fd2.handle(i));
+    proc->attach_metrics(p.metrics, proc_labels(i));
     procs[i] = proc.get();
     sys.set_process(i, std::move(proc));
   }
@@ -326,6 +348,7 @@ ConsensusRunResult run_fig9_anon_aomega(const Fig9AnonOmegaParams& p) {
   cfg.timing = std::make_unique<AsyncTiming>(p.async_min, p.async_max);
   cfg.crashes = p.crashes;
   cfg.seed = p.seed;
+  cfg.metrics = p.metrics;
   System sys(std::move(cfg));
 
   auto clock = [&sys] { return sys.now(); };
@@ -335,6 +358,7 @@ ConsensusRunResult run_fig9_anon_aomega(const Fig9AnonOmegaParams& p) {
   for (ProcIndex i = 0; i < n; ++i) {
     auto proc = std::make_unique<QuorumConsensus>(QuorumConsensusConfig{proposals[i], 4},
                                                   fd3.handle(i), fd2.handle(i));
+    proc->attach_metrics(p.metrics, proc_labels(i));
     procs[i] = proc.get();
     sys.set_process(i, std::move(proc));
   }
@@ -372,17 +396,22 @@ ConsensusRunResult run_fig8_full_stack(const Fig8FullStackParams& p) {
   cfg.crashes = p.crashes;
   cfg.seed = p.seed;
   cfg.trace_capacity = p.trace_capacity;
+  cfg.metrics = p.metrics;
   System sys(std::move(cfg));
 
   std::vector<MajorityHOmegaConsensus*> procs(n);
+  std::vector<OHPPolling*> fds(n);
   for (ProcIndex i = 0; i < n; ++i) {
     auto stack = std::make_unique<StackedProcess>();
     auto* fd = stack->add(std::make_unique<OHPPolling>());
+    fd->attach_metrics(p.metrics, proc_labels(i));
+    fds[i] = fd;
     MajorityConsensusConfig cons_cfg;
     cons_cfg.n = n;
     cons_cfg.t = p.t_known;
     cons_cfg.proposal = proposals[i];
     auto cons = std::make_unique<MajorityHOmegaConsensus>(cons_cfg, *fd);
+    cons->attach_metrics(p.metrics, proc_labels(i));
     procs[i] = stack->add(std::move(cons));
     sys.set_process(i, std::move(stack));
   }
@@ -403,6 +432,15 @@ ConsensusRunResult run_fig8_full_stack(const Fig8FullStackParams& p) {
     decisions[i] = procs[i]->decision();
     if (sys.is_correct(i)) max_round = std::max(max_round, procs[i]->current_round());
   }
+  if (p.metrics != nullptr) {
+    // Latest trusted-output change among correct processes — the detector
+    // stack's global stabilization instant for this run.
+    SimTime stab = -1;
+    for (ProcIndex i = 0; i < n; ++i) {
+      if (sys.is_correct(i)) stab = std::max(stab, fds[i]->trusted_trace().last_change());
+    }
+    if (stab >= 0) p.metrics->gauge("fd_stabilization_time").set(stab);
+  }
   return finish_result(sys, proposals, decisions, loop, 0, max_round);
 }
 
@@ -417,6 +455,7 @@ ConsensusRunResult run_fig9_full_stack(const Fig9FullStackParams& p) {
   cfg.crashes = p.crashes;
   cfg.seed = p.seed;
   cfg.trace_capacity = p.trace_capacity;
+  cfg.metrics = p.metrics;
   System sys(std::move(cfg));
 
   // Adapters owned per node; kept alive alongside the system.
@@ -424,6 +463,7 @@ ConsensusRunResult run_fig9_full_stack(const Fig9FullStackParams& p) {
   std::vector<std::unique_ptr<ApToHSigma>> ap_hsig(n);
   std::vector<std::unique_ptr<OhpToHOmega>> ohp_homega(n);
   std::vector<QuorumConsensus*> procs(n);
+  std::vector<OHPPolling*> fds(n, nullptr);
 
   for (ProcIndex i = 0; i < n; ++i) {
     auto stack = std::make_unique<StackedProcess>();
@@ -441,11 +481,15 @@ ConsensusRunResult run_fig9_full_stack(const Fig9FullStackParams& p) {
       // Fig. 6 gives HΩ (Corollary 2); the Fig. 7 adapter gives HΣ.
       auto* ohp = stack->add(std::make_unique<OHPPolling>());
       auto* hsig = stack->add(std::make_unique<HSigmaComponent>(p.delta + 1));
+      ohp->attach_metrics(p.metrics, proc_labels(i));
+      hsig->attach_metrics(p.metrics, proc_labels(i));
+      fds[i] = ohp;
       fd1 = ohp;
       fd2 = hsig;
     }
     auto cons = std::make_unique<QuorumConsensus>(QuorumConsensusConfig{proposals[i], 4}, *fd1,
                                                   *fd2);
+    cons->attach_metrics(p.metrics, proc_labels(i));
     procs[i] = stack->add(std::move(cons));
     sys.set_process(i, std::move(stack));
   }
@@ -469,6 +513,13 @@ ConsensusRunResult run_fig9_full_stack(const Fig9FullStackParams& p) {
       max_round = std::max(max_round, procs[i]->current_round());
       max_sr = std::max(max_sr, procs[i]->max_sub_round_seen());
     }
+  }
+  if (p.metrics != nullptr && !p.anonymous_ap_stack) {
+    SimTime stab = -1;
+    for (ProcIndex i = 0; i < n; ++i) {
+      if (sys.is_correct(i)) stab = std::max(stab, fds[i]->trusted_trace().last_change());
+    }
+    if (stab >= 0) p.metrics->gauge("fd_stabilization_time").set(stab);
   }
   return finish_result(sys, proposals, decisions, loop, max_sr, max_round);
 }

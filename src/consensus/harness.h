@@ -22,6 +22,7 @@
 #include "common/types.h"
 #include "fd/impl/ohp_polling.h"
 #include "fd/oracles.h"
+#include "obs/metrics.h"
 #include "sim/sync_system.h"
 #include "sim/system.h"
 #include "sim/timing.h"
@@ -62,6 +63,9 @@ struct Fig6Params {
   std::uint64_t seed = 1;
   SimTime run_for = 4000;
   SimTime stable_window = 400;
+  // Observability sink shared by the network and the detectors (per-process
+  // series under proc=<index>); null disables collection.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct Fig6Result {
@@ -82,6 +86,7 @@ struct Fig7Params {
   std::vector<std::optional<SyncCrashPlan>> crashes;
   std::size_t steps = 30;
   std::uint64_t seed = 1;
+  obs::MetricsRegistry* metrics = nullptr;  // per-process series; null disables
 };
 
 struct Fig7Result {
@@ -112,6 +117,10 @@ struct ConsensusRunResult {
   // First lines of the structured event log, when the run was configured
   // with trace_capacity > 0 (replay debugging; see sim/tracelog.h).
   std::string trace_head;
+  // The retained events themselves (chronological) and the count evicted
+  // from the ring — feed obs::write_chrome_trace / write_trace_jsonl.
+  std::vector<TraceEvent> trace_events;
+  std::uint64_t trace_dropped = 0;
 };
 
 struct Fig8OracleParams {
@@ -127,6 +136,7 @@ struct Fig8OracleParams {
   std::optional<std::size_t> alpha;     // footnote-5 mode (n/t ignored)
   bool skip_coordination_phase = false; // ablation
   SimTime guard_poll = 4;               // FD guard re-evaluation period
+  obs::MetricsRegistry* metrics = nullptr;  // per-process series; null disables
 };
 
 ConsensusRunResult run_fig8_with_oracle(const Fig8OracleParams& p);
@@ -142,6 +152,7 @@ struct Fig9OracleParams {
   std::uint64_t seed = 1;
   SimTime max_time = 500'000;
   SimTime guard_poll = 4;  // FD guard re-evaluation period
+  obs::MetricsRegistry* metrics = nullptr;  // per-process series; null disables
 };
 
 ConsensusRunResult run_fig9_with_oracle(const Fig9OracleParams& p);
@@ -155,6 +166,11 @@ struct Fig8FullStackParams {
   std::uint64_t seed = 1;
   SimTime max_time = 500'000;
   std::size_t trace_capacity = 0;  // > 0: record the event log into the result
+  // Observability sink threaded through the network, the Fig. 6 detectors
+  // and the consensus layer; after the run it additionally carries
+  // fd_stabilization_time (latest trusted-output change among correct
+  // processes). Null disables collection.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 // Fig. 6 ▸ Corollary 2 ▸ Fig. 8 in HPS[t < n/2].
@@ -169,6 +185,7 @@ struct Fig9FullStackParams {
   SimTime max_time = 500'000;
   bool anonymous_ap_stack = false;  // true: AP ▸ Lemmas 2/3 instead of Fig. 6/7
   std::size_t trace_capacity = 0;   // > 0: record the event log into the result
+  obs::MetricsRegistry* metrics = nullptr;  // as in Fig8FullStackParams
 };
 
 // Synchronous full stack for Fig. 9: OHPPolling (HΩ) + HSigmaComponent (HΣ)
@@ -185,6 +202,7 @@ struct Fig9AnonOmegaParams {
   SimTime async_min = 1, async_max = 8;
   std::uint64_t seed = 1;
   SimTime max_time = 500'000;
+  obs::MetricsRegistry* metrics = nullptr;  // per-process series; null disables
 };
 
 // The Section 5.3 closing remark: Fig. 9 adapted to AAS[AΩ, HΣ] (leaders'

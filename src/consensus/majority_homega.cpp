@@ -18,6 +18,47 @@ MajorityHOmegaConsensus::MajorityHOmegaConsensus(MajorityConsensusConfig cfg,
   est1_ = cfg_.proposal;
 }
 
+const char* MajorityHOmegaConsensus::phase_name(int phase) {
+  switch (static_cast<Phase>(phase)) {
+    case Phase::kCoord: return "coord";
+    case Phase::kPh0: return "ph0";
+    case Phase::kPh1: return "ph1";
+    case Phase::kPh2: return "ph2";
+    case Phase::kDone: return "done";
+  }
+  return "?";
+}
+
+void MajorityHOmegaConsensus::attach_metrics(obs::MetricsRegistry* reg,
+                                             const obs::Labels& labels) {
+  if (reg == nullptr) {
+    m_rounds_ = nullptr;
+    m_decide_at_ = nullptr;
+    m_phase_latency_.fill(nullptr);
+    return;
+  }
+  m_rounds_ = &reg->counter("consensus_rounds_total", labels);
+  m_decide_at_ = &reg->gauge("consensus_decide_at", labels);
+  for (int p = 0; p < 4; ++p) {
+    obs::Labels l = labels;
+    l.emplace("phase", phase_name(p));
+    m_phase_latency_[static_cast<std::size_t>(p)] =
+        &reg->histogram("consensus_phase_latency", obs::time_buckets(), l);
+  }
+}
+
+// Records the phase transition and the latency of the phase being left.
+void MajorityHOmegaConsensus::set_phase(Env& env, Phase next) {
+  const SimTime now = env.local_now();
+  if (phase_timing_started_ && phase_ != Phase::kDone) {
+    obs::observe(m_phase_latency_[static_cast<std::size_t>(phase_)], now - phase_entered_at_);
+  }
+  phase_timing_started_ = true;
+  phase_ = next;
+  phase_entered_at_ = now;
+  phase_trace_.record(now, static_cast<int>(next));
+}
+
 // Messages to wait for in Phases 1 and 2: n - t, or alpha in footnote-5
 // mode (n unknown, alpha > n/2 correct processes guaranteed).
 std::size_t MajorityHOmegaConsensus::wait_threshold() const {
@@ -39,7 +80,8 @@ void MajorityHOmegaConsensus::on_start(Env& env) {
 void MajorityHOmegaConsensus::enter_round(Env& env, Round r) {
   r_ = r;
   est2_.reset();
-  phase_ = Phase::kCoord;
+  set_phase(env, Phase::kCoord);
+  obs::inc(m_rounds_);
   // Line 9: open the Leaders' Coordination Phase of round r.
   env.broadcast(make_message(kCoordType, CoordMsg{env.self_id(), r_, est1_, cfg_.instance}));
 }
@@ -89,7 +131,8 @@ void MajorityHOmegaConsensus::on_message(Env& env, const Message& m) {
 void MajorityHOmegaConsensus::decide(Env& env, Value v) {
   env.broadcast(make_message(kDecideType, DecideMsg{v, cfg_.instance}));
   decision_ = DecisionRecord{true, env.local_now(), v, r_};
-  phase_ = Phase::kDone;
+  set_phase(env, Phase::kDone);
+  obs::set(m_decide_at_, env.local_now());
   bufs_.clear();
 }
 
@@ -106,7 +149,7 @@ bool MajorityHOmegaConsensus::try_advance_once(Env& env) {
   switch (phase_) {
     case Phase::kCoord: {
       if (cfg_.skip_coordination_phase) {  // ablation only
-        phase_ = Phase::kPh0;
+        set_phase(env, Phase::kPh0);
         return true;
       }
       // Lines 10-11: leaders wait for COORD from h_multiplicity homonyms.
@@ -124,7 +167,7 @@ bool MajorityHOmegaConsensus::try_advance_once(Env& env) {
         any = true;
       }
       if (any) est1_ = min_est;
-      phase_ = Phase::kPh0;
+      set_phase(env, Phase::kPh0);
       return true;
     }
 
@@ -134,7 +177,7 @@ bool MajorityHOmegaConsensus::try_advance_once(Env& env) {
       if (!buf.ph0.empty()) est1_ = buf.ph0.front();  // line 17
       env.broadcast(make_message(kPh0Type, Ph0Msg{r_, est1_, cfg_.instance}));   // line 18
       env.broadcast(make_message(kPh1Type, Ph1Msg{r_, est1_, cfg_.instance}));   // line 20
-      phase_ = Phase::kPh1;
+      set_phase(env, Phase::kPh1);
       return true;
     }
 
@@ -150,7 +193,7 @@ bool MajorityHOmegaConsensus::try_advance_once(Env& env) {
         if (is_quorum(c)) est2_ = v;
       }
       env.broadcast(make_message(kPh2Type, Ph2Msg{r_, est2_, cfg_.instance}));  // line 28
-      phase_ = Phase::kPh2;
+      set_phase(env, Phase::kPh2);
       return true;
     }
 

@@ -20,12 +20,15 @@
 //     DECIDE rebroadcast), a mixed set adopts the value, all-bottom skips.
 #pragma once
 
+#include <array>
 #include <map>
 #include <optional>
 #include <vector>
 
+#include "common/trajectory.h"
 #include "consensus/messages.h"
 #include "fd/interfaces.h"
+#include "obs/metrics.h"
 #include "sim/process.h"
 #include "spec/consensus_checkers.h"
 
@@ -63,6 +66,15 @@ class MajorityHOmegaConsensus final : public Process {
   [[nodiscard]] Round current_round() const { return r_; }
   [[nodiscard]] bool done() const { return phase_ == Phase::kDone; }
 
+  // Phase transitions as a time-indexed trace; values index phase_name().
+  [[nodiscard]] const Trajectory<int>& phase_trace() const { return phase_trace_; }
+  static const char* phase_name(int phase);
+
+  // Consensus instruments: rounds started, per-phase latency (one histogram
+  // per phase, under phase=<name>), and the decide instant. Call before the
+  // system starts; null detaches.
+  void attach_metrics(obs::MetricsRegistry* reg, const obs::Labels& labels = {});
+
   void on_start(Env& env) override;
   void on_message(Env& env, const Message& m) override;
   void on_timer(Env& env, TimerId id) override;
@@ -81,6 +93,7 @@ class MajorityHOmegaConsensus final : public Process {
   void advance(Env& env);            // run guards until no transition fires
   bool try_advance_once(Env& env);
   void decide(Env& env, Value v);
+  void set_phase(Env& env, Phase next);
   [[nodiscard]] std::size_t wait_threshold() const;
   [[nodiscard]] bool is_quorum(std::size_t count) const;
 
@@ -93,6 +106,13 @@ class MajorityHOmegaConsensus final : public Process {
   MaybeValue est2_;
   std::map<Round, RoundBuf> bufs_;   // future rounds buffer here too
   DecisionRecord decision_;
+
+  Trajectory<int> phase_trace_;
+  SimTime phase_entered_at_ = 0;
+  bool phase_timing_started_ = false;
+  obs::Counter* m_rounds_ = nullptr;
+  obs::Gauge* m_decide_at_ = nullptr;
+  std::array<obs::Histogram*, 4> m_phase_latency_{};  // coord, ph0, ph1, ph2
 };
 
 }  // namespace hds

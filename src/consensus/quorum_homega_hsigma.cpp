@@ -16,6 +16,53 @@ QuorumConsensus::QuorumConsensus(QuorumConsensusConfig cfg, const AOmegaHandle& 
   est1_ = cfg_.proposal;
 }
 
+const char* QuorumConsensus::phase_name(int phase) {
+  switch (static_cast<Phase>(phase)) {
+    case Phase::kCoord: return "coord";
+    case Phase::kPh0: return "ph0";
+    case Phase::kPh1: return "ph1";
+    case Phase::kPh2: return "ph2";
+    case Phase::kDone: return "done";
+  }
+  return "?";
+}
+
+void QuorumConsensus::attach_metrics(obs::MetricsRegistry* reg, const obs::Labels& labels) {
+  if (reg == nullptr) {
+    m_rounds_ = nullptr;
+    m_sub_rounds_ = nullptr;
+    m_decide_at_ = nullptr;
+    m_phase_latency_.fill(nullptr);
+    return;
+  }
+  m_rounds_ = &reg->counter("consensus_rounds_total", labels);
+  m_sub_rounds_ = &reg->counter("consensus_sub_rounds_total", labels);
+  m_decide_at_ = &reg->gauge("consensus_decide_at", labels);
+  for (int p = 0; p < 4; ++p) {
+    obs::Labels l = labels;
+    l.emplace("phase", phase_name(p));
+    m_phase_latency_[static_cast<std::size_t>(p)] =
+        &reg->histogram("consensus_phase_latency", obs::time_buckets(), l);
+  }
+}
+
+// Records the phase transition and the latency of the phase being left.
+void QuorumConsensus::set_phase(Env& env, Phase next) {
+  const SimTime now = env.local_now();
+  if (phase_timing_started_ && phase_ != Phase::kDone) {
+    obs::observe(m_phase_latency_[static_cast<std::size_t>(phase_)], now - phase_entered_at_);
+  }
+  phase_timing_started_ = true;
+  phase_ = next;
+  phase_entered_at_ = now;
+  phase_trace_.record(now, static_cast<int>(next));
+}
+
+void QuorumConsensus::bump_sub_round() {
+  ++sr_;
+  obs::inc(m_sub_rounds_);
+}
+
 void QuorumConsensus::on_start(Env& env) {
   enter_round(env, 1);
   env.set_timer(cfg_.guard_poll);
@@ -25,7 +72,8 @@ void QuorumConsensus::on_start(Env& env) {
 void QuorumConsensus::enter_round(Env& env, Round r) {
   r_ = r;
   est2_.reset();
-  phase_ = Phase::kCoord;
+  set_phase(env, Phase::kCoord);
+  obs::inc(m_rounds_);
   env.broadcast(make_message(kCoordType, CoordMsg{env.self_id(), r_, est1_, cfg_.instance}));  // line 9
 }
 
@@ -73,7 +121,8 @@ void QuorumConsensus::on_message(Env& env, const Message& m) {
 void QuorumConsensus::decide(Env& env, Value v) {
   env.broadcast(make_message(kDecideType, DecideMsg{v, cfg_.instance}));
   decision_ = DecisionRecord{true, env.local_now(), v, r_};
-  phase_ = Phase::kDone;
+  set_phase(env, Phase::kDone);
+  obs::set(m_decide_at_, env.local_now());
   bufs_.clear();
 }
 
@@ -86,7 +135,7 @@ void QuorumConsensus::enter_ph1(Env& env) {
   // Lines 20-21.
   sr_ = 1;
   current_labels_ = fd2_->snapshot().labels;
-  phase_ = Phase::kPh1;
+  set_phase(env, Phase::kPh1);
   env.broadcast(make_message(
       kPh1QType, Ph1QMsg{env.self_id(), r_, sr_, current_labels_, est1_, cfg_.instance}));
 }
@@ -95,7 +144,7 @@ void QuorumConsensus::enter_ph2(Env& env) {
   // Lines 40-41.
   sr_ = 1;
   current_labels_ = fd2_->snapshot().labels;
-  phase_ = Phase::kPh2;
+  set_phase(env, Phase::kPh2);
   env.broadcast(make_message(
       kPh2QType, Ph2QMsg{env.self_id(), r_, sr_, current_labels_, est2_, cfg_.instance}));
 }
@@ -147,7 +196,7 @@ bool QuorumConsensus::try_advance_once(Env& env) {
     case Phase::kCoord: {
       if (aomega_ != nullptr) {
         // AAS[AΩ, HΣ] variant: no leaders' coordination.
-        phase_ = Phase::kPh0;
+        set_phase(env, Phase::kPh0);
         return true;
       }
       const HOmegaOut fd = fd1_->h_omega();
@@ -166,7 +215,7 @@ bool QuorumConsensus::try_advance_once(Env& env) {
         any = true;
       }
       if (any) est1_ = min_est;
-      phase_ = Phase::kPh0;
+      set_phase(env, Phase::kPh0);
       return true;
     }
 
@@ -206,7 +255,7 @@ bool QuorumConsensus::try_advance_once(Env& env) {
         if (m.r == r_ && m.sr > sr_) higher = true;
       }
       if (current_labels_ != snap.labels || higher) {
-        ++sr_;
+        bump_sub_round();
         current_labels_ = snap.labels;
         env.broadcast(make_message(
             kPh1QType, Ph1QMsg{self, r_, sr_, current_labels_, est1_, cfg_.instance}));
@@ -248,7 +297,7 @@ bool QuorumConsensus::try_advance_once(Env& env) {
         if (m.r == r_ && m.sr > sr_) higher = true;
       }
       if (current_labels_ != snap.labels || higher) {
-        ++sr_;
+        bump_sub_round();
         current_labels_ = snap.labels;
         env.broadcast(make_message(
             kPh2QType, Ph2QMsg{self, r_, sr_, current_labels_, est2_, cfg_.instance}));

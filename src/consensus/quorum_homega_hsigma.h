@@ -14,13 +14,16 @@
 // estimate); Phase 2 by any COORD of the next round.
 #pragma once
 
+#include <array>
 #include <map>
 #include <optional>
 #include <set>
 #include <vector>
 
+#include "common/trajectory.h"
 #include "consensus/messages.h"
 #include "fd/interfaces.h"
+#include "obs/metrics.h"
 #include "sim/process.h"
 #include "spec/consensus_checkers.h"
 
@@ -51,6 +54,15 @@ class QuorumConsensus final : public Process {
   [[nodiscard]] std::int64_t max_sub_round_seen() const { return max_sr_seen_; }
   [[nodiscard]] bool done() const { return phase_ == Phase::kDone; }
 
+  // Phase transitions as a time-indexed trace; values index phase_name().
+  [[nodiscard]] const Trajectory<int>& phase_trace() const { return phase_trace_; }
+  static const char* phase_name(int phase);
+
+  // Consensus instruments: rounds started, sub-round bumps, per-phase
+  // latency (under phase=<name>), and the decide instant. Call before the
+  // system starts; null detaches.
+  void attach_metrics(obs::MetricsRegistry* reg, const obs::Labels& labels = {});
+
   void on_start(Env& env) override;
   void on_message(Env& env, const Message& m) override;
   void on_timer(Env& env, TimerId id) override;
@@ -77,6 +89,8 @@ class QuorumConsensus final : public Process {
   void decide(Env& env, Value v);
   void enter_ph1(Env& env);
   void enter_ph2(Env& env);
+  void set_phase(Env& env, Phase next);
+  void bump_sub_round();
 
   // Lines 25-28 / 45-48: find (x, mset) in h_quora and a sub-round sr such
   // that the messages of round r_ at sr carrying x realize mset exactly.
@@ -97,6 +111,14 @@ class QuorumConsensus final : public Process {
   MaybeValue est2_;
   std::map<Round, RoundBuf> bufs_;
   DecisionRecord decision_;
+
+  Trajectory<int> phase_trace_;
+  SimTime phase_entered_at_ = 0;
+  bool phase_timing_started_ = false;
+  obs::Counter* m_rounds_ = nullptr;
+  obs::Counter* m_sub_rounds_ = nullptr;
+  obs::Gauge* m_decide_at_ = nullptr;
+  std::array<obs::Histogram*, 4> m_phase_latency_{};  // coord, ph0, ph1, ph2
 };
 
 }  // namespace hds

@@ -2,6 +2,18 @@
 
 namespace hds {
 
+void HOmegaHeartbeat::attach_metrics(obs::MetricsRegistry* reg, const obs::Labels& labels) {
+  if (reg == nullptr) {
+    m_leader_changes_ = nullptr;
+    m_lag_adaptations_ = nullptr;
+    m_last_change_at_ = nullptr;
+    return;
+  }
+  m_leader_changes_ = &reg->counter("fd_leader_changes_total", labels);
+  m_lag_adaptations_ = &reg->counter("fd_timeout_adaptations_total", labels);
+  m_last_change_at_ = &reg->gauge("fd_last_output_change_at", labels);
+}
+
 void HOmegaHeartbeat::on_start(Env& env) {
   out_ = HOmegaOut{env.self_id(), 1};
   trace_.record(env.local_now(), out_);
@@ -27,7 +39,10 @@ void HOmegaHeartbeat::on_message(Env& env, const Message& m) {
   PerId& rec = heard_[hb->id];
   // A copy older than the settled point means the network outpaced our lag:
   // adapt, exactly as Fig. 6 adapts its timeout on stale replies.
-  if (rec.max_seq > 0 && hb->seq <= rec.max_seq - lag_) ++lag_;
+  if (rec.max_seq > 0 && hb->seq <= rec.max_seq - lag_) {
+    ++lag_;
+    obs::inc(m_lag_adaptations_);
+  }
   ++rec.count_by_seq[hb->seq];
   rec.last_heard = env.local_now();
   rec.max_seq = std::max(rec.max_seq, hb->seq);
@@ -66,6 +81,8 @@ void HOmegaHeartbeat::evaluate(Env& env) {
   if (!(next == out_)) {
     out_ = next;
     trace_.record(now, out_);
+    obs::inc(m_leader_changes_);
+    obs::set(m_last_change_at_, now);
   }
 }
 

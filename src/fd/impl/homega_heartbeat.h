@@ -24,6 +24,7 @@
 #include "common/trajectory.h"
 #include "common/types.h"
 #include "fd/interfaces.h"
+#include "obs/metrics.h"
 #include "sim/process.h"
 
 namespace hds {
@@ -42,6 +43,10 @@ class HOmegaHeartbeat final : public Process, public HOmegaHandle {
   [[nodiscard]] HOmegaOut h_omega() const override { return out_; }
   [[nodiscard]] const Trajectory<HOmegaOut>& trace() const { return trace_; }
   [[nodiscard]] std::int64_t lag() const { return lag_; }
+
+  // Leader-change count, lag adaptations, and instant of the last output
+  // change. Call before the system starts; null detaches.
+  void attach_metrics(obs::MetricsRegistry* reg, const obs::Labels& labels = {});
 
   void on_start(Env& env) override;
   void on_message(Env& env, const Message& m) override;
@@ -64,6 +69,10 @@ class HOmegaHeartbeat final : public Process, public HOmegaHandle {
   std::map<Id, PerId> heard_;
   HOmegaOut out_;
   Trajectory<HOmegaOut> trace_;
+
+  obs::Counter* m_leader_changes_ = nullptr;
+  obs::Counter* m_lag_adaptations_ = nullptr;
+  obs::Gauge* m_last_change_at_ = nullptr;
 };
 
 }  // namespace hds

@@ -2,11 +2,24 @@
 
 namespace hds {
 
+void HSigmaCore::attach_metrics(obs::MetricsRegistry* reg, const obs::Labels& labels) {
+  if (reg == nullptr) {
+    m_quora_stored_ = nullptr;
+    m_quorum_size_ = nullptr;
+    return;
+  }
+  m_quora_stored_ = &reg->counter("hsigma_quora_stored_total", labels);
+  m_quorum_size_ = &reg->histogram("fd_quorum_size", obs::size_buckets(), labels);
+}
+
 void HSigmaCore::on_step_idents(SimTime t, const Multiset<Id>& mset) {
   if (mset.empty()) return;  // no alive sender observed; nothing to certify
   const Label label = Label::of_multiset(mset);
   state_.labels.insert(label);
-  state_.quora.emplace(label, mset);  // never replaced: (mset, mset) is stable
+  if (state_.quora.emplace(label, mset).second) {  // (mset, mset) is stable
+    obs::inc(m_quora_stored_);
+    obs::observe(m_quorum_size_, static_cast<std::int64_t>(mset.size()));
+  }
   trace_.record(t, state_);
 }
 

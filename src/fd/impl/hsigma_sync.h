@@ -21,6 +21,7 @@
 #include "common/trajectory.h"
 #include "common/types.h"
 #include "fd/interfaces.h"
+#include "obs/metrics.h"
 #include "sim/process.h"
 #include "sim/sync_system.h"
 
@@ -39,9 +40,15 @@ class HSigmaCore {
   [[nodiscard]] HSigmaSnapshot snapshot() const { return state_; }
   [[nodiscard]] const Trajectory<HSigmaSnapshot>& trace() const { return trace_; }
 
+  // Quorum-size distribution (one observation per newly certified quorum)
+  // and total quora stored. Null detaches.
+  void attach_metrics(obs::MetricsRegistry* reg, const obs::Labels& labels = {});
+
  private:
   HSigmaSnapshot state_;
   Trajectory<HSigmaSnapshot> trace_;
+  obs::Counter* m_quora_stored_ = nullptr;
+  obs::Histogram* m_quorum_size_ = nullptr;
 };
 
 class HSigmaSyncProcess final : public SyncProcess, public HSigmaHandle {
@@ -55,6 +62,9 @@ class HSigmaSyncProcess final : public SyncProcess, public HSigmaHandle {
 
   [[nodiscard]] HSigmaSnapshot snapshot() const override { return core_.snapshot(); }
   [[nodiscard]] const HSigmaCore& core() const { return core_; }
+  void attach_metrics(obs::MetricsRegistry* reg, const obs::Labels& labels = {}) {
+    core_.attach_metrics(reg, labels);
+  }
 
  private:
   Id self_id_;
@@ -73,6 +83,9 @@ class HSigmaComponent final : public Process, public HSigmaHandle {
 
   [[nodiscard]] HSigmaSnapshot snapshot() const override { return core_.snapshot(); }
   [[nodiscard]] const HSigmaCore& core() const { return core_; }
+  void attach_metrics(obs::MetricsRegistry* reg, const obs::Labels& labels = {}) {
+    core_.attach_metrics(reg, labels);
+  }
 
  private:
   void begin_step(Env& env);

@@ -4,6 +4,22 @@
 
 namespace hds {
 
+void OHPPolling::attach_metrics(obs::MetricsRegistry* reg, const obs::Labels& labels) {
+  if (reg == nullptr) {
+    m_suspicion_changes_ = nullptr;
+    m_leader_changes_ = nullptr;
+    m_timeout_adaptations_ = nullptr;
+    m_quorum_size_ = nullptr;
+    m_last_change_at_ = nullptr;
+    return;
+  }
+  m_suspicion_changes_ = &reg->counter("fd_suspicion_changes_total", labels);
+  m_leader_changes_ = &reg->counter("fd_leader_changes_total", labels);
+  m_timeout_adaptations_ = &reg->counter("fd_timeout_adaptations_total", labels);
+  m_quorum_size_ = &reg->histogram("fd_quorum_size", obs::size_buckets(), labels);
+  m_last_change_at_ = &reg->gauge("fd_last_output_change_at", labels);
+}
+
 void OHPPolling::on_start(Env& env) {
   started_ = true;
   h_omega_ = HOmegaOut{env.self_id(), 1};
@@ -30,14 +46,25 @@ void OHPPolling::finish_round(Env& env) {
   for (const StoredReply& rep : replies_) {
     if (rep.lo <= r_ && r_ <= rep.hi) tmp.insert(rep.from_id);
   }
+  if (tmp != h_trusted_) {
+    obs::inc(m_suspicion_changes_);
+    obs::set(m_last_change_at_, env.local_now());
+  }
   h_trusted_ = tmp;
   trusted_trace_.record(env.local_now(), h_trusted_);
+  obs::observe(m_quorum_size_, static_cast<std::int64_t>(h_trusted_.size()));
   // Corollary 2: HΩ from the smallest trusted identifier.
+  HOmegaOut next;
   if (!h_trusted_.empty()) {
-    h_omega_ = HOmegaOut{h_trusted_.min(), h_trusted_.multiplicity(h_trusted_.min())};
+    next = HOmegaOut{h_trusted_.min(), h_trusted_.multiplicity(h_trusted_.min())};
   } else {
-    h_omega_ = HOmegaOut{env.self_id(), 1};
+    next = HOmegaOut{env.self_id(), 1};
   }
+  if (!(next == h_omega_)) {
+    obs::inc(m_leader_changes_);
+    obs::set(m_last_change_at_, env.local_now());
+  }
+  h_omega_ = next;
   homega_trace_.record(env.local_now(), h_omega_);
   ++r_;
   // Replies whose range ended before the (monotonically increasing) current
@@ -71,6 +98,7 @@ void OHPPolling::on_message(Env& env, const Message& m) {
     if (opts_.adaptive_timeout && rep->lo < r_) {
       ++timeout_;
       timeout_trace_.record(env.local_now(), timeout_);
+      obs::inc(m_timeout_adaptations_);
     }
   }
 }

@@ -22,6 +22,7 @@
 #include "common/trajectory.h"
 #include "common/types.h"
 #include "fd/interfaces.h"
+#include "obs/metrics.h"
 #include "sim/process.h"
 
 namespace hds {
@@ -70,6 +71,12 @@ class OHPPolling final : public Process, public OHPHandle, public HOmegaHandle {
   [[nodiscard]] const Trajectory<HOmegaOut>& homega_trace() const { return homega_trace_; }
   [[nodiscard]] const Trajectory<SimTime>& timeout_trace() const { return timeout_trace_; }
 
+  // Registers this detector's instruments: suspicion churn, leader changes,
+  // the replier-quorum size distribution, timeout adaptations, and the
+  // instant of the last output change (time-to-stabilization once the run is
+  // over). Call before the system starts; null detaches.
+  void attach_metrics(obs::MetricsRegistry* reg, const obs::Labels& labels = {});
+
   // Process.
   void on_start(Env& env) override;
   void on_message(Env& env, const Message& m) override;
@@ -99,6 +106,12 @@ class OHPPolling final : public Process, public OHPHandle, public HOmegaHandle {
   Trajectory<Multiset<Id>> trusted_trace_;
   Trajectory<HOmegaOut> homega_trace_;
   Trajectory<SimTime> timeout_trace_;
+
+  obs::Counter* m_suspicion_changes_ = nullptr;
+  obs::Counter* m_leader_changes_ = nullptr;
+  obs::Counter* m_timeout_adaptations_ = nullptr;
+  obs::Histogram* m_quorum_size_ = nullptr;
+  obs::Gauge* m_last_change_at_ = nullptr;
 };
 
 }  // namespace hds

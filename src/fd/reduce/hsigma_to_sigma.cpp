@@ -21,6 +21,17 @@ HSigmaToSigma::HSigmaToSigma(const HSigmaHandle& hsigma, const RankerHandle& ran
                              SimTime period)
     : hsigma_(hsigma), ranker_(ranker), period_(period) {}
 
+void HSigmaToSigma::attach_metrics(obs::MetricsRegistry* reg, obs::Labels labels) {
+  if (reg == nullptr) {
+    m_msgs_ = nullptr;
+    m_bytes_ = nullptr;
+    return;
+  }
+  labels.emplace("reduction", "hsigma_to_sigma");
+  m_msgs_ = &reg->counter("reduce_msgs_total", labels);
+  m_bytes_ = &reg->counter("reduce_bytes_total", labels);
+}
+
 void HSigmaToSigma::on_start(Env& env) { tick(env); }
 
 void HSigmaToSigma::on_timer(Env& env, TimerId) { tick(env); }
@@ -29,6 +40,12 @@ void HSigmaToSigma::tick(Env& env) {
   const HSigmaSnapshot snap = hsigma_.snapshot();
   // Line 5: publish our current label set.
   env.broadcast(make_message(kMsgType, LabelsMsg{env.self_id(), snap.labels}));
+  obs::inc(m_msgs_);
+  if (m_bytes_ != nullptr) {
+    std::uint64_t bytes = sizeof(Id);
+    for (const Label& x : snap.labels) bytes += x.repr().size();
+    m_bytes_->inc(bytes);
+  }
   // Lines 6-8: pick among explained candidates the multiset whose
   // worst-ranked member sits highest in X.alive.
   const std::vector<Id> alive = ranker_.alive_list();

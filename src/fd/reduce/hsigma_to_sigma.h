@@ -16,6 +16,7 @@
 #include "common/trajectory.h"
 #include "common/types.h"
 #include "fd/interfaces.h"
+#include "obs/metrics.h"
 #include "sim/process.h"
 
 namespace hds {
@@ -43,6 +44,10 @@ class HSigmaToSigma final : public Process, public SigmaHandle {
 
   [[nodiscard]] const Trajectory<Multiset<Id>>& trace() const { return trace_; }
 
+  // Per-reduction overhead: LABELS broadcasts and their approximate wire
+  // size, under reduction="hsigma_to_sigma" (merged into `labels`).
+  void attach_metrics(obs::MetricsRegistry* reg, obs::Labels labels = {});
+
  private:
   void tick(Env& env);
 
@@ -52,6 +57,8 @@ class HSigmaToSigma final : public Process, public SigmaHandle {
   std::map<Label, std::set<Id>> idents_;
   Multiset<Id> trusted_;
   Trajectory<Multiset<Id>> trace_;
+  obs::Counter* m_msgs_ = nullptr;
+  obs::Counter* m_bytes_ = nullptr;
 };
 
 }  // namespace hds

@@ -67,14 +67,31 @@ void SigmaToHSigmaLocal::sample(SimTime now) {
 SigmaToHSigmaBcast::SigmaToHSigmaBcast(const SigmaHandle& sigma, SimTime period)
     : sigma_(sigma), period_(period) {}
 
-void SigmaToHSigmaBcast::on_start(Env& env) {
+void SigmaToHSigmaBcast::attach_metrics(obs::MetricsRegistry* reg, obs::Labels labels) {
+  if (reg == nullptr) {
+    m_msgs_ = nullptr;
+    m_bytes_ = nullptr;
+    return;
+  }
+  labels.emplace("reduction", "sigma_to_hsigma");
+  m_msgs_ = &reg->counter("reduce_msgs_total", labels);
+  m_bytes_ = &reg->counter("reduce_bytes_total", labels);
+}
+
+void SigmaToHSigmaBcast::beat(Env& env) {
   env.broadcast(make_message(kMsgType, SigIdentMsg{env.self_id()}));
+  obs::inc(m_msgs_);
+  obs::inc(m_bytes_, sizeof(Id));
+}
+
+void SigmaToHSigmaBcast::on_start(Env& env) {
+  beat(env);
   sample(env.local_now());
   env.set_timer(period_);
 }
 
 void SigmaToHSigmaBcast::on_timer(Env& env, TimerId) {
-  env.broadcast(make_message(kMsgType, SigIdentMsg{env.self_id()}));
+  beat(env);
   sample(env.local_now());
   env.set_timer(period_);
 }

@@ -18,6 +18,7 @@
 #include "common/trajectory.h"
 #include "common/types.h"
 #include "fd/interfaces.h"
+#include "obs/metrics.h"
 #include "sim/process.h"
 
 namespace hds {
@@ -66,14 +67,21 @@ class SigmaToHSigmaBcast final : public Process, public HSigmaHandle {
   [[nodiscard]] const Trajectory<HSigmaSnapshot>& trace() const { return trace_; }
   [[nodiscard]] const std::set<Id>& mship() const { return mship_; }
 
+  // Per-reduction overhead: SIG_IDENT broadcasts and their approximate wire
+  // size, under reduction="sigma_to_hsigma" (merged into `labels`).
+  void attach_metrics(obs::MetricsRegistry* reg, obs::Labels labels = {});
+
  private:
   void sample(SimTime now);
+  void beat(Env& env);
 
   const SigmaHandle& sigma_;
   SimTime period_;
   std::set<Id> mship_;
   HSigmaSnapshot state_;
   Trajectory<HSigmaSnapshot> trace_;
+  obs::Counter* m_msgs_ = nullptr;
+  obs::Counter* m_bytes_ = nullptr;
 };
 
 // Shared helper: all subsets s of `membership` with self in s, as labels.

@@ -1,0 +1,206 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace hds::obs {
+
+Histogram::Histogram(std::vector<std::int64_t> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  if (bounds_.empty()) throw std::invalid_argument("Histogram: need at least one bound");
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bounds must be ascending");
+  }
+}
+
+void Histogram::observe(std::int64_t v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());  // overflow slot when past end
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<std::int64_t> exp_buckets(std::int64_t lo, std::int64_t hi) {
+  if (lo <= 0 || hi < lo) throw std::invalid_argument("exp_buckets: need 0 < lo <= hi");
+  std::vector<std::int64_t> out;
+  for (std::int64_t b = lo;; b *= 2) {
+    out.push_back(b);
+    if (b >= hi) break;
+  }
+  return out;
+}
+
+std::vector<std::int64_t> linear_buckets(std::int64_t lo, std::int64_t step, std::size_t count) {
+  if (step <= 0 || count == 0) throw std::invalid_argument("linear_buckets: bad step/count");
+  std::vector<std::int64_t> out(count);
+  for (std::size_t i = 0; i < count; ++i) out[i] = lo + step * static_cast<std::int64_t>(i);
+  return out;
+}
+
+const std::vector<std::int64_t>& time_buckets() {
+  static const std::vector<std::int64_t> b = exp_buckets(1, 65536);
+  return b;
+}
+
+const std::vector<std::int64_t>& size_buckets() {
+  static const std::vector<std::int64_t> b = [] {
+    std::vector<std::int64_t> v = linear_buckets(1, 1, 16);
+    v.push_back(32);
+    v.push_back(64);
+    return v;
+  }();
+  return b;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const Labels& labels) {
+  std::lock_guard lk(mu_);
+  auto& slot = counters_[{name, labels}];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  std::lock_guard lk(mu_);
+  auto& slot = gauges_[{name, labels}];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::vector<std::int64_t>& bounds,
+                                      const Labels& labels) {
+  std::lock_guard lk(mu_);
+  auto& slot = histograms_[{name, labels}];
+  if (!slot) slot = std::make_unique<Histogram>(bounds);
+  return *slot;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name, const Labels& labels) const {
+  std::lock_guard lk(mu_);
+  const auto it = counters_.find({name, labels});
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name, const Labels& labels) const {
+  std::lock_guard lk(mu_);
+  const auto it = gauges_.find({name, labels});
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name,
+                                                 const Labels& labels) const {
+  std::lock_guard lk(mu_);
+  const auto it = histograms_.find({name, labels});
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::uint64_t MetricsRegistry::counter_total(const std::string& name) const {
+  std::lock_guard lk(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [key, c] : counters_) {
+    if (key.first == name) total += c->value();
+  }
+  return total;
+}
+
+std::size_t MetricsRegistry::series_count() const {
+  std::lock_guard lk(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+namespace {
+
+void json_escape_to(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf] << "0123456789abcdef"[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+void labels_to_json(std::ostream& os, const Labels& labels) {
+  os << '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) os << ',';
+    first = false;
+    os << '"';
+    json_escape_to(os, k);
+    os << "\":\"";
+    json_escape_to(os, v);
+    os << '"';
+  }
+  os << '}';
+}
+
+void series_head(std::ostream& os, const std::string& name, const Labels& labels) {
+  os << "{\"name\":\"";
+  json_escape_to(os, name);
+  os << "\",\"labels\":";
+  labels_to_json(os, labels);
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard lk(mu_);
+  std::ostringstream os;
+  os << "{\n  \"counters\": [";
+  bool first = true;
+  for (const auto& [key, c] : counters_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    series_head(os, key.first, key.second);
+    os << ",\"value\":" << c->value() << '}';
+  }
+  os << "\n  ],\n  \"gauges\": [";
+  first = true;
+  for (const auto& [key, g] : gauges_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    series_head(os, key.first, key.second);
+    os << ",\"value\":" << g->value() << '}';
+  }
+  os << "\n  ],\n  \"histograms\": [";
+  first = true;
+  for (const auto& [key, h] : histograms_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    series_head(os, key.first, key.second);
+    os << ",\"count\":" << h->count() << ",\"sum\":" << h->sum() << ",\"buckets\":[";
+    for (std::size_t i = 0; i <= h->bounds().size(); ++i) {
+      if (i > 0) os << ',';
+      os << "{\"le\":";
+      if (i < h->bounds().size()) {
+        os << h->bounds()[i];
+      } else {
+        os << "null";  // the overflow bucket
+      }
+      os << ",\"count\":" << h->bucket_count(i) << '}';
+    }
+    os << "]}";
+  }
+  os << "\n  ]\n}";
+  return os.str();
+}
+
+}  // namespace hds::obs

@@ -1,0 +1,109 @@
+#include "obs/trace_export.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace hds::obs {
+
+namespace {
+
+void json_escape_to(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf] << "0123456789abcdef"[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+// Event name shown on the timeline: the kind, qualified by the message type
+// where one exists ("deliver PH1" reads better than bare "deliver").
+std::string event_name(const TraceEvent& e) {
+  std::string name = TraceEvent::kind_name(e.kind);
+  if (!e.msg_type.empty()) {
+    name += ' ';
+    name += e.msg_type;
+  }
+  return name;
+}
+
+}  // namespace
+
+void write_chrome_trace(const std::vector<TraceEvent>& events, const TraceExportMeta& meta,
+                        std::ostream& os) {
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  // Metadata: name the process row and one thread row per simulated process.
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+        "\"args\":{\"name\":\"hds run\"}}";
+  first = false;
+  for (std::size_t i = 0; i < meta.ids.size(); ++i) {
+    os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << i
+       << ",\"args\":{\"name\":\"p" << i << " id=" << meta.ids[i] << "\"}}";
+  }
+  for (const TraceEvent& e : events) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"name\":\"";
+    json_escape_to(os, event_name(e));
+    os << "\",\"cat\":\"" << TraceEvent::kind_name(e.kind) << "\",\"ph\":\"i\",\"s\":\"t\""
+       << ",\"ts\":" << e.at << ",\"pid\":0,\"tid\":" << e.proc;
+    if (!e.msg_type.empty()) {
+      os << ",\"args\":{\"type\":\"";
+      json_escape_to(os, e.msg_type);
+      os << "\"}";
+    }
+    os << '}';
+  }
+  os << "\n],\n\"displayTimeUnit\":\"ms\",\n\"otherData\":{\"event_count\":" << events.size()
+     << ",\"dropped_events\":" << meta.dropped << ",\"label\":\"";
+  json_escape_to(os, meta.label);
+  os << "\"}}\n";
+}
+
+void write_trace_jsonl(const std::vector<TraceEvent>& events, const TraceExportMeta& meta,
+                       std::ostream& os) {
+  // Header line carries the run-level accounting so a stream consumer can
+  // tell a partial window from a complete one.
+  os << "{\"meta\":{\"event_count\":" << events.size() << ",\"dropped_events\":" << meta.dropped
+     << ",\"label\":\"";
+  json_escape_to(os, meta.label);
+  os << "\"}}\n";
+  for (const TraceEvent& e : events) {
+    os << "{\"at\":" << e.at << ",\"kind\":\"" << TraceEvent::kind_name(e.kind)
+       << "\",\"proc\":" << e.proc;
+    if (!e.msg_type.empty()) {
+      os << ",\"type\":\"";
+      json_escape_to(os, e.msg_type);
+      os << '"';
+    }
+    os << "}\n";
+  }
+}
+
+std::string chrome_trace_json(const std::vector<TraceEvent>& events, const TraceExportMeta& meta) {
+  std::ostringstream os;
+  write_chrome_trace(events, meta, os);
+  return os.str();
+}
+
+std::string trace_jsonl(const std::vector<TraceEvent>& events, const TraceExportMeta& meta) {
+  std::ostringstream os;
+  write_trace_jsonl(events, meta, os);
+  return os.str();
+}
+
+}  // namespace hds::obs

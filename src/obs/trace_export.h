@@ -1,0 +1,44 @@
+// Trace exporters: turn a recorded TraceLog window into
+//  - Chrome trace-event JSON ("trace.json"), loadable in chrome://tracing
+//    and Perfetto: one pid for the run, one tid per process (named with its
+//    homonymous identifier), instant events per trace record, and
+//    dropped-event accounting in otherData;
+//  - a JSONL stream (one event object per line), the machine-friendly form
+//    for ad-hoc analysis (jq, pandas).
+//
+// Exporters work from the materialized event vector (TraceLog::events() or
+// ConsensusRunResult::trace_events) so they can run after the System that
+// produced the log is gone.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/tracelog.h"
+
+namespace hds::obs {
+
+struct TraceExportMeta {
+  std::vector<Id> ids;         // ids[i] names thread i; may be empty
+  std::uint64_t dropped = 0;   // ring evictions (TraceLog::dropped())
+  std::string label;           // free-form run description
+};
+
+// Chrome trace-event format (JSON object form). SimTime ticks map 1:1 to
+// microseconds — the unit chrome://tracing displays natively.
+void write_chrome_trace(const std::vector<TraceEvent>& events, const TraceExportMeta& meta,
+                        std::ostream& os);
+
+// One JSON object per line: {"at":..., "kind":"...", "proc":..., "type":"..."}.
+void write_trace_jsonl(const std::vector<TraceEvent>& events, const TraceExportMeta& meta,
+                       std::ostream& os);
+
+[[nodiscard]] std::string chrome_trace_json(const std::vector<TraceEvent>& events,
+                                            const TraceExportMeta& meta);
+[[nodiscard]] std::string trace_jsonl(const std::vector<TraceEvent>& events,
+                                      const TraceExportMeta& meta);
+
+}  // namespace hds::obs

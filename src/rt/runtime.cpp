@@ -37,8 +37,21 @@ class RtSystem::Node {
     return crashed_;
   }
 
-  void deliver(Clock::time_point at, std::shared_ptr<const Message> m) {
-    enqueue(at, Task{[m = std::move(m)](Process& p, Env& e) { p.on_message(e, *m); }});
+  // True if the copy was accepted (node not crashed at enqueue time). The
+  // delivery count is bumped by the handler task itself, i.e. on the node
+  // thread — the same discipline as every other touch of the node's state.
+  bool deliver(Clock::time_point at, std::shared_ptr<const Message> m) {
+    return enqueue(at, Task{[this, m = std::move(m)](Process& p, Env& e) {
+      p.on_message(e, *m);
+      delivered_.fetch_add(1, std::memory_order_relaxed);
+      obs::inc(sys_.m_copies_delivered_);
+    }});
+  }
+
+  // Relaxed atomic so the count survives a crash (the final in-flight
+  // handler may still be bumping it when an observer reads).
+  [[nodiscard]] std::uint64_t delivered() const {
+    return delivered_.load(std::memory_order_relaxed);
   }
 
   void post(std::function<void(Process&)> fn) {
@@ -86,13 +99,14 @@ class RtSystem::Node {
     Node& node_;
   };
 
-  void enqueue(Clock::time_point at, Task task) {
+  bool enqueue(Clock::time_point at, Task task) {
     {
       std::lock_guard lk(mu_);
-      if (crashed_) return;
+      if (crashed_) return false;
       queue_.push(Item{at, seq_++, std::move(task)});
     }
     cv_.notify_all();
+    return true;
   }
 
   void run(std::stop_token st) {
@@ -122,6 +136,7 @@ class RtSystem::Node {
   ProcIndex idx_;
   NodeEnv env_;
   std::unique_ptr<Process> proc_;
+  std::atomic<std::uint64_t> delivered_{0};
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::priority_queue<Item, std::vector<Item>, Later> queue_;
@@ -136,10 +151,15 @@ RtSystem::RtSystem(RtConfig cfg)
       min_delay_ms_(cfg.min_delay_ms),
       max_delay_ms_(cfg.max_delay_ms),
       rng_(cfg.seed),
-      epoch_(Clock::now()) {
+      epoch_(Clock::now()),
+      metrics_(cfg.metrics) {
   if (ids_.empty()) throw std::invalid_argument("RtSystem: need at least one process");
   if (min_delay_ms_ < 0 || max_delay_ms_ < min_delay_ms_) {
     throw std::invalid_argument("RtSystem: bad delay range");
+  }
+  if (metrics_ != nullptr) {
+    m_broadcasts_ = &metrics_->counter("rt_broadcasts_total");
+    m_copies_delivered_ = &metrics_->counter("rt_copies_delivered_total");
   }
   nodes_.reserve(ids_.size());
   for (ProcIndex i = 0; i < ids_.size(); ++i) nodes_.push_back(std::make_unique<Node>(*this, i));
@@ -171,14 +191,52 @@ void RtSystem::broadcast_from(ProcIndex from, const Message& m) {
   if (nodes_.at(from)->crashed()) return;
   auto shared = std::make_shared<const Message>(m);
   const auto now = Clock::now();
+  std::uint64_t scheduled = 0;
+  std::uint64_t rejected = 0;
   for (auto& node : nodes_) {
     SimTime d;
     {
       std::lock_guard lk(rng_mu_);
       d = rng_.uniform(min_delay_ms_, max_delay_ms_);
     }
-    node->deliver(now + std::chrono::milliseconds(d), shared);
+    if (node->deliver(now + std::chrono::milliseconds(d), shared)) {
+      ++scheduled;
+    } else {
+      ++rejected;
+    }
   }
+  {
+    std::lock_guard lk(stats_mu_);
+    ++send_stats_.broadcasts;
+    ++send_stats_.broadcasts_by_type[shared->type];
+    send_stats_.copies_scheduled += scheduled;
+    send_stats_.copies_to_crashed += rejected;
+  }
+  obs::inc(m_broadcasts_);
+}
+
+RtNetworkStats RtSystem::net_stats() {
+  RtNetworkStats out;
+  {
+    std::lock_guard lk(stats_mu_);
+    out = send_stats_;
+  }
+  for (ProcIndex i = 0; i < nodes_.size(); ++i) {
+    Node* node = nodes_[i].get();
+    std::uint64_t d = 0;
+    if (!node->crashed()) {
+      try {
+        // Mailbox discipline: the node reads its own counter on its thread.
+        d = query(i, [node](Process&) { return node->delivered(); });
+      } catch (const std::runtime_error&) {
+        d = node->delivered();  // crashed between the check and the post
+      }
+    } else {
+      d = node->delivered();
+    }
+    out.copies_delivered += d;
+  }
+  return out;
 }
 
 SimTime RtSystem::now_ms() const {

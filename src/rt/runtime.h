@@ -13,13 +13,16 @@
 #include <condition_variable>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "sim/process.h"
 
 namespace hds {
@@ -31,6 +34,21 @@ struct RtConfig {
   // latency; the scheduler's own jitter adds the asynchrony).
   SimTime min_delay_ms = 0;
   SimTime max_delay_ms = 2;
+  // Observability sink; null disables metric collection.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+// Counter parity with the sim substrate's NetworkStats, for the thread
+// runtime. Send-side counters are aggregated under a lock on the
+// broadcasting thread; delivery counters live per node and are collected by
+// net_stats() through the query() mailbox discipline (each alive node reads
+// its own counter on its own thread), so no reader ever races a handler.
+struct RtNetworkStats {
+  std::uint64_t broadcasts = 0;         // broadcast() invocations
+  std::uint64_t copies_scheduled = 0;   // copies enqueued toward a live node
+  std::uint64_t copies_delivered = 0;   // handler actually ran at the node
+  std::uint64_t copies_to_crashed = 0;  // rejected: destination already crashed
+  std::map<std::string, std::uint64_t> broadcasts_by_type;
 };
 
 class RtSystem {
@@ -75,6 +93,11 @@ class RtSystem {
   bool wait_for(const std::function<bool()>& pred, std::chrono::milliseconds timeout,
                 std::chrono::milliseconds poll = std::chrono::milliseconds(5));
 
+  // Aggregated network counters (see RtNetworkStats). Blocks briefly: the
+  // per-node delivery counts are read via query() on each alive node's own
+  // thread; a node that crashed reports the count it had accumulated.
+  [[nodiscard]] RtNetworkStats net_stats();
+
   // Requests every node thread to stop and joins them.
   void stop();
 
@@ -90,6 +113,15 @@ class RtSystem {
   std::mutex rng_mu_;
   Rng rng_;
   std::chrono::steady_clock::time_point epoch_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* m_broadcasts_ = nullptr;
+  obs::Counter* m_copies_delivered_ = nullptr;
+
+  // Send-side counters; guarded by stats_mu_ (broadcasts come from many
+  // node threads).
+  std::mutex stats_mu_;
+  RtNetworkStats send_stats_;
+
   std::vector<std::unique_ptr<Node>> nodes_;
   bool started_ = false;
 };

@@ -2,9 +2,31 @@
 
 namespace hds {
 
+Network::Network(Scheduler& sched, TimingModel& timing, Rng& rng, std::size_t n, Deliver deliver,
+                 TraceLog* trace, obs::MetricsRegistry* metrics)
+    : sched_(sched),
+      timing_(timing),
+      rng_(rng),
+      n_(n),
+      deliver_(std::move(deliver)),
+      trace_(trace),
+      metrics_(metrics) {
+  if (metrics_ != nullptr) {
+    m_copies_delivered_ = &metrics_->counter("net_copies_delivered_total");
+    m_copies_lost_ = &metrics_->counter("net_copies_lost_total");
+    m_copies_to_dead_ = &metrics_->counter("net_copies_to_dead_total");
+    m_latency_ = &metrics_->histogram("net_delivery_latency", obs::time_buckets());
+  }
+}
+
 void Network::broadcast(ProcIndex from, Message m, double dying_delivery_prob) {
   ++stats_.broadcasts;
   ++stats_.broadcasts_by_type[m.type];
+  if (metrics_ != nullptr) {
+    auto [it, inserted] = m_bcast_by_type_.try_emplace(m.type, nullptr);
+    if (inserted) it->second = &metrics_->counter("net_broadcasts_total", {{"type", m.type}});
+    it->second->inc();
+  }
   m.meta_sender = from;
   m.meta_sent_at = sched_.now();
   auto shared = std::make_shared<const Message>(std::move(m));
@@ -14,12 +36,14 @@ void Network::broadcast(ProcIndex from, Message m, double dying_delivery_prob) {
     ++stats_.copies_sent;
     if (dying_delivery_prob < 1.0 && !rng_.chance(dying_delivery_prob)) {
       ++stats_.copies_lost;
+      obs::inc(m_copies_lost_);
       if (trace_ != nullptr) trace_->record(sent, TraceEvent::Kind::kLost, to, shared->type);
       continue;
     }
     auto when = timing_.delivery_at(sent, from, to, shared->type, rng_);
     if (!when) {
       ++stats_.copies_lost;
+      obs::inc(m_copies_lost_);
       if (trace_ != nullptr) trace_->record(sent, TraceEvent::Kind::kLost, to, shared->type);
       continue;
     }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
 #include "sim/message.h"
 #include "sim/scheduler.h"
 #include "sim/timing.h"
@@ -43,11 +44,9 @@ class Network {
   // destination is still alive (and count copies_to_dead via the setters).
   using Deliver = std::function<void(ProcIndex to, const std::shared_ptr<const Message>&)>;
 
-  // `trace` may be null (tracing disabled).
+  // `trace` and `metrics` may be null (that observability surface disabled).
   Network(Scheduler& sched, TimingModel& timing, Rng& rng, std::size_t n, Deliver deliver,
-          TraceLog* trace = nullptr)
-      : sched_(sched), timing_(timing), rng_(rng), n_(n), deliver_(std::move(deliver)),
-        trace_(trace) {}
+          TraceLog* trace = nullptr, obs::MetricsRegistry* metrics = nullptr);
 
   // Sends one copy to every process. If `dying_delivery_prob` < 1 the sender
   // is crashing during this broadcast: each copy independently survives with
@@ -55,11 +54,16 @@ class Network {
   void broadcast(ProcIndex from, Message m, double dying_delivery_prob = 1.0);
 
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
-  void note_copy_to_dead() { ++stats_.copies_to_dead; }
+  void note_copy_to_dead() {
+    ++stats_.copies_to_dead;
+    obs::inc(m_copies_to_dead_);
+  }
   void note_delivered(SimTime latency) {
     ++stats_.copies_delivered;
     stats_.latency_sum += latency;
     stats_.latency_max = std::max(stats_.latency_max, latency);
+    obs::inc(m_copies_delivered_);
+    obs::observe(m_latency_, latency);
   }
 
  private:
@@ -69,7 +73,15 @@ class Network {
   std::size_t n_;
   Deliver deliver_;
   TraceLog* trace_;
+  obs::MetricsRegistry* metrics_;
   NetworkStats stats_;
+
+  // Cached instruments; all null when metrics_ is null.
+  obs::Counter* m_copies_delivered_ = nullptr;
+  obs::Counter* m_copies_lost_ = nullptr;
+  obs::Counter* m_copies_to_dead_ = nullptr;
+  obs::Histogram* m_latency_ = nullptr;
+  std::map<std::string, obs::Counter*> m_bcast_by_type_;
 };
 
 }  // namespace hds

@@ -26,6 +26,7 @@ class System::NodeEnv final : public Env {
     sys_.sched_.after(delay, [this, id] {
       if (!sys_.is_alive(idx_)) return;
       sys_.trace_.record(sys_.now(), TraceEvent::Kind::kTimer, idx_);
+      obs::inc(sys_.m_timer_fires_);
       sys_.procs_.at(idx_)->on_timer(*this, id);
     });
     return id;
@@ -47,6 +48,7 @@ System::System(SystemConfig cfg)
       dying_copy_delivery_prob_(cfg.dying_copy_delivery_prob),
       rng_(cfg.seed),
       trace_(cfg.trace_capacity),
+      metrics_(cfg.metrics),
       timing_(std::move(cfg.timing)) {
   if (ids_.empty()) throw std::invalid_argument("System: need at least one process");
   if (!timing_) throw std::invalid_argument("System: timing model required");
@@ -60,7 +62,8 @@ System::System(SystemConfig cfg)
   net_ = std::make_unique<Network>(
       sched_, *timing_, rng_, ids_.size(),
       [this](ProcIndex to, const std::shared_ptr<const Message>& m) { deliver(to, m); },
-      trace_.enabled() ? &trace_ : nullptr);
+      trace_.enabled() ? &trace_ : nullptr, metrics_);
+  if (metrics_ != nullptr) m_timer_fires_ = &metrics_->counter("sim_timer_fires_total");
 }
 
 void System::set_process(ProcIndex i, std::unique_ptr<Process> p) {

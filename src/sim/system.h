@@ -14,6 +14,7 @@
 #include "common/multiset.h"
 #include "common/rng.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "sim/network.h"
 #include "sim/process.h"
 #include "sim/scheduler.h"
@@ -37,6 +38,9 @@ struct SystemConfig {
   std::uint64_t seed = 1;
   double dying_copy_delivery_prob = 0.5;  // per-copy survival of a dying broadcast
   std::size_t trace_capacity = 0;         // > 0 enables the structured event log
+  // Observability sink; null disables metric collection entirely (the
+  // network and the node environments then never touch an instrument).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class System {
@@ -76,6 +80,7 @@ class System {
   [[nodiscard]] Scheduler& scheduler() { return sched_; }
   [[nodiscard]] const NetworkStats& net_stats() const { return net_->stats(); }
   [[nodiscard]] const TraceLog& trace() const { return trace_; }
+  [[nodiscard]] obs::MetricsRegistry* metrics() const { return metrics_; }
 
  private:
   class NodeEnv;
@@ -88,6 +93,8 @@ class System {
   Rng rng_;
   Scheduler sched_;
   TraceLog trace_{0};
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* m_timer_fires_ = nullptr;
   std::unique_ptr<TimingModel> timing_;
   std::unique_ptr<Network> net_;
   std::vector<std::unique_ptr<Process>> procs_;

@@ -26,50 +26,62 @@ const char* TraceEvent::kind_name(Kind k) {
 
 void TraceLog::record(SimTime at, TraceEvent::Kind kind, ProcIndex proc, std::string msg_type) {
   if (!enabled()) return;
-  if (events_.size() >= capacity_) {
-    truncated_ = true;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(TraceEvent{at, kind, proc, std::move(msg_type)});
     return;
   }
-  events_.push_back(TraceEvent{at, kind, proc, std::move(msg_type)});
+  ring_[next_] = TraceEvent{at, kind, proc, std::move(msg_type)};
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<TraceEvent> TraceLog::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for_each([&out](const TraceEvent& e) { out.push_back(e); });
+  return out;
 }
 
 std::vector<TraceEvent> TraceLog::by_proc(ProcIndex p) const {
   std::vector<TraceEvent> out;
-  for (const auto& e : events_) {
+  for_each([&](const TraceEvent& e) {
     if (e.proc == p) out.push_back(e);
-  }
+  });
   return out;
 }
 
 std::vector<TraceEvent> TraceLog::by_type(const std::string& msg_type) const {
   std::vector<TraceEvent> out;
-  for (const auto& e : events_) {
+  for_each([&](const TraceEvent& e) {
     if (e.msg_type == msg_type) out.push_back(e);
-  }
+  });
   return out;
 }
 
 std::map<std::string, std::size_t> TraceLog::counts_by_type(TraceEvent::Kind kind) const {
   std::map<std::string, std::size_t> out;
-  for (const auto& e : events_) {
+  for_each([&](const TraceEvent& e) {
     if (e.kind == kind) ++out[e.msg_type];
-  }
+  });
   return out;
 }
 
 std::string TraceLog::dump(std::size_t max_lines) const {
   std::ostringstream os;
+  if (dropped_ > 0) os << "[ring dropped " << dropped_ << " earlier events]\n";
   std::size_t lines = 0;
-  for (const auto& e : events_) {
+  bool elided = false;
+  for_each([&](const TraceEvent& e) {
+    if (elided) return;
     if (lines++ >= max_lines) {
-      os << "... (" << events_.size() - max_lines << " more)\n";
-      break;
+      os << "... (" << ring_.size() - max_lines << " more)\n";
+      elided = true;
+      return;
     }
     os << 't' << e.at << " p" << e.proc << ' ' << TraceEvent::kind_name(e.kind);
     if (!e.msg_type.empty()) os << ' ' << e.msg_type;
     os << '\n';
-  }
-  if (truncated_) os << "[trace truncated at capacity]\n";
+  });
   return os.str();
 }
 

@@ -1,8 +1,15 @@
 // Structured event log of a simulated run: starts, broadcasts, deliveries,
 // losses, timer firings and crashes, in global time order. Disabled by
 // default (SystemConfig::trace_capacity = 0); when enabled it is the
-// debugging view of a run — filter by process or message type, or dump a
-// readable transcript.
+// debugging view of a run — filter by process or message type, dump a
+// readable transcript, or export it (obs/trace_export.h) as Chrome-trace
+// JSON / JSONL.
+//
+// Capacity is a flight-recorder ring: once full, recording a new event
+// evicts the oldest retained one, so the log always holds the *latest*
+// `capacity` events — the window that matters when diagnosing why a long
+// run stalled. dropped() counts the evictions; truncated() stays true once
+// any event has been dropped.
 #pragma once
 
 #include <cstdint>
@@ -40,11 +47,17 @@ class TraceLog {
 
   [[nodiscard]] bool enabled() const { return capacity_ > 0; }
   // True once events were discarded because the capacity was reached.
-  [[nodiscard]] bool truncated() const { return truncated_; }
+  [[nodiscard]] bool truncated() const { return dropped_ > 0; }
+  // Number of (oldest) events evicted by the ring.
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  // Total events ever recorded, retained or not.
+  [[nodiscard]] std::uint64_t recorded() const { return dropped_ + ring_.size(); }
+  [[nodiscard]] std::size_t size() const { return ring_.size(); }
 
   void record(SimTime at, TraceEvent::Kind kind, ProcIndex proc, std::string msg_type = {});
 
-  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  // Retained events in chronological order (materialized from the ring).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
 
   [[nodiscard]] std::vector<TraceEvent> by_proc(ProcIndex p) const;
   [[nodiscard]] std::vector<TraceEvent> by_type(const std::string& msg_type) const;
@@ -54,9 +67,18 @@ class TraceLog {
   [[nodiscard]] std::string dump(std::size_t max_lines = 200) const;
 
  private:
+  // Calls f on each retained event, oldest first.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t k = 0; k < ring_.size(); ++k) {
+      f(ring_[(next_ + k) % ring_.size()]);
+    }
+  }
+
   std::size_t capacity_;
-  bool truncated_ = false;
-  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+  std::vector<TraceEvent> ring_;  // grows to capacity_, then recycles
+  std::size_t next_ = 0;          // oldest slot == next overwrite target, once full
 };
 
 }  // namespace hds

@@ -97,6 +97,80 @@ TEST(RtSystem, CrashedNodeStopsReceiving) {
   EXPECT_EQ(bp->pings, 0);
 }
 
+TEST(RtSystem, NetStatsCountBroadcastsAndDeliveries) {
+  RtConfig cfg;
+  cfg.ids = {1, 2, 3};
+  RtSystem sys(std::move(cfg));
+  std::vector<Probe*> probes;
+  for (ProcIndex i = 0; i < 3; ++i) {
+    auto p = std::make_unique<Probe>();
+    p->send_on_start = true;
+    probes.push_back(p.get());
+    sys.set_process(i, std::move(p));
+  }
+  sys.start();
+  // Each node broadcasts once; each copy reaches all 3 nodes.
+  ASSERT_TRUE(sys.wait_for(
+      [&] {
+        return probes[0]->pings >= 3 && probes[1]->pings >= 3 && probes[2]->pings >= 3;
+      },
+      5000ms));
+  RtNetworkStats stats = sys.net_stats();
+  EXPECT_EQ(stats.broadcasts, 3u);
+  EXPECT_EQ(stats.copies_scheduled, 9u);
+  EXPECT_EQ(stats.copies_delivered, 9u);
+  EXPECT_EQ(stats.copies_to_crashed, 0u);
+  EXPECT_EQ(stats.broadcasts_by_type["PING"], 3u);
+  sys.stop();
+}
+
+TEST(RtSystem, NetStatsAccountCrashedDestinations) {
+  RtConfig cfg;
+  cfg.ids = {1, 2};
+  RtSystem sys(std::move(cfg));
+  auto a = std::make_unique<Probe>();
+  a->timer_ms = 30;
+  a->send_on_timer = true;
+  auto* ap = a.get();
+  sys.set_process(0, std::move(a));
+  sys.set_process(1, std::make_unique<Probe>());
+  sys.start();
+  sys.crash(1);
+  ASSERT_TRUE(sys.wait_for([&] { return ap->pings >= 1; }, 5000ms));
+  RtNetworkStats stats = sys.net_stats();
+  EXPECT_GE(stats.broadcasts, 1u);
+  // Every broadcast schedules a copy for node 0 and rejects one for node 1;
+  // net_stats() still reads node 1's pre-crash tally without racing.
+  EXPECT_EQ(stats.copies_to_crashed, stats.broadcasts);
+  EXPECT_EQ(stats.copies_scheduled, stats.broadcasts);
+  sys.stop();
+}
+
+TEST(RtSystem, MetricsRegistryMirrorsNetStats) {
+  obs::MetricsRegistry reg;
+  RtConfig cfg;
+  cfg.ids = {1, 2, 3};
+  cfg.metrics = &reg;
+  RtSystem sys(std::move(cfg));
+  std::vector<Probe*> probes;
+  for (ProcIndex i = 0; i < 3; ++i) {
+    auto p = std::make_unique<Probe>();
+    p->send_on_start = true;
+    probes.push_back(p.get());
+    sys.set_process(i, std::move(p));
+  }
+  sys.start();
+  ASSERT_TRUE(sys.wait_for(
+      [&] {
+        return probes[0]->pings >= 3 && probes[1]->pings >= 3 && probes[2]->pings >= 3;
+      },
+      5000ms));
+  RtNetworkStats stats = sys.net_stats();
+  EXPECT_EQ(reg.counter_total("rt_broadcasts_total"), stats.broadcasts);
+  EXPECT_EQ(reg.counter_total("rt_copies_delivered_total"), stats.copies_delivered);
+  sys.stop();
+}
+
 TEST(RtSystem, ValidatesConfig) {
   RtConfig empty;
   EXPECT_THROW(RtSystem{std::move(empty)}, std::invalid_argument);

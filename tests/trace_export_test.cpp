@@ -1,0 +1,135 @@
+// Tests of the trace exporters: Chrome trace-event JSON shape, the JSONL
+// stream, and end-to-end propagation through the full-stack harness runs
+// (trace events + the metrics snapshot the paper's figures need).
+#include "obs/trace_export.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "consensus/harness.h"
+#include "obs/metrics.h"
+
+namespace hds {
+namespace {
+
+std::vector<TraceEvent> sample_events() {
+  return {
+      {.at = 0, .kind = TraceEvent::Kind::kStart, .proc = 0, .msg_type = ""},
+      {.at = 3, .kind = TraceEvent::Kind::kBroadcast, .proc = 0, .msg_type = "PH1"},
+      {.at = 7, .kind = TraceEvent::Kind::kDeliver, .proc = 1, .msg_type = "PH1"},
+      {.at = 9, .kind = TraceEvent::Kind::kCrash, .proc = 1, .msg_type = ""},
+  };
+}
+
+obs::TraceExportMeta sample_meta() {
+  obs::TraceExportMeta meta;
+  meta.ids = {10, 10, 42};
+  meta.dropped = 5;
+  meta.label = "unit \"quoted\" run";
+  return meta;
+}
+
+std::size_t count_of(const std::string& hay, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(ChromeTrace, CarriesEventsMetadataAndDropCount) {
+  const std::string j = obs::chrome_trace_json(sample_events(), sample_meta());
+  EXPECT_NE(j.find("\"traceEvents\""), std::string::npos);
+  // One instant event per trace record.
+  EXPECT_EQ(count_of(j, "\"ph\":\"i\""), 4u);
+  EXPECT_NE(j.find("\"ts\":3"), std::string::npos);
+  EXPECT_NE(j.find("broadcast PH1"), std::string::npos);
+  // Thread metadata names each process with its homonymous identifier.
+  EXPECT_GE(count_of(j, "\"ph\":\"M\""), 3u);
+  EXPECT_NE(j.find("\"dropped_events\":5"), std::string::npos);
+  EXPECT_NE(j.find("\"event_count\":4"), std::string::npos);
+  // Label quotes must be escaped for the document to stay valid JSON.
+  EXPECT_NE(j.find("unit \\\"quoted\\\" run"), std::string::npos);
+  EXPECT_EQ(j.find("unit \"quoted\" run"), std::string::npos);
+}
+
+TEST(ChromeTrace, EmptyEventListIsStillADocument) {
+  const std::string j = obs::chrome_trace_json({}, {});
+  EXPECT_NE(j.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(j.find("\"event_count\":0"), std::string::npos);
+}
+
+TEST(TraceJsonl, OneLinePerEventPlusMetaHeader) {
+  const std::string j = obs::trace_jsonl(sample_events(), sample_meta());
+  EXPECT_EQ(count_of(j, "\n"), 5u);  // meta line + 4 events, each newline-terminated
+  EXPECT_NE(j.find("\"meta\""), std::string::npos);
+  EXPECT_NE(j.find("\"dropped_events\":5"), std::string::npos);
+  EXPECT_NE(j.find("\"kind\":\"deliver\""), std::string::npos);
+  EXPECT_NE(j.find("\"at\":9"), std::string::npos);
+  // Every line is an object: as many '{' openers at line starts as lines.
+  EXPECT_EQ(j.front(), '{');
+}
+
+TEST(FullStackRun, ExportsTraceEventsAndAcceptanceMetrics) {
+  obs::MetricsRegistry reg;
+  Fig8FullStackParams p;
+  p.ids = ids_unique(5);
+  p.t_known = 1;
+  p.crashes = crashes_last_k(5, 1, 60);
+  p.seed = 1;
+  p.trace_capacity = 20'000;
+  p.metrics = &reg;
+  const ConsensusRunResult res = run_fig8_full_stack(p);
+  ASSERT_TRUE(res.check.ok) << res.check.detail;
+  ASSERT_TRUE(res.all_correct_decided);
+
+  // Trace events propagated out of the System into the result.
+  ASSERT_FALSE(res.trace_events.empty());
+  EXPECT_EQ(res.trace_dropped, 0u);
+  const std::string chrome = obs::chrome_trace_json(res.trace_events, {.ids = p.ids});
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+
+  // The acceptance-criteria series for a Fig. 8 full-stack run.
+  EXPECT_GT(reg.counter_total("fd_leader_changes_total"), 0u);
+  const obs::Gauge* stab = reg.find_gauge("fd_stabilization_time");
+  ASSERT_NE(stab, nullptr);
+  EXPECT_GT(stab->value(), 0);
+  const obs::Histogram* quorum = reg.find_histogram("fd_quorum_size", {{"proc", "0"}});
+  ASSERT_NE(quorum, nullptr);
+  EXPECT_GT(quorum->count(), 0u);
+  EXPECT_GT(reg.counter_total("net_broadcasts_total"), 0u);
+  EXPECT_EQ(reg.counter_total("net_broadcasts_total"), res.broadcasts);
+  EXPECT_GT(reg.counter_total("consensus_rounds_total"), 0u);
+  const obs::Gauge* decide = reg.find_gauge("consensus_decide_at", {{"proc", "0"}});
+  ASSERT_NE(decide, nullptr);
+  EXPECT_GT(decide->value(), 0);
+  // The snapshot serializes every series.
+  const std::string snapshot = reg.to_json();
+  EXPECT_NE(snapshot.find("fd_leader_changes_total"), std::string::npos);
+  EXPECT_NE(snapshot.find("fd_stabilization_time"), std::string::npos);
+  EXPECT_NE(snapshot.find("fd_quorum_size"), std::string::npos);
+  EXPECT_NE(snapshot.find("net_broadcasts_total"), std::string::npos);
+}
+
+TEST(FullStackRun, TinyRingPropagatesDropCount) {
+  Fig9FullStackParams p;
+  p.ids = ids_unique(4);
+  p.crashes = crashes_none(4);
+  p.seed = 2;
+  p.trace_capacity = 8;
+  const ConsensusRunResult res = run_fig9_full_stack(p);
+  ASSERT_TRUE(res.check.ok) << res.check.detail;
+  EXPECT_EQ(res.trace_events.size(), 8u);
+  EXPECT_GT(res.trace_dropped, 0u);
+  obs::TraceExportMeta meta;
+  meta.dropped = res.trace_dropped;
+  const std::string j = obs::chrome_trace_json(res.trace_events, meta);
+  EXPECT_NE(j.find("\"dropped_events\":" + std::to_string(res.trace_dropped)),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace hds

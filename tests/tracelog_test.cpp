@@ -91,6 +91,49 @@ TEST(TraceLog, CapacityTruncates) {
   EXPECT_TRUE(sys.trace().truncated());
 }
 
+TEST(TraceLog, RingKeepsLatestAndCountsDropped) {
+  // Run the same workload with an unbounded log and a tiny ring; the ring
+  // must hold exactly the LAST `capacity` events of the full sequence, and
+  // dropped() must account for every evicted event.
+  auto full_ptr = make_system(10'000);
+  full_ptr->start();
+  full_ptr->run_until(20);
+  const auto all = full_ptr->trace().events();
+  ASSERT_GT(all.size(), 4u);
+
+  auto ring_ptr = make_system(4);
+  ring_ptr->start();
+  ring_ptr->run_until(20);
+  const TraceLog& ring = ring_ptr->trace();
+  EXPECT_EQ(ring.dropped(), all.size() - 4u);
+  EXPECT_EQ(ring.recorded(), all.size());
+  const auto kept = ring.events();
+  ASSERT_EQ(kept.size(), 4u);
+  for (std::size_t k = 0; k < 4; ++k) {
+    const auto& want = all[all.size() - 4 + k];
+    EXPECT_EQ(kept[k].at, want.at);
+    EXPECT_EQ(kept[k].kind, want.kind);
+    EXPECT_EQ(kept[k].proc, want.proc);
+  }
+}
+
+TEST(TraceLog, UntruncatedRingDropsNothing) {
+  auto sys_ptr = make_system(10'000);
+  sys_ptr->start();
+  sys_ptr->run_until(20);
+  EXPECT_EQ(sys_ptr->trace().dropped(), 0u);
+  EXPECT_FALSE(sys_ptr->trace().truncated());
+  EXPECT_EQ(sys_ptr->trace().recorded(), sys_ptr->trace().events().size());
+}
+
+TEST(TraceLog, DumpMentionsDroppedEvents) {
+  auto sys_ptr = make_system(4);
+  sys_ptr->start();
+  sys_ptr->run_until(20);
+  const std::string dump = sys_ptr->trace().dump(10);
+  EXPECT_NE(dump.find("ring dropped"), std::string::npos);
+}
+
 TEST(TraceLog, DumpIsReadable) {
   auto sys_ptr = make_system(10'000);
   System& sys = *sys_ptr;
