@@ -47,6 +47,39 @@ class Trajectory {
 
   [[nodiscard]] const std::vector<std::pair<SimTime, V>>& points() const { return points_; }
 
+  // One maximal run of a value, clipped to a query window; end is exclusive.
+  struct Segment {
+    SimTime begin = 0;
+    SimTime end = 0;
+    V value{};
+
+    friend bool operator==(const Segment&, const Segment&) = default;
+  };
+
+  // Piecewise-constant view of the half-open window [from, to): one segment
+  // per recorded run of a value, clipped to the window. The value is
+  // undefined before the first record, so the view starts at
+  // max(from, first record); an empty trajectory, a window ending at or
+  // before the first record, or from >= to all yield no segments. Zero-length
+  // pieces (same-time overwrites) are dropped, and because record() coalesces
+  // equal consecutive values, adjacent segments always carry distinct values.
+  [[nodiscard]] std::vector<Segment> segments(SimTime from, SimTime to) const {
+    std::vector<Segment> out;
+    if (points_.empty() || from >= to) return out;
+    // Start from the last record at or before `from` (or the first record).
+    auto it = std::upper_bound(points_.begin(), points_.end(), from,
+                               [](SimTime when, const auto& p) { return when < p.first; });
+    std::size_t i = it == points_.begin() ? 0 : static_cast<std::size_t>(it - points_.begin()) - 1;
+    for (; i < points_.size(); ++i) {
+      const SimTime b = std::max(from, points_[i].first);
+      if (b >= to) break;
+      const SimTime e = i + 1 < points_.size() ? std::min(to, points_[i + 1].first) : to;
+      if (b >= e) continue;  // same-time overwrite: superseded within one instant
+      out.push_back(Segment{b, e, points_[i].second});
+    }
+    return out;
+  }
+
  private:
   std::vector<std::pair<SimTime, V>> points_;
 };

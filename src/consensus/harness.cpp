@@ -72,9 +72,49 @@ std::vector<Value> distinct_proposals(std::size_t n) {
   return out;
 }
 
+GroundTruth ground_truth_of(const std::vector<Id>& ids,
+                            const std::vector<std::optional<CrashPlan>>& crashes) {
+  GroundTruth gt;
+  gt.ids = ids;
+  gt.correct.resize(ids.size(), true);
+  for (std::size_t i = 0; i < ids.size() && i < crashes.size(); ++i) {
+    gt.correct[i] = !crashes[i].has_value();
+  }
+  return gt;
+}
+
+GroundTruth ground_truth_of(const std::vector<Id>& ids,
+                            const std::vector<std::optional<SyncCrashPlan>>& crashes) {
+  GroundTruth gt;
+  gt.ids = ids;
+  gt.correct.resize(ids.size(), true);
+  for (std::size_t i = 0; i < ids.size() && i < crashes.size(); ++i) {
+    gt.correct[i] = !crashes[i].has_value();
+  }
+  return gt;
+}
+
 namespace {
 
 obs::Labels proc_labels(ProcIndex i) { return {{"proc", std::to_string(i)}}; }
+
+std::vector<SimTime> crash_instants(const std::vector<std::optional<CrashPlan>>& crashes,
+                                    std::size_t n) {
+  std::vector<SimTime> out(n, -1);
+  for (std::size_t i = 0; i < n && i < crashes.size(); ++i) {
+    if (crashes[i]) out[i] = crashes[i]->at;
+  }
+  return out;
+}
+
+std::vector<SimTime> crash_instants(const std::vector<std::optional<SyncCrashPlan>>& crashes,
+                                    std::size_t n) {
+  std::vector<SimTime> out(n, -1);
+  for (std::size_t i = 0; i < n && i < crashes.size(); ++i) {
+    if (crashes[i]) out[i] = static_cast<SimTime>(crashes[i]->at_step);
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -91,6 +131,7 @@ Fig6Result run_fig6(const Fig6Params& p) {
   for (ProcIndex i = 0; i < sys.n(); ++i) {
     auto fd = std::make_unique<OHPPolling>(p.fd_opts);
     fd->attach_metrics(p.metrics, proc_labels(i));
+    if (p.monitor != nullptr) fd->set_output_listener(p.monitor->listener(i));
     sys.set_process(i, std::move(fd));
   }
   sys.start();
@@ -122,6 +163,17 @@ Fig6Result run_fig6(const Fig6Params& p) {
   if (p.metrics != nullptr && res.stabilization_time >= 0) {
     p.metrics->gauge("fd_stabilization_time").set(res.stabilization_time);
   }
+  if (p.collect_qos) {
+    obs::QosInput in;
+    in.gt = gt;
+    in.crash_at = crash_instants(p.crashes, sys.n());
+    in.gst = p.net.gst;
+    in.run_end = p.run_for;
+    in.trusted = trusted;
+    in.homega = homega;
+    res.qos = obs::analyze_qos(in);
+    obs::emit_qos(res.qos, p.metrics);
+  }
   return res;
 }
 
@@ -134,6 +186,7 @@ Fig7Result run_fig7(const Fig7Params& p) {
   for (ProcIndex i = 0; i < sys.n(); ++i) {
     auto fd = std::make_unique<HSigmaSyncProcess>(sys.id_of(i));
     fd->attach_metrics(p.metrics, proc_labels(i));
+    if (p.monitor != nullptr) fd->set_output_listener(p.monitor->listener(i));
     sys.set_process(i, std::move(fd));
   }
   sys.run_steps(p.steps);
@@ -179,6 +232,16 @@ Fig7Result run_fig7(const Fig7Params& p) {
     res.liveness_step = all_live;
   }
   res.messages = sys.messages_sent();
+  if (p.collect_qos) {
+    obs::QosInput in;
+    in.gt = gt;
+    in.crash_at = crash_instants(p.crashes, sys.n());
+    in.gst = 0;  // synchronous: no stabilization delay to forgive
+    in.run_end = static_cast<SimTime>(p.steps);
+    in.hsigma = snaps;
+    res.qos = obs::analyze_qos(in);
+    obs::emit_qos(res.qos, p.metrics);
+  }
   return res;
 }
 
@@ -405,6 +468,7 @@ ConsensusRunResult run_fig8_full_stack(const Fig8FullStackParams& p) {
     auto stack = std::make_unique<StackedProcess>();
     auto* fd = stack->add(std::make_unique<OHPPolling>());
     fd->attach_metrics(p.metrics, proc_labels(i));
+    if (p.monitor != nullptr) fd->set_output_listener(p.monitor->listener(i));
     fds[i] = fd;
     MajorityConsensusConfig cons_cfg;
     cons_cfg.n = n;
@@ -441,7 +505,21 @@ ConsensusRunResult run_fig8_full_stack(const Fig8FullStackParams& p) {
     }
     if (stab >= 0) p.metrics->gauge("fd_stabilization_time").set(stab);
   }
-  return finish_result(sys, proposals, decisions, loop, 0, max_round);
+  ConsensusRunResult res = finish_result(sys, proposals, decisions, loop, 0, max_round);
+  if (p.collect_qos) {
+    obs::QosInput in;
+    in.gt = GroundTruth::from(sys);
+    in.crash_at = crash_instants(p.crashes, n);
+    in.gst = p.net.gst;
+    in.run_end = loop.end_time;
+    for (ProcIndex i = 0; i < n; ++i) {
+      in.trusted.push_back(&fds[i]->trusted_trace());
+      in.homega.push_back(&fds[i]->homega_trace());
+    }
+    res.qos = obs::analyze_qos(in);
+    obs::emit_qos(res.qos, p.metrics);
+  }
+  return res;
 }
 
 ConsensusRunResult run_fig9_full_stack(const Fig9FullStackParams& p) {
@@ -464,6 +542,7 @@ ConsensusRunResult run_fig9_full_stack(const Fig9FullStackParams& p) {
   std::vector<std::unique_ptr<OhpToHOmega>> ohp_homega(n);
   std::vector<QuorumConsensus*> procs(n);
   std::vector<OHPPolling*> fds(n, nullptr);
+  std::vector<HSigmaComponent*> hsigs(n, nullptr);
 
   for (ProcIndex i = 0; i < n; ++i) {
     auto stack = std::make_unique<StackedProcess>();
@@ -483,7 +562,12 @@ ConsensusRunResult run_fig9_full_stack(const Fig9FullStackParams& p) {
       auto* hsig = stack->add(std::make_unique<HSigmaComponent>(p.delta + 1));
       ohp->attach_metrics(p.metrics, proc_labels(i));
       hsig->attach_metrics(p.metrics, proc_labels(i));
+      if (p.monitor != nullptr) {
+        ohp->set_output_listener(p.monitor->listener(i));
+        hsig->set_output_listener(p.monitor->listener(i));
+      }
       fds[i] = ohp;
+      hsigs[i] = hsig;
       fd1 = ohp;
       fd2 = hsig;
     }
@@ -521,7 +605,22 @@ ConsensusRunResult run_fig9_full_stack(const Fig9FullStackParams& p) {
     }
     if (stab >= 0) p.metrics->gauge("fd_stabilization_time").set(stab);
   }
-  return finish_result(sys, proposals, decisions, loop, max_sr, max_round);
+  ConsensusRunResult res = finish_result(sys, proposals, decisions, loop, max_sr, max_round);
+  if (p.collect_qos && !p.anonymous_ap_stack) {
+    obs::QosInput in;
+    in.gt = GroundTruth::from(sys);
+    in.crash_at = crash_instants(p.crashes, n);
+    in.gst = 0;  // synchronous: converge from the start
+    in.run_end = loop.end_time;
+    for (ProcIndex i = 0; i < n; ++i) {
+      in.trusted.push_back(&fds[i]->trusted_trace());
+      in.homega.push_back(&fds[i]->homega_trace());
+      in.hsigma.push_back(&hsigs[i]->core().trace());
+    }
+    res.qos = obs::analyze_qos(in);
+    obs::emit_qos(res.qos, p.metrics);
+  }
+  return res;
 }
 
 }  // namespace hds

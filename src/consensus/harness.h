@@ -23,6 +23,8 @@
 #include "fd/impl/ohp_polling.h"
 #include "fd/oracles.h"
 #include "obs/metrics.h"
+#include "obs/monitor.h"
+#include "obs/qos.h"
 #include "sim/sync_system.h"
 #include "sim/system.h"
 #include "sim/timing.h"
@@ -53,6 +55,13 @@ std::vector<std::optional<SyncCrashPlan>> sync_crashes_last_k(std::size_t n, std
 
 std::vector<Value> distinct_proposals(std::size_t n);
 
+// The ground truth a (planned) run will have, before the System exists —
+// what an obs::OnlineMonitor needs at construction time.
+GroundTruth ground_truth_of(const std::vector<Id>& ids,
+                            const std::vector<std::optional<CrashPlan>>& crashes);
+GroundTruth ground_truth_of(const std::vector<Id>& ids,
+                            const std::vector<std::optional<SyncCrashPlan>>& crashes);
+
 // ------------------------------------------------------------- FD runs
 
 struct Fig6Params {
@@ -66,6 +75,12 @@ struct Fig6Params {
   // Observability sink shared by the network and the detectors (per-process
   // series under proc=<index>); null disables collection.
   obs::MetricsRegistry* metrics = nullptr;
+  // Run the QoS analyzer over the detector trajectories (result.qos; also
+  // emitted into `metrics` when both are set).
+  bool collect_qos = false;
+  // Online property monitor; its per-process listeners are attached to every
+  // detector before the run starts. Null disables.
+  obs::OnlineMonitor* monitor = nullptr;
 };
 
 struct Fig6Result {
@@ -77,6 +92,7 @@ struct Fig6Result {
   SimTime max_final_timeout = 0;
   std::uint64_t broadcasts = 0;
   std::uint64_t copies_delivered = 0;
+  obs::QosReport qos;  // populated when collect_qos was set
 };
 
 Fig6Result run_fig6(const Fig6Params& p);
@@ -87,6 +103,8 @@ struct Fig7Params {
   std::size_t steps = 30;
   std::uint64_t seed = 1;
   obs::MetricsRegistry* metrics = nullptr;  // per-process series; null disables
+  bool collect_qos = false;                 // as in Fig6Params
+  obs::OnlineMonitor* monitor = nullptr;    // as in Fig6Params
 };
 
 struct Fig7Result {
@@ -96,6 +114,7 @@ struct Fig7Result {
   SimTime liveness_step = -1;
   std::size_t max_quora_stored = 0;
   std::uint64_t messages = 0;
+  obs::QosReport qos;  // populated when collect_qos was set
 };
 
 Fig7Result run_fig7(const Fig7Params& p);
@@ -121,6 +140,7 @@ struct ConsensusRunResult {
   // from the ring — feed obs::write_chrome_trace / write_trace_jsonl.
   std::vector<TraceEvent> trace_events;
   std::uint64_t trace_dropped = 0;
+  obs::QosReport qos;  // populated by stacks run with collect_qos
 };
 
 struct Fig8OracleParams {
@@ -171,6 +191,8 @@ struct Fig8FullStackParams {
   // fd_stabilization_time (latest trusted-output change among correct
   // processes). Null disables collection.
   obs::MetricsRegistry* metrics = nullptr;
+  bool collect_qos = false;               // as in Fig6Params
+  obs::OnlineMonitor* monitor = nullptr;  // as in Fig6Params
 };
 
 // Fig. 6 ▸ Corollary 2 ▸ Fig. 8 in HPS[t < n/2].
@@ -186,6 +208,11 @@ struct Fig9FullStackParams {
   bool anonymous_ap_stack = false;  // true: AP ▸ Lemmas 2/3 instead of Fig. 6/7
   std::size_t trace_capacity = 0;   // > 0: record the event log into the result
   obs::MetricsRegistry* metrics = nullptr;  // as in Fig8FullStackParams
+  // QoS / monitoring of the Fig. 6 + Fig. 7-adapter detectors; ignored by
+  // the anonymous AP stack (its adapters are pull-through views with no
+  // change events of their own).
+  bool collect_qos = false;
+  obs::OnlineMonitor* monitor = nullptr;
 };
 
 // Synchronous full stack for Fig. 9: OHPPolling (HΩ) + HSigmaComponent (HΣ)

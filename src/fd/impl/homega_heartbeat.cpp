@@ -83,6 +83,7 @@ void HOmegaHeartbeat::evaluate(Env& env) {
     trace_.record(now, out_);
     obs::inc(m_leader_changes_);
     obs::set(m_last_change_at_, now);
+    if (listener_ != nullptr) listener_->on_homega_change(now, out_);
   }
 }
 

@@ -24,6 +24,7 @@
 #include "common/trajectory.h"
 #include "common/types.h"
 #include "fd/interfaces.h"
+#include "fd/output_hooks.h"
 #include "obs/metrics.h"
 #include "sim/process.h"
 
@@ -48,6 +49,10 @@ class HOmegaHeartbeat final : public Process, public HOmegaHandle {
   // change. Call before the system starts; null detaches.
   void attach_metrics(obs::MetricsRegistry* reg, const obs::Labels& labels = {});
 
+  // Fires at every real h_omega change. Call before the system starts;
+  // null detaches.
+  void set_output_listener(FdOutputListener* l) { listener_ = l; }
+
   void on_start(Env& env) override;
   void on_message(Env& env, const Message& m) override;
   void on_timer(Env& env, TimerId id) override;
@@ -70,6 +75,7 @@ class HOmegaHeartbeat final : public Process, public HOmegaHandle {
   HOmegaOut out_;
   Trajectory<HOmegaOut> trace_;
 
+  FdOutputListener* listener_ = nullptr;
   obs::Counter* m_leader_changes_ = nullptr;
   obs::Counter* m_lag_adaptations_ = nullptr;
   obs::Gauge* m_last_change_at_ = nullptr;

@@ -15,12 +15,14 @@ void HSigmaCore::attach_metrics(obs::MetricsRegistry* reg, const obs::Labels& la
 void HSigmaCore::on_step_idents(SimTime t, const Multiset<Id>& mset) {
   if (mset.empty()) return;  // no alive sender observed; nothing to certify
   const Label label = Label::of_multiset(mset);
-  state_.labels.insert(label);
-  if (state_.quora.emplace(label, mset).second) {  // (mset, mset) is stable
+  const bool new_label = state_.labels.insert(label).second;
+  const bool new_quorum = state_.quora.emplace(label, mset).second;  // (mset, mset) is stable
+  if (new_quorum) {
     obs::inc(m_quora_stored_);
     obs::observe(m_quorum_size_, static_cast<std::int64_t>(mset.size()));
   }
   trace_.record(t, state_);
+  if ((new_label || new_quorum) && listener_ != nullptr) listener_->on_hsigma_change(t, state_);
 }
 
 std::vector<Message> HSigmaSyncProcess::step_send(std::size_t) {

@@ -21,6 +21,7 @@
 #include "common/trajectory.h"
 #include "common/types.h"
 #include "fd/interfaces.h"
+#include "fd/output_hooks.h"
 #include "obs/metrics.h"
 #include "sim/process.h"
 #include "sim/sync_system.h"
@@ -44,9 +45,14 @@ class HSigmaCore {
   // and total quora stored. Null detaches.
   void attach_metrics(obs::MetricsRegistry* reg, const obs::Labels& labels = {});
 
+  // Fires whenever a step adds a label or a quorum (h_quora/h_labels are
+  // monotone, so "added" is the only change). Null detaches.
+  void set_output_listener(FdOutputListener* l) { listener_ = l; }
+
  private:
   HSigmaSnapshot state_;
   Trajectory<HSigmaSnapshot> trace_;
+  FdOutputListener* listener_ = nullptr;
   obs::Counter* m_quora_stored_ = nullptr;
   obs::Histogram* m_quorum_size_ = nullptr;
 };
@@ -65,6 +71,7 @@ class HSigmaSyncProcess final : public SyncProcess, public HSigmaHandle {
   void attach_metrics(obs::MetricsRegistry* reg, const obs::Labels& labels = {}) {
     core_.attach_metrics(reg, labels);
   }
+  void set_output_listener(FdOutputListener* l) { core_.set_output_listener(l); }
 
  private:
   Id self_id_;
@@ -86,6 +93,7 @@ class HSigmaComponent final : public Process, public HSigmaHandle {
   void attach_metrics(obs::MetricsRegistry* reg, const obs::Labels& labels = {}) {
     core_.attach_metrics(reg, labels);
   }
+  void set_output_listener(FdOutputListener* l) { core_.set_output_listener(l); }
 
  private:
   void begin_step(Env& env);

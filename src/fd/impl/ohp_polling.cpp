@@ -49,6 +49,7 @@ void OHPPolling::finish_round(Env& env) {
   if (tmp != h_trusted_) {
     obs::inc(m_suspicion_changes_);
     obs::set(m_last_change_at_, env.local_now());
+    if (listener_ != nullptr) listener_->on_trusted_change(env.local_now(), tmp);
   }
   h_trusted_ = tmp;
   trusted_trace_.record(env.local_now(), h_trusted_);
@@ -63,6 +64,7 @@ void OHPPolling::finish_round(Env& env) {
   if (!(next == h_omega_)) {
     obs::inc(m_leader_changes_);
     obs::set(m_last_change_at_, env.local_now());
+    if (listener_ != nullptr) listener_->on_homega_change(env.local_now(), next);
   }
   h_omega_ = next;
   homega_trace_.record(env.local_now(), h_omega_);

@@ -22,6 +22,7 @@
 #include "common/trajectory.h"
 #include "common/types.h"
 #include "fd/interfaces.h"
+#include "fd/output_hooks.h"
 #include "obs/metrics.h"
 #include "sim/process.h"
 
@@ -77,6 +78,10 @@ class OHPPolling final : public Process, public OHPHandle, public HOmegaHandle {
   // over). Call before the system starts; null detaches.
   void attach_metrics(obs::MetricsRegistry* reg, const obs::Labels& labels = {});
 
+  // Fires at every real h_trusted / h_omega change (the same sites the
+  // change counters use). Call before the system starts; null detaches.
+  void set_output_listener(FdOutputListener* l) { listener_ = l; }
+
   // Process.
   void on_start(Env& env) override;
   void on_message(Env& env, const Message& m) override;
@@ -107,6 +112,7 @@ class OHPPolling final : public Process, public OHPHandle, public HOmegaHandle {
   Trajectory<HOmegaOut> homega_trace_;
   Trajectory<SimTime> timeout_trace_;
 
+  FdOutputListener* listener_ = nullptr;
   obs::Counter* m_suspicion_changes_ = nullptr;
   obs::Counter* m_leader_changes_ = nullptr;
   obs::Counter* m_timeout_adaptations_ = nullptr;

@@ -65,8 +65,10 @@ void HSigmaToSigma::tick(Env& env) {
     }
   }
   if (best != nullptr) {
+    const bool changed = !(*best == trusted_);
     trusted_ = *best;
     trace_.record(env.local_now(), trusted_);
+    if (changed && listener_ != nullptr) listener_->on_sigma_change(env.local_now(), trusted_);
   }
   env.set_timer(period_);
 }

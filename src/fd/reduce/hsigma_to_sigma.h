@@ -16,6 +16,7 @@
 #include "common/trajectory.h"
 #include "common/types.h"
 #include "fd/interfaces.h"
+#include "fd/output_hooks.h"
 #include "obs/metrics.h"
 #include "sim/process.h"
 
@@ -48,6 +49,9 @@ class HSigmaToSigma final : public Process, public SigmaHandle {
   // size, under reduction="hsigma_to_sigma" (merged into `labels`).
   void attach_metrics(obs::MetricsRegistry* reg, obs::Labels labels = {});
 
+  // Fires at every real `trusted` change. Null detaches.
+  void set_output_listener(FdOutputListener* l) { listener_ = l; }
+
  private:
   void tick(Env& env);
 
@@ -57,6 +61,7 @@ class HSigmaToSigma final : public Process, public SigmaHandle {
   std::map<Label, std::set<Id>> idents_;
   Multiset<Id> trusted_;
   Trajectory<Multiset<Id>> trace_;
+  FdOutputListener* listener_ = nullptr;
   obs::Counter* m_msgs_ = nullptr;
   obs::Counter* m_bytes_ = nullptr;
 };

@@ -31,14 +31,15 @@ std::set<Label> labels_of_membership(const std::set<Id>& membership, Id self) {
 namespace {
 
 // Lines 5-6 of Figs. 1-2: h_quora <- h_quora U {(q, q)} with q = D.trusted.
-void fold_quorum(HSigmaSnapshot& state, const Multiset<Id>& q) {
-  if (q.empty()) return;  // Σ produced no output yet
+// True when the quorum was not already stored.
+bool fold_quorum(HSigmaSnapshot& state, const Multiset<Id>& q) {
+  if (q.empty()) return false;  // Σ produced no output yet
   std::set<Id> support;
   for (const auto& [v, c] : q.counts()) {
     (void)c;
     support.insert(v);
   }
-  state.quora.emplace(Label::of_set(support), q);
+  return state.quora.emplace(Label::of_set(support), q).second;
 }
 
 }  // namespace
@@ -60,8 +61,9 @@ void SigmaToHSigmaLocal::on_timer(Env& env, TimerId) {
 }
 
 void SigmaToHSigmaLocal::sample(SimTime now) {
-  fold_quorum(state_, sigma_.trusted());
+  const bool grew = fold_quorum(state_, sigma_.trusted());
   trace_.record(now, state_);
+  if (grew && listener_ != nullptr) listener_->on_hsigma_change(now, state_);
 }
 
 SigmaToHSigmaBcast::SigmaToHSigmaBcast(const SigmaHandle& sigma, SimTime period)
@@ -105,12 +107,14 @@ void SigmaToHSigmaBcast::on_message(Env& env, const Message& m) {
   if (mship_.insert(body->id).second) {
     state_.labels = labels_of_membership(mship_, env.self_id());
     trace_.record(env.local_now(), state_);
+    if (listener_ != nullptr) listener_->on_hsigma_change(env.local_now(), state_);
   }
 }
 
 void SigmaToHSigmaBcast::sample(SimTime now) {
-  fold_quorum(state_, sigma_.trusted());
+  const bool grew = fold_quorum(state_, sigma_.trusted());
   trace_.record(now, state_);
+  if (grew && listener_ != nullptr) listener_->on_hsigma_change(now, state_);
 }
 
 }  // namespace hds

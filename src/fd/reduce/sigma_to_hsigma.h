@@ -18,6 +18,7 @@
 #include "common/trajectory.h"
 #include "common/types.h"
 #include "fd/interfaces.h"
+#include "fd/output_hooks.h"
 #include "obs/metrics.h"
 #include "sim/process.h"
 
@@ -42,6 +43,9 @@ class SigmaToHSigmaLocal final : public Process, public HSigmaHandle {
   [[nodiscard]] HSigmaSnapshot snapshot() const override { return state_; }
   [[nodiscard]] const Trajectory<HSigmaSnapshot>& trace() const { return trace_; }
 
+  // Fires whenever a sample adds a quorum. Null detaches.
+  void set_output_listener(FdOutputListener* l) { listener_ = l; }
+
  private:
   void sample(SimTime now);
 
@@ -49,6 +53,7 @@ class SigmaToHSigmaLocal final : public Process, public HSigmaHandle {
   SimTime period_;
   HSigmaSnapshot state_;
   Trajectory<HSigmaSnapshot> trace_;
+  FdOutputListener* listener_ = nullptr;
 };
 
 // Figure 2 — membership unknown; IDENT(id(p)) is broadcast forever and
@@ -71,6 +76,10 @@ class SigmaToHSigmaBcast final : public Process, public HSigmaHandle {
   // size, under reduction="sigma_to_hsigma" (merged into `labels`).
   void attach_metrics(obs::MetricsRegistry* reg, obs::Labels labels = {});
 
+  // Fires whenever a sample adds a quorum or new membership grows h_labels.
+  // Null detaches.
+  void set_output_listener(FdOutputListener* l) { listener_ = l; }
+
  private:
   void sample(SimTime now);
   void beat(Env& env);
@@ -80,6 +89,7 @@ class SigmaToHSigmaBcast final : public Process, public HSigmaHandle {
   std::set<Id> mship_;
   HSigmaSnapshot state_;
   Trajectory<HSigmaSnapshot> trace_;
+  FdOutputListener* listener_ = nullptr;
   obs::Counter* m_msgs_ = nullptr;
   obs::Counter* m_bytes_ = nullptr;
 };

@@ -1,0 +1,392 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+namespace hds::obs {
+
+bool Json::boolean() const {
+  if (type_ != Type::kBool) throw std::logic_error("Json: not a bool");
+  return bool_;
+}
+
+double Json::number() const {
+  if (type_ != Type::kNumber) throw std::logic_error("Json: not a number");
+  return num_;
+}
+
+std::int64_t Json::integer() const { return static_cast<std::int64_t>(number()); }
+
+const std::string& Json::str() const {
+  if (type_ != Type::kString) throw std::logic_error("Json: not a string");
+  return str_;
+}
+
+const Json::Array& Json::items() const {
+  if (type_ != Type::kArray) throw std::logic_error("Json: not an array");
+  return arr_;
+}
+
+const Json::Object& Json::fields() const {
+  if (type_ != Type::kObject) throw std::logic_error("Json: not an object");
+  return obj_;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  const auto it = obj_.find(key);
+  return it == obj_.end() ? nullptr : &it->second;
+}
+
+double Json::number_or(const std::string& key, double fallback) const {
+  const Json* v = find(key);
+  return v != nullptr && v->is_number() ? v->number() : fallback;
+}
+
+std::string Json::string_or(const std::string& key, std::string fallback) const {
+  const Json* v = find(key);
+  return v != nullptr && v->is_string() ? v->str() : std::move(fallback);
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  if (type_ != Type::kObject) throw std::logic_error("Json: not an object");
+  return obj_[key];
+}
+
+void Json::push_back(Json v) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  if (type_ != Type::kArray) throw std::logic_error("Json: not an array");
+  arr_.push_back(std::move(v));
+}
+
+namespace {
+
+void escape_to(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf] << "0123456789abcdef"[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+void number_to(std::ostream& os, double n) {
+  // Integral values print without a fraction so round-tripped counters and
+  // tick values stay grep-able.
+  if (std::isfinite(n) && n == std::floor(n) && std::abs(n) < 9.007199254740992e15) {
+    os << static_cast<std::int64_t>(n);
+    return;
+  }
+  if (!std::isfinite(n)) {  // JSON has no inf/nan; null is the honest spelling
+    os << "null";
+    return;
+  }
+  std::ostringstream tmp;
+  tmp.precision(17);
+  tmp << n;
+  os << tmp.str();
+}
+
+void dump_to(std::ostream& os, const Json& v, int indent, int depth) {
+  const auto pad = [&](int d) {
+    if (indent < 0) return;
+    os << '\n';
+    for (int i = 0; i < indent * d; ++i) os << ' ';
+  };
+  switch (v.type()) {
+    case Json::Type::kNull:
+      os << "null";
+      return;
+    case Json::Type::kBool:
+      os << (v.boolean() ? "true" : "false");
+      return;
+    case Json::Type::kNumber:
+      number_to(os, v.number());
+      return;
+    case Json::Type::kString:
+      os << '"';
+      escape_to(os, v.str());
+      os << '"';
+      return;
+    case Json::Type::kArray: {
+      os << '[';
+      bool first = true;
+      for (const Json& e : v.items()) {
+        if (!first) os << ',';
+        first = false;
+        pad(depth + 1);
+        dump_to(os, e, indent, depth + 1);
+      }
+      if (!first) pad(depth);
+      os << ']';
+      return;
+    }
+    case Json::Type::kObject: {
+      os << '{';
+      bool first = true;
+      for (const auto& [k, e] : v.fields()) {
+        if (!first) os << ',';
+        first = false;
+        pad(depth + 1);
+        os << '"';
+        escape_to(os, k);
+        os << (indent < 0 ? "\":" : "\": ");
+        dump_to(os, e, indent, depth + 1);
+      }
+      if (!first) pad(depth);
+      os << '}';
+      return;
+    }
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Json run() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing content");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const { throw JsonParseError(why, pos_); }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                                s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) fail(std::string("expected '") + c + "'");
+  }
+
+  void literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) fail(std::string("bad literal, wanted ") + word);
+      ++pos_;
+    }
+  }
+
+  Json value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return Json(string());
+      case 't':
+        literal("true");
+        return Json(true);
+      case 'f':
+        literal("false");
+        return Json(false);
+      case 'n':
+        literal("null");
+        return Json();
+      default:
+        return number();
+    }
+  }
+
+  Json object() {
+    expect('{');
+    Json::Object out;
+    skip_ws();
+    if (consume('}')) return Json(std::move(out));
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      out[std::move(key)] = value();
+      skip_ws();
+      if (consume('}')) return Json(std::move(out));
+      expect(',');
+    }
+  }
+
+  Json array() {
+    expect('[');
+    Json::Array out;
+    skip_ws();
+    if (consume(']')) return Json(std::move(out));
+    while (true) {
+      out.push_back(value());
+      skip_ws();
+      if (consume(']')) return Json(std::move(out));
+      expect(',');
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          unsigned cp = hex4();
+          // Surrogate pairs: a high surrogate must be followed by \uXXXX low.
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (pos_ + 1 < s_.size() && s_[pos_] == '\\' && s_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              const unsigned lo = hex4();
+              if (lo < 0xDC00 || lo > 0xDFFF) fail("invalid low surrogate");
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else {
+              fail("lone high surrogate");
+            }
+          }
+          utf8_append(out, cp);
+          break;
+        }
+        default:
+          fail("bad escape");
+      }
+    }
+  }
+
+  unsigned hex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= s_.size()) fail("truncated \\u escape");
+      const char c = s_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v += static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v += static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v += static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("bad hex digit");
+      }
+    }
+    return v;
+  }
+
+  static void utf8_append(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Json number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < s_.size() && (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+                                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                                s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string tok = s_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail("malformed number");
+    return Json(v);
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Json::dump(int indent) const {
+  std::ostringstream os;
+  dump_to(os, *this, indent, 0);
+  return os.str();
+}
+
+Json Json::parse(const std::string& text) { return Parser(text).run(); }
+
+}  // namespace hds::obs

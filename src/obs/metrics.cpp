@@ -54,6 +54,59 @@ const std::vector<std::int64_t>& size_buckets() {
   return b;
 }
 
+const std::vector<std::int64_t>& latency_buckets() {
+  static const std::vector<std::int64_t> b = [] {
+    std::vector<std::int64_t> v;
+    for (std::int64_t p = 1; p <= (std::int64_t{1} << 20); p *= 2) {
+      v.push_back(p);
+      if (p >= 2 && p < (std::int64_t{1} << 20)) v.push_back(p + p / 2);
+    }
+    std::sort(v.begin(), v.end());
+    return v;
+  }();
+  return b;
+}
+
+double Histogram::quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  // Snapshot the counts once; concurrent updates may make the slices add up
+  // to slightly more than `total`, which only shifts the estimate by the
+  // in-flight observations.
+  std::vector<std::uint64_t> counts(bounds_.size() + 1);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = bucket_count(i);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const std::uint64_t next = cum + counts[i];
+    if (static_cast<double>(next) >= rank) {
+      if (i == bounds_.size()) return static_cast<double>(bounds_.back());  // overflow bucket
+      const double lower = i == 0 ? 0.0 : static_cast<double>(bounds_[i - 1]);
+      const double upper = static_cast<double>(bounds_[i]);
+      const double into = (rank - static_cast<double>(cum)) / static_cast<double>(counts[i]);
+      return lower + (upper - lower) * std::clamp(into, 0.0, 1.0);
+    }
+    cum = next;
+  }
+  return static_cast<double>(bounds_.back());
+}
+
+HistogramSummary summarize(const Histogram& h) {
+  HistogramSummary s;
+  s.count = h.count();
+  s.sum = h.sum();
+  s.mean = h.mean();
+  s.p50 = h.quantile(0.50);
+  s.p95 = h.quantile(0.95);
+  s.p99 = h.quantile(0.99);
+  return s;
+}
+
 Counter& MetricsRegistry::counter(const std::string& name, const Labels& labels) {
   std::lock_guard lk(mu_);
   auto& slot = counters_[{name, labels}];

@@ -76,6 +76,13 @@ class Histogram {
     return c == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(c);
   }
 
+  // Quantile estimate (q in [0, 1]) from the fixed buckets, with linear
+  // interpolation inside the selected bucket (Prometheus'
+  // histogram_quantile rule). The first bucket interpolates from 0; a rank
+  // that lands in the overflow bucket clamps to the last bound — the layout
+  // cannot see further. Returns 0 on an empty histogram.
+  [[nodiscard]] double quantile(double q) const;
+
  private:
   std::vector<std::int64_t> bounds_;
   std::vector<std::atomic<std::uint64_t>> counts_;  // bounds_.size() + 1
@@ -92,6 +99,22 @@ std::vector<std::int64_t> linear_buckets(std::int64_t lo, std::int64_t step, std
 // runtime); sizes are multiset / quorum cardinalities.
 const std::vector<std::int64_t>& time_buckets();  // 1, 2, 4, ..., 65536
 const std::vector<std::int64_t>& size_buckets();  // 1, 2, ..., 16, 32, 64
+// Finer layout for latency-style series whose quantiles will be extracted:
+// each power of two plus its midpoint (1, 2, 3, 4, 6, 8, 12, ..., 2^20), so
+// an interpolated p95/p99 stays within ~25% of the true value.
+const std::vector<std::int64_t>& latency_buckets();
+
+// Point-in-time digest of one histogram, with bucket-estimated percentiles.
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+HistogramSummary summarize(const Histogram& h);
 
 // Named, labeled instruments with stable addresses. counter()/gauge()/
 // histogram() create on first use and return the same instrument for the

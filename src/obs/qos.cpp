@@ -1,0 +1,316 @@
+#include "obs/qos.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace hds::obs {
+
+namespace {
+
+// Crash instants of the carriers of one label, in time order.
+std::map<Id, std::vector<SimTime>> crashes_by_label(const QosInput& in) {
+  std::map<Id, std::vector<SimTime>> out;
+  for (std::size_t i = 0; i < in.gt.n() && i < in.crash_at.size(); ++i) {
+    if (in.crash_at[i] >= 0) out[in.gt.ids[i]].push_back(in.crash_at[i]);
+  }
+  for (auto& [x, times] : out) std::sort(times.begin(), times.end());
+  return out;
+}
+
+void analyze_detection(const QosInput& in, QosReport& r) {
+  const auto by_label = crashes_by_label(in);
+  if (by_label.empty()) return;
+  const Multiset<Id> all = in.gt.all_ids();
+  for (ProcIndex i = 0; i < in.gt.n(); ++i) {
+    if (!in.gt.correct[i] || i >= in.trusted.size()) continue;
+    const auto* traj = in.trusted[i];
+    if (traj == nullptr || traj->empty()) continue;
+    const auto segs = traj->segments(0, in.run_end);
+    for (const auto& [x, times] : by_label) {
+      const std::size_t initial = all.multiplicity(x);
+      for (std::size_t k = 1; k <= times.size(); ++k) {
+        const SimTime crash = times[k - 1];
+        const std::size_t threshold = initial - k;  // mult must drop to this
+        // The detection instant is the end of the last window in which the
+        // observer still over-counted x; a window reaching run_end means the
+        // drop never became permanent.
+        QosDetection d{i, x, k, crash, 0};
+        for (const auto& seg : segs) {
+          if (seg.end <= crash) continue;
+          if (seg.value.multiplicity(x) > threshold) {
+            d.latency = seg.end >= in.run_end ? -1 : seg.end - crash;
+          }
+        }
+        r.detections.push_back(d);
+      }
+    }
+  }
+  double sum = 0;
+  std::size_t detected = 0;
+  for (const auto& d : r.detections) {
+    if (d.latency < 0) {
+      ++r.undetected;
+      continue;
+    }
+    r.detection_time_max = std::max(r.detection_time_max, d.latency);
+    sum += static_cast<double>(d.latency);
+    ++detected;
+  }
+  if (detected > 0) r.detection_time_mean = sum / static_cast<double>(detected);
+}
+
+void analyze_mistakes(const QosInput& in, QosReport& r) {
+  const Multiset<Id> correct = in.gt.correct_ids();
+  for (ProcIndex i = 0; i < in.gt.n(); ++i) {
+    if (!in.gt.correct[i] || i >= in.trusted.size()) continue;
+    const auto* traj = in.trusted[i];
+    if (traj == nullptr || traj->empty()) continue;
+    QosMistakes m{i, 0, 0, 0};
+    SimTime open = -1;  // start of the current mistake interval, -1 if none
+    const auto close = [&](SimTime end) {
+      if (open < 0) return;
+      ++m.intervals;
+      m.total_duration += end - open;
+      m.max_duration = std::max(m.max_duration, end - open);
+      open = -1;
+    };
+    for (const auto& seg : traj->segments(in.gst, in.run_end)) {
+      const bool mistake = !correct.is_subset_of(seg.value);
+      if (mistake && open < 0) open = seg.begin;
+      if (!mistake) close(seg.begin);
+    }
+    close(in.run_end);
+    r.mistakes.push_back(m);
+    r.mistake_intervals += m.intervals;
+    r.mistake_duration_max = std::max(r.mistake_duration_max, m.max_duration);
+  }
+}
+
+void analyze_leader(const QosInput& in, QosReport& r) {
+  const Multiset<Id> correct = in.gt.correct_ids();
+  bool first = true;
+  bool agree = true;
+  HOmegaOut common;
+  for (ProcIndex i = 0; i < in.gt.n(); ++i) {
+    if (!in.gt.correct[i] || i >= in.homega.size()) continue;
+    const auto* traj = in.homega[i];
+    if (traj == nullptr || traj->empty()) continue;
+    QosLeader l{i, 0, 0, kBottomId, 0};
+    const auto& pts = traj->points();
+    for (std::size_t k = 0; k < pts.size(); ++k) {
+      if (k > 0 && pts[k].first > in.gst) ++l.flaps_post_gst;
+    }
+    l.settle_time = std::max<SimTime>(0, traj->last_change() - in.gst);
+    l.final_leader = traj->final().leader;
+    l.final_multiplicity = traj->final().multiplicity;
+    if (first) {
+      common = traj->final();
+      first = false;
+    } else if (!(traj->final() == common)) {
+      agree = false;
+    }
+    r.leaders.push_back(l);
+    r.leader_flaps += l.flaps_post_gst;
+    r.leader_settle_max = std::max(r.leader_settle_max, l.settle_time);
+  }
+  r.converged = !first && agree && correct.contains(common.leader);
+}
+
+void analyze_quorums(const QosInput& in, QosReport& r) {
+  const Multiset<Id> correct = in.gt.correct_ids();
+  // Final quorum sets of the correct observers, with the observer index.
+  std::vector<std::pair<ProcIndex, const HSigmaSnapshot*>> finals;
+  std::set<Multiset<Id>> distinct;
+  for (ProcIndex i = 0; i < in.gt.n(); ++i) {
+    if (!in.gt.correct[i] || i >= in.hsigma.size()) continue;
+    const auto* traj = in.hsigma[i];
+    if (traj == nullptr || traj->empty()) continue;
+    finals.emplace_back(i, &traj->final());
+    for (const auto& [x, m] : traj->final().quora) {
+      (void)x;
+      distinct.insert(m);
+    }
+    // Liveness wait: the first instant some quorum lies within I(Correct).
+    SimTime wait = -1;
+    for (const auto& [t, snap] : traj->points()) {
+      for (const auto& [x, m] : snap.quora) {
+        (void)x;
+        if (m.is_subset_of(correct)) {
+          wait = t;
+          break;
+        }
+      }
+      if (wait >= 0) break;
+    }
+    r.liveness_waits.push_back(wait);
+  }
+  r.quora_distinct = distinct.size();
+  for (const SimTime w : r.liveness_waits) {
+    if (w < 0) {
+      r.liveness_wait_max = -1;
+      break;
+    }
+    r.liveness_wait_max = std::max(r.liveness_wait_max, w);
+  }
+  // Pairwise minimum intersection margin, self-pairs included (the margin of
+  // a quorum with itself is its size, so any quorum at all yields a pair).
+  for (std::size_t a = 0; a < finals.size(); ++a) {
+    for (std::size_t b = a; b < finals.size(); ++b) {
+      std::ptrdiff_t pair_min = -1;
+      for (const auto& [xa, qa] : finals[a].second->quora) {
+        (void)xa;
+        for (const auto& [xb, qb] : finals[b].second->quora) {
+          (void)xb;
+          const auto margin = static_cast<std::ptrdiff_t>(qa.intersection(qb).size());
+          if (pair_min < 0 || margin < pair_min) pair_min = margin;
+        }
+      }
+      if (pair_min < 0) continue;
+      r.quorum_margins.push_back(
+          QosQuorumPair{finals[a].first, finals[b].first, static_cast<std::size_t>(pair_min)});
+      if (r.quorum_margin_min < 0 || pair_min < r.quorum_margin_min) {
+        r.quorum_margin_min = pair_min;
+      }
+    }
+  }
+}
+
+bool any_present(const auto& trajs) {
+  for (const auto* t : trajs) {
+    if (t != nullptr && !t->empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+QosReport analyze_qos(const QosInput& in) {
+  QosReport r;
+  r.gst = in.gst;
+  r.run_end = in.run_end;
+  r.has_trusted = any_present(in.trusted);
+  r.has_homega = any_present(in.homega);
+  r.has_hsigma = any_present(in.hsigma);
+  if (r.has_trusted) {
+    analyze_detection(in, r);
+    analyze_mistakes(in, r);
+  }
+  if (r.has_homega) analyze_leader(in, r);
+  if (r.has_hsigma) analyze_quorums(in, r);
+  return r;
+}
+
+void emit_qos(const QosReport& r, MetricsRegistry* reg) {
+  if (reg == nullptr) return;
+  if (r.has_trusted) {
+    auto& det = reg->histogram("qos_detection_time", latency_buckets());
+    for (const auto& d : r.detections) {
+      if (d.latency >= 0) det.observe(d.latency);
+    }
+    reg->counter("qos_detection_undetected_total").inc(r.undetected);
+    auto& dur = reg->histogram("qos_mistake_duration", time_buckets());
+    for (const auto& m : r.mistakes) {
+      if (m.max_duration > 0) dur.observe(m.max_duration);
+    }
+    reg->counter("qos_mistake_intervals_total").inc(r.mistake_intervals);
+  }
+  if (r.has_homega) {
+    reg->counter("qos_leader_flaps_total").inc(r.leader_flaps);
+    reg->gauge("qos_leader_settle_time").set_max(r.leader_settle_max);
+    reg->gauge("qos_converged").set(r.converged ? 1 : 0);
+  }
+  if (r.has_hsigma) {
+    auto& margin = reg->histogram("qos_quorum_margin", size_buckets());
+    for (const auto& p : r.quorum_margins) {
+      margin.observe(static_cast<std::int64_t>(p.margin));
+    }
+    reg->gauge("qos_quorum_margin_min").set(r.quorum_margin_min);
+    reg->gauge("qos_quora_distinct").set(static_cast<std::int64_t>(r.quora_distinct));
+    auto& wait = reg->histogram("qos_liveness_wait", latency_buckets());
+    for (const SimTime w : r.liveness_waits) {
+      if (w >= 0) wait.observe(w);
+    }
+  }
+}
+
+Json qos_json(const QosReport& r) {
+  Json out = Json::object();
+  out["gst"] = Json(r.gst);
+  out["run_end"] = Json(r.run_end);
+  Json fams = Json::object();
+  fams["trusted"] = Json(r.has_trusted);
+  fams["homega"] = Json(r.has_homega);
+  fams["hsigma"] = Json(r.has_hsigma);
+  out["families"] = std::move(fams);
+
+  Json det = Json::object();
+  det["max"] = Json(r.detection_time_max);
+  det["mean"] = Json(r.detection_time_mean);
+  det["undetected"] = Json(r.undetected);
+  Json drecs = Json::array();
+  for (const auto& d : r.detections) {
+    Json rec = Json::object();
+    rec["observer"] = Json(static_cast<std::int64_t>(d.observer));
+    rec["label"] = Json(static_cast<std::int64_t>(d.label));
+    rec["kth"] = Json(d.kth);
+    rec["crash_time"] = Json(d.crash_time);
+    rec["latency"] = Json(d.latency);
+    drecs.push_back(std::move(rec));
+  }
+  det["records"] = std::move(drecs);
+  out["detection"] = std::move(det);
+
+  Json mis = Json::object();
+  mis["intervals"] = Json(r.mistake_intervals);
+  mis["duration_max"] = Json(r.mistake_duration_max);
+  Json mrecs = Json::array();
+  for (const auto& m : r.mistakes) {
+    Json rec = Json::object();
+    rec["observer"] = Json(static_cast<std::int64_t>(m.observer));
+    rec["intervals"] = Json(m.intervals);
+    rec["total_duration"] = Json(m.total_duration);
+    rec["max_duration"] = Json(m.max_duration);
+    mrecs.push_back(std::move(rec));
+  }
+  mis["records"] = std::move(mrecs);
+  out["mistakes"] = std::move(mis);
+
+  Json led = Json::object();
+  led["flaps"] = Json(r.leader_flaps);
+  led["settle_max"] = Json(r.leader_settle_max);
+  led["converged"] = Json(r.converged);
+  Json lrecs = Json::array();
+  for (const auto& l : r.leaders) {
+    Json rec = Json::object();
+    rec["observer"] = Json(static_cast<std::int64_t>(l.observer));
+    rec["flaps"] = Json(l.flaps_post_gst);
+    rec["settle_time"] = Json(l.settle_time);
+    rec["final_leader"] = Json(static_cast<std::int64_t>(l.final_leader));
+    rec["final_multiplicity"] = Json(l.final_multiplicity);
+    lrecs.push_back(std::move(rec));
+  }
+  led["records"] = std::move(lrecs);
+  out["leader"] = std::move(led);
+
+  Json quo = Json::object();
+  quo["margin_min"] = Json(static_cast<std::int64_t>(r.quorum_margin_min));
+  quo["distinct"] = Json(r.quora_distinct);
+  quo["liveness_wait_max"] = Json(r.liveness_wait_max);
+  Json waits = Json::array();
+  for (const SimTime w : r.liveness_waits) waits.push_back(Json(w));
+  quo["liveness_waits"] = std::move(waits);
+  Json pairs = Json::array();
+  for (const auto& p : r.quorum_margins) {
+    Json rec = Json::object();
+    rec["a"] = Json(static_cast<std::int64_t>(p.a));
+    rec["b"] = Json(static_cast<std::int64_t>(p.b));
+    rec["margin"] = Json(p.margin);
+    pairs.push_back(std::move(rec));
+  }
+  quo["pairs"] = std::move(pairs);
+  out["quorum"] = std::move(quo);
+  return out;
+}
+
+}  // namespace hds::obs

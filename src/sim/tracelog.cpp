@@ -20,6 +20,10 @@ const char* TraceEvent::kind_name(Kind k) {
       return "timer";
     case Kind::kCrash:
       return "crash";
+    case Kind::kMonitorWarn:
+      return "monitor-warn";
+    case Kind::kMonitorViolation:
+      return "monitor-violation";
   }
   return "?";
 }

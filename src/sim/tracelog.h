@@ -30,6 +30,10 @@ struct TraceEvent {
     kToDead,     // copy arrived after the destination crashed
     kTimer,      // timer fired at the process
     kCrash,      // the process's crash instant passed
+    // Observer events from the online property monitors (obs/monitor.h);
+    // msg_type carries "rule: detail". Never emitted by the engine itself.
+    kMonitorWarn,       // suspicious but not property-violating
+    kMonitorViolation,  // an FD class property was violated after watch_from
   };
 
   SimTime at = 0;

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "sim/system.h"
@@ -49,6 +50,51 @@ TEST(Histogram, PlacesValuesInInclusiveUpperBoundBuckets) {
   EXPECT_EQ(h.count(), 6u);
   EXPECT_EQ(h.sum(), 0 + 1 + 2 + 3 + 4 + 99);
   EXPECT_DOUBLE_EQ(h.mean(), static_cast<double>(h.sum()) / 6.0);
+}
+
+TEST(Histogram, QuantileInterpolatesInsideTheBucket) {
+  obs::Histogram h({10, 20, 40});
+  for (int i = 0; i < 10; ++i) h.observe(5);  // all land in the first bucket
+  // First bucket interpolates from 0 toward its bound.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+
+  obs::Histogram h2({10, 20, 40});
+  for (int i = 0; i < 5; ++i) h2.observe(5);    // bucket <=10
+  for (int i = 0; i < 5; ++i) h2.observe(15);   // bucket <=20
+  // Rank 0.75 lands halfway through the second bucket: 10 + 0.5 * (20-10).
+  EXPECT_DOUBLE_EQ(h2.quantile(0.75), 15.0);
+  EXPECT_DOUBLE_EQ(h2.quantile(0.25), 5.0);
+}
+
+TEST(Histogram, QuantileClampsOverflowAndHandlesEmpty) {
+  obs::Histogram h({10, 20, 40});
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);  // empty
+  h.observe(1000);                          // overflow bucket
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 40.0);  // clamps to the last bound
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 40.0);
+}
+
+TEST(Histogram, SummarizeDigestsCountSumAndPercentiles) {
+  obs::Histogram h({10, 20, 40});
+  for (int i = 0; i < 100; ++i) h.observe(5);
+  const obs::HistogramSummary s = obs::summarize(h);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.sum, 500);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 5.0);
+  EXPECT_DOUBLE_EQ(s.p95, 9.5);
+  EXPECT_DOUBLE_EQ(s.p99, 9.9);
+}
+
+TEST(Buckets, LatencyLayoutIsPowersOfTwoPlusMidpoints) {
+  const std::vector<std::int64_t>& b = obs::latency_buckets();
+  EXPECT_EQ(b.front(), 1);
+  EXPECT_EQ(b.back(), 1 << 20);
+  for (std::size_t i = 1; i < b.size(); ++i) EXPECT_LT(b[i - 1], b[i]);
+  for (std::int64_t v : {3, 6, 12, 24, 48, 96}) {
+    EXPECT_NE(std::find(b.begin(), b.end(), v), b.end()) << "missing midpoint " << v;
+  }
 }
 
 TEST(Buckets, ExpAndLinearLayouts) {

@@ -55,5 +55,62 @@ TEST(Trajectory, SameTimeOverwriteAllowedForNewValue) {
   EXPECT_EQ(tr.final(), 2);
 }
 
+using Seg = Trajectory<int>::Segment;
+
+TEST(TrajectorySegments, ClipsRunsToTheWindow) {
+  Trajectory<int> tr;
+  tr.record(0, 10);
+  tr.record(5, 20);
+  tr.record(12, 30);
+  EXPECT_EQ(tr.segments(3, 8), (std::vector<Seg>{{3, 5, 10}, {5, 8, 20}}));
+  // Window past the last record: the final value extends to `to`.
+  EXPECT_EQ(tr.segments(10, 20), (std::vector<Seg>{{10, 12, 20}, {12, 20, 30}}));
+  // Whole history.
+  EXPECT_EQ(tr.segments(0, 15), (std::vector<Seg>{{0, 5, 10}, {5, 12, 20}, {12, 15, 30}}));
+}
+
+TEST(TrajectorySegments, UndefinedBeforeFirstRecord) {
+  Trajectory<int> tr;
+  tr.record(10, 1);
+  // Entirely before the first record: no value existed yet.
+  EXPECT_TRUE(tr.segments(0, 10).empty());
+  // Straddling: the view starts at the first record, not at `from`.
+  EXPECT_EQ(tr.segments(0, 15), (std::vector<Seg>{{10, 15, 1}}));
+}
+
+TEST(TrajectorySegments, DegenerateWindowsAndEmptyTrajectory) {
+  Trajectory<int> tr;
+  EXPECT_TRUE(tr.segments(0, 100).empty());
+  tr.record(1, 5);
+  EXPECT_TRUE(tr.segments(7, 7).empty());
+  EXPECT_TRUE(tr.segments(9, 3).empty());
+}
+
+TEST(TrajectorySegments, CoalescedRunIsOneSegment) {
+  Trajectory<int> tr;
+  tr.record(1, 7);
+  tr.record(3, 7);
+  tr.record(9, 7);
+  EXPECT_EQ(tr.segments(0, 20), (std::vector<Seg>{{1, 20, 7}}));
+}
+
+TEST(TrajectorySegments, SameTimeOverwriteDropsZeroLengthPiece) {
+  Trajectory<int> tr;
+  tr.record(2, 1);
+  tr.record(5, 2);
+  tr.record(5, 3);  // supersedes value 2 within the same instant
+  EXPECT_EQ(tr.segments(0, 10), (std::vector<Seg>{{2, 5, 1}, {5, 10, 3}}));
+}
+
+TEST(TrajectorySegments, ExclusiveEndBoundary) {
+  Trajectory<int> tr;
+  tr.record(0, 1);
+  tr.record(5, 2);
+  // to == change time: the new value's zero-or-negative-length piece is cut.
+  EXPECT_EQ(tr.segments(0, 5), (std::vector<Seg>{{0, 5, 1}}));
+  // from == change time: the old value contributes nothing.
+  EXPECT_EQ(tr.segments(5, 9), (std::vector<Seg>{{5, 9, 2}}));
+}
+
 }  // namespace
 }  // namespace hds

@@ -1,19 +1,49 @@
 #!/usr/bin/env bash
-# Reproduces everything: build, full test suite, every per-figure benchmark.
-# Outputs land in test_output.txt and bench_output.txt at the repo root.
+# Reproduces everything: build, full test suite, every per-figure benchmark,
+# the trace/metrics exports, and the QoS report with its regression check.
+#
+# All artifacts of one invocation land in experiments_out/<UTC timestamp>/:
+#   test_output.txt           full ctest transcript
+#   bench_output.txt          every benchmark's console output
+#   <bench>_metrics.json      per-benchmark metrics snapshot (--metrics-json)
+#   fig8_trace.json / .jsonl  structured event log exports
+#   qos_report.{json,md}      QoS sweep + regression verdict
+#   qos_metrics_*.json        per-sweep-point metrics snapshots
+#
+# Exits nonzero if the build, the tests, or the QoS regression check fail.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+OUT="experiments_out/$(date -u +%Y%m%dT%H%M%SZ)"
+mkdir -p "$OUT"
+echo "artifacts: $OUT"
 
-ctest --test-dir build 2>&1 | tee test_output.txt
+cmake -B build -S .
+cmake --build build -j
 
-: > bench_output.txt
+ctest --test-dir build 2>&1 | tee "$OUT/test_output.txt"
+
+: > "$OUT/bench_output.txt"
 for b in build/bench/bench_*; do
   [ -x "$b" ] || continue
-  echo "==== $b ====" | tee -a bench_output.txt
-  "$b" 2>&1 | tee -a bench_output.txt
+  name="$(basename "$b")"
+  echo "==== $name ====" | tee -a "$OUT/bench_output.txt"
+  "$b" --metrics-json="$OUT/${name}_metrics.json" 2>&1 | tee -a "$OUT/bench_output.txt"
 done
 
-echo "done: see test_output.txt and bench_output.txt"
+build/tools/trace_export --stack fig8 --n 5 --crashes 1 --seed 1 \
+  --chrome "$OUT/fig8_trace.json" \
+  --jsonl "$OUT/fig8_events.jsonl" \
+  --metrics "$OUT/fig8_metrics.json"
+
+# QoS sweep against the committed baseline; a regression fails the script
+# (after everything above has been collected).
+qos_status=0
+build/tools/hds_report --stack fig8 --n 5 --seed 1 \
+  --out-dir "$OUT" --baseline BENCH_qos_baseline.json || qos_status=$?
+
+echo "done: artifacts in $OUT"
+if [ "$qos_status" -ne 0 ]; then
+  echo "QoS regression check FAILED (exit $qos_status); see $OUT/qos_report.md" >&2
+  exit "$qos_status"
+fi
