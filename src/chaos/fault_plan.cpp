@@ -1,0 +1,173 @@
+#include "chaos/fault_plan.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hds::chaos {
+
+const char* kind_name(ClauseKind k) {
+  switch (k) {
+    case ClauseKind::kPartition: return "partition";
+    case ClauseKind::kLoss: return "loss";
+    case ClauseKind::kDelay: return "delay";
+    case ClauseKind::kReorder: return "reorder";
+    case ClauseKind::kDuplicate: return "duplicate";
+    case ClauseKind::kCrashAt: return "crash-at";
+    case ClauseKind::kCrashOnLeaderChange: return "crash-on-leader-change";
+    case ClauseKind::kCrashOnQuorum: return "crash-on-quorum";
+  }
+  return "?";
+}
+
+ClauseKind kind_from_name(const std::string& name) {
+  for (ClauseKind k :
+       {ClauseKind::kPartition, ClauseKind::kLoss, ClauseKind::kDelay, ClauseKind::kReorder,
+        ClauseKind::kDuplicate, ClauseKind::kCrashAt, ClauseKind::kCrashOnLeaderChange,
+        ClauseKind::kCrashOnQuorum}) {
+    if (name == kind_name(k)) return k;
+  }
+  throw std::invalid_argument("FaultClause: unknown kind '" + name + "'");
+}
+
+bool is_link_kind(ClauseKind k) {
+  switch (k) {
+    case ClauseKind::kPartition:
+    case ClauseKind::kLoss:
+    case ClauseKind::kDelay:
+    case ClauseKind::kReorder:
+    case ClauseKind::kDuplicate: return true;
+    default: return false;
+  }
+}
+
+bool is_trigger_kind(ClauseKind k) {
+  return k == ClauseKind::kCrashOnLeaderChange || k == ClauseKind::kCrashOnQuorum;
+}
+
+bool LinkSelector::matches(ProcIndex from, ProcIndex to, const std::vector<Id>& ids) const {
+  if (!src.empty() && std::find(src.begin(), src.end(), from) == src.end()) return false;
+  if (!dst.empty() && std::find(dst.begin(), dst.end(), to) == dst.end()) return false;
+  if (dst_id != kBottomId && (to >= ids.size() || ids[to] != dst_id)) return false;
+  return true;
+}
+
+namespace {
+
+obs::Json indices_to_json(const std::vector<ProcIndex>& v) {
+  obs::Json a = obs::Json::array();
+  for (ProcIndex i : v) a.push_back(i);
+  return a;
+}
+
+std::vector<ProcIndex> indices_from_json(const obs::Json* j) {
+  std::vector<ProcIndex> out;
+  if (j == nullptr || !j->is_array()) return out;
+  for (const auto& e : j->items()) out.push_back(static_cast<ProcIndex>(e.integer()));
+  return out;
+}
+
+}  // namespace
+
+obs::Json LinkSelector::to_json() const {
+  obs::Json j = obs::Json::object();
+  if (!src.empty()) j["src"] = indices_to_json(src);
+  if (!dst.empty()) j["dst"] = indices_to_json(dst);
+  if (dst_id != kBottomId) j["dst_id"] = dst_id;
+  return j;
+}
+
+LinkSelector LinkSelector::from_json(const obs::Json& j) {
+  LinkSelector s;
+  s.src = indices_from_json(j.find("src"));
+  s.dst = indices_from_json(j.find("dst"));
+  s.dst_id = static_cast<Id>(j.number_or("dst_id", 0));
+  return s;
+}
+
+obs::Json FaultClause::to_json() const {
+  obs::Json j = obs::Json::object();
+  j["kind"] = kind_name(kind);
+  if (from != 0) j["from"] = from;
+  if (until != -1) j["until"] = until;
+  if (is_link_kind(kind)) {
+    obs::Json sel = links.to_json();
+    if (!sel.fields().empty()) j["links"] = std::move(sel);
+  }
+  if (prob != 1.0) j["prob"] = prob;
+  if (delay != 0) j["delay"] = delay;
+  if (count != 1) j["count"] = count;
+  if (kind == ClauseKind::kCrashAt) {
+    j["proc"] = proc;
+    j["at"] = at;
+  }
+  if (target_id != kBottomId) j["target_id"] = target_id;
+  return j;
+}
+
+FaultClause FaultClause::from_json(const obs::Json& j) {
+  FaultClause c;
+  const obs::Json* kind = j.find("kind");
+  if (kind == nullptr) throw std::invalid_argument("FaultClause: missing kind");
+  c.kind = kind_from_name(kind->str());
+  c.from = static_cast<SimTime>(j.number_or("from", 0));
+  c.until = static_cast<SimTime>(j.number_or("until", -1));
+  if (const obs::Json* sel = j.find("links")) c.links = LinkSelector::from_json(*sel);
+  c.prob = j.number_or("prob", 1.0);
+  c.delay = static_cast<SimTime>(j.number_or("delay", 0));
+  c.count = static_cast<std::size_t>(j.number_or("count", 1));
+  c.proc = static_cast<ProcIndex>(j.number_or("proc", 0));
+  c.at = static_cast<SimTime>(j.number_or("at", 0));
+  c.target_id = static_cast<Id>(j.number_or("target_id", 0));
+  if (c.prob < 0.0 || c.prob > 1.0) throw std::invalid_argument("FaultClause: prob out of range");
+  if (c.delay < 0 || c.at < 0) throw std::invalid_argument("FaultClause: negative time");
+  return c;
+}
+
+bool FaultPlan::has_triggers() const {
+  return std::any_of(clauses.begin(), clauses.end(),
+                     [](const FaultClause& c) { return is_trigger_kind(c.kind); });
+}
+
+bool FaultPlan::has_crashes() const {
+  return std::any_of(clauses.begin(), clauses.end(),
+                     [](const FaultClause& c) { return !is_link_kind(c.kind); });
+}
+
+std::size_t FaultPlan::crash_budget() const {
+  std::size_t total = 0;
+  for (const FaultClause& c : clauses) {
+    if (c.kind == ClauseKind::kCrashAt) total += 1;
+    else if (is_trigger_kind(c.kind)) total += c.count;
+  }
+  return total;
+}
+
+SimTime FaultPlan::link_faults_end() const {
+  SimTime end = 0;
+  for (const FaultClause& c : clauses) {
+    if (!is_link_kind(c.kind)) continue;
+    if (c.until < 0) return -1;
+    end = std::max(end, c.until);
+  }
+  return end;
+}
+
+obs::Json FaultPlan::to_json() const {
+  obs::Json arr = obs::Json::array();
+  for (const FaultClause& c : clauses) arr.push_back(c.to_json());
+  obs::Json j = obs::Json::object();
+  j["clauses"] = std::move(arr);
+  return j;
+}
+
+FaultPlan FaultPlan::from_json(const obs::Json& j) {
+  FaultPlan plan;
+  const obs::Json* arr = j.find("clauses");
+  if (arr == nullptr || !arr->is_array()) {
+    throw std::invalid_argument("FaultPlan: missing clauses array");
+  }
+  for (const auto& e : arr->items()) plan.clauses.push_back(FaultClause::from_json(e));
+  return plan;
+}
+
+}  // namespace hds::chaos

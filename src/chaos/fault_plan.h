@@ -1,0 +1,103 @@
+// FaultPlan — the composable fault-injection DSL of the chaos subsystem.
+//
+// A plan is a conjunction of clauses. Link clauses shape message copies in
+// flight (partitions with heal times, asymmetric delay inflation, targeted
+// loss, bounded duplication, reordering jitter); crash clauses remove
+// processes, either at a fixed instant or *triggered by the run itself*
+// through FdOutputListener events ("crash each newly elected HΩ leader, up
+// to k times", "crash a member of the first HΣ quorum output"). Plans
+// serialize to/from JSON (obs::Json) so a failing plan can be shrunk and
+// committed as a replayable repro.
+//
+// The clause fields are deliberately overloaded across kinds (one struct,
+// one JSON schema, trivial delta-debugging); the per-kind meaning of each
+// field is documented at the field.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/json.h"
+
+namespace hds::chaos {
+
+enum class ClauseKind : std::uint8_t {
+  // --- link clauses (consulted per copy by the interposer) ---
+  kPartition,  // drop every matching copy while active
+  kLoss,       // drop matching copies with probability `prob`
+  kDelay,      // inflate matching copies' delivery by `delay`
+  kReorder,    // add uniform jitter in [0, delay] to matching copies
+  kDuplicate,  // with probability `prob`, inject `count` extra copies
+               // trailing the original by up to `delay`
+  // --- crash clauses (effectors on the process set) ---
+  kCrashAt,              // crash process `proc` at time `at`
+  kCrashOnLeaderChange,  // crash a carrier of each newly elected HΩ leader
+                         // (matching `target_id` when set), up to `count`
+  kCrashOnQuorum,        // crash a member of each newly output HΣ quorum
+                         // label, up to `count`
+};
+
+[[nodiscard]] const char* kind_name(ClauseKind k);
+// Throws std::invalid_argument on an unknown name.
+[[nodiscard]] ClauseKind kind_from_name(const std::string& name);
+[[nodiscard]] bool is_link_kind(ClauseKind k);
+[[nodiscard]] bool is_trigger_kind(ClauseKind k);  // event-triggered crash
+
+// Selects directed links (from, to). Empty src/dst lists are wildcards;
+// dst_id != kBottomId additionally requires the receiver to carry that
+// identifier (targeting a label class rather than an index set).
+struct LinkSelector {
+  std::vector<ProcIndex> src;
+  std::vector<ProcIndex> dst;
+  Id dst_id = kBottomId;
+
+  [[nodiscard]] bool matches(ProcIndex from, ProcIndex to, const std::vector<Id>& ids) const;
+  [[nodiscard]] obs::Json to_json() const;
+  static LinkSelector from_json(const obs::Json& j);
+  friend bool operator==(const LinkSelector&, const LinkSelector&) = default;
+};
+
+struct FaultClause {
+  ClauseKind kind = ClauseKind::kPartition;
+  // Active window [from, until); until = -1 means "never heals".
+  SimTime from = 0;
+  SimTime until = -1;
+  LinkSelector links;     // link kinds only
+  double prob = 1.0;      // kLoss / kDuplicate firing probability
+  SimTime delay = 0;      // kDelay: added latency; kReorder: jitter bound;
+                          // kDuplicate: duplicate trailing spread
+  std::size_t count = 1;  // kDuplicate: extra copies per firing;
+                          // trigger kinds: total crash budget
+  ProcIndex proc = 0;     // kCrashAt: victim index
+  SimTime at = 0;         // kCrashAt: crash instant
+  Id target_id = kBottomId;  // kCrashOnLeaderChange: only leaders with this
+                             // identifier (kBottomId = any leader)
+
+  [[nodiscard]] bool active_at(SimTime t) const {
+    return t >= from && (until < 0 || t < until);
+  }
+  [[nodiscard]] obs::Json to_json() const;
+  static FaultClause from_json(const obs::Json& j);
+  friend bool operator==(const FaultClause&, const FaultClause&) = default;
+};
+
+struct FaultPlan {
+  std::vector<FaultClause> clauses;
+
+  [[nodiscard]] bool empty() const { return clauses.empty(); }
+  [[nodiscard]] bool has_triggers() const;
+  [[nodiscard]] bool has_crashes() const;  // any crash clause, incl. triggers
+  // Total number of crashes the plan can inject (kCrashAt count as 1 each,
+  // triggers contribute their budgets).
+  [[nodiscard]] std::size_t crash_budget() const;
+  // Latest instant at which any link clause is still active: 0 when there
+  // are no link clauses, -1 when one never heals, else max until.
+  [[nodiscard]] SimTime link_faults_end() const;
+
+  [[nodiscard]] obs::Json to_json() const;
+  static FaultPlan from_json(const obs::Json& j);
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+};
+
+}  // namespace hds::chaos

@@ -1,0 +1,80 @@
+#include "chaos/shrink.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hds::chaos {
+
+namespace {
+
+bool tags_intersect(const std::vector<std::string>& a, const std::vector<std::string>& b) {
+  return std::any_of(a.begin(), a.end(), [&b](const std::string& t) {
+    return std::find(b.begin(), b.end(), t) != b.end();
+  });
+}
+
+}  // namespace
+
+ShrinkResult shrink_case(const ChaosCase& failing, std::size_t max_runs) {
+  ShrinkResult res;
+  res.reduced = failing;
+  res.outcome = run_chaos_case(failing);
+  res.runs = 1;
+  if (res.outcome.ok) {
+    throw std::invalid_argument("shrink_case: the input case does not violate anything");
+  }
+  const std::vector<std::string> orig_tags = res.outcome.violation_tags();
+
+  // Probe one candidate; on success it becomes the new best.
+  auto try_candidate = [&](const ChaosCase& cand) {
+    if (res.runs >= max_runs) return false;
+    ++res.runs;
+    ChaosOutcome o = run_chaos_case(cand);
+    if (o.ok || !tags_intersect(o.violation_tags(), orig_tags)) return false;
+    res.reduced = cand;
+    res.outcome = std::move(o);
+    return true;
+  };
+
+  // Pass 1: greedy clause removal to a fixpoint. Removing any single clause
+  // restarts the scan, so the loop terminates with a 1-minimal clause set
+  // (no single clause can be dropped).
+  bool changed = true;
+  while (changed && res.runs < max_runs) {
+    changed = false;
+    for (std::size_t i = 0; i < res.reduced.plan.clauses.size(); ++i) {
+      ChaosCase cand = res.reduced;
+      cand.plan.clauses.erase(cand.plan.clauses.begin() + static_cast<std::ptrdiff_t>(i));
+      if (try_candidate(cand)) {
+        changed = true;
+        break;
+      }
+    }
+  }
+
+  // Pass 2: drop the planned crash schedule if the plan alone still fails.
+  if (res.reduced.crash_k > 0) {
+    ChaosCase cand = res.reduced;
+    cand.crash_k = 0;
+    cand.crash_at = 0;
+    try_candidate(cand);
+  }
+
+  // Pass 3: halve numeric clause constants while the failure persists.
+  for (std::size_t i = 0; i < res.reduced.plan.clauses.size(); ++i) {
+    while (res.reduced.plan.clauses[i].delay > 1 && res.runs < max_runs) {
+      ChaosCase cand = res.reduced;
+      cand.plan.clauses[i].delay /= 2;
+      if (!try_candidate(cand)) break;
+    }
+    while (res.reduced.plan.clauses[i].count > 1 && res.runs < max_runs) {
+      ChaosCase cand = res.reduced;
+      cand.plan.clauses[i].count /= 2;
+      if (!try_candidate(cand)) break;
+    }
+  }
+
+  return res;
+}
+
+}  // namespace hds::chaos

@@ -1,0 +1,32 @@
+// Delta-debugging shrinker for failing chaos cases.
+//
+// Given a case whose run violates at least one property, produce a smaller
+// case that still violates — fewer clauses first (greedy single-clause
+// removal to a fixpoint), then simpler configuration (drop planned
+// crashes), then smaller clause constants (halve delays and duplicate
+// counts). A candidate is accepted when its violation-tag set still
+// intersects the original's: the shrunken repro must fail *for the same
+// reason*, not for a new one the shrinking introduced.
+//
+// Every probe is one deterministic simulator run; `max_runs` bounds the
+// total work. The result carries the reduced case, its outcome, and the
+// number of runs spent.
+#pragma once
+
+#include <cstddef>
+
+#include "chaos/runner.h"
+
+namespace hds::chaos {
+
+struct ShrinkResult {
+  ChaosCase reduced;
+  ChaosOutcome outcome;   // outcome of the reduced case
+  std::size_t runs = 0;   // simulator runs spent (including the initial one)
+};
+
+// Precondition: run_chaos_case(failing) reports at least one violation
+// (throws std::invalid_argument otherwise).
+ShrinkResult shrink_case(const ChaosCase& failing, std::size_t max_runs = 200);
+
+}  // namespace hds::chaos

@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "chaos/injector.h"
 #include "common/rng.h"
 #include "consensus/majority_homega.h"
 #include "consensus/quorum_homega_hsigma.h"
@@ -116,6 +117,16 @@ std::vector<SimTime> crash_instants(const std::vector<std::optional<SyncCrashPla
   return out;
 }
 
+// Composes the observer chain for process i: the monitor's listener (if
+// any), wrapped by the injector's trigger evaluation (if the plan has
+// trigger clauses). Null when neither is present.
+FdOutputListener* chained_listener(ProcIndex i, obs::OnlineMonitor* monitor,
+                                   chaos::FaultInjector* chaos) {
+  FdOutputListener* l = monitor != nullptr ? monitor->listener(i) : nullptr;
+  if (chaos != nullptr) l = chaos->trigger_listener(i, l);
+  return l;
+}
+
 }  // namespace
 
 // ------------------------------------------------------------- FD runs
@@ -128,10 +139,13 @@ Fig6Result run_fig6(const Fig6Params& p) {
   cfg.seed = p.seed;
   cfg.metrics = p.metrics;
   System sys(std::move(cfg));
+  if (p.chaos != nullptr) p.chaos->arm(sys);
   for (ProcIndex i = 0; i < sys.n(); ++i) {
     auto fd = std::make_unique<OHPPolling>(p.fd_opts);
     fd->attach_metrics(p.metrics, proc_labels(i));
-    if (p.monitor != nullptr) fd->set_output_listener(p.monitor->listener(i));
+    if (FdOutputListener* l = chained_listener(i, p.monitor, p.chaos)) {
+      fd->set_output_listener(l);
+    }
     sys.set_process(i, std::move(fd));
   }
   sys.start();
@@ -461,6 +475,7 @@ ConsensusRunResult run_fig8_full_stack(const Fig8FullStackParams& p) {
   cfg.trace_capacity = p.trace_capacity;
   cfg.metrics = p.metrics;
   System sys(std::move(cfg));
+  if (p.chaos != nullptr) p.chaos->arm(sys);
 
   std::vector<MajorityHOmegaConsensus*> procs(n);
   std::vector<OHPPolling*> fds(n);
@@ -468,7 +483,9 @@ ConsensusRunResult run_fig8_full_stack(const Fig8FullStackParams& p) {
     auto stack = std::make_unique<StackedProcess>();
     auto* fd = stack->add(std::make_unique<OHPPolling>());
     fd->attach_metrics(p.metrics, proc_labels(i));
-    if (p.monitor != nullptr) fd->set_output_listener(p.monitor->listener(i));
+    if (FdOutputListener* l = chained_listener(i, p.monitor, p.chaos)) {
+      fd->set_output_listener(l);
+    }
     fds[i] = fd;
     MajorityConsensusConfig cons_cfg;
     cons_cfg.n = n;
@@ -535,6 +552,7 @@ ConsensusRunResult run_fig9_full_stack(const Fig9FullStackParams& p) {
   cfg.trace_capacity = p.trace_capacity;
   cfg.metrics = p.metrics;
   System sys(std::move(cfg));
+  if (p.chaos != nullptr) p.chaos->arm(sys);
 
   // Adapters owned per node; kept alive alongside the system.
   std::vector<std::unique_ptr<ApToOhp>> ap_ohp(n);
@@ -562,9 +580,9 @@ ConsensusRunResult run_fig9_full_stack(const Fig9FullStackParams& p) {
       auto* hsig = stack->add(std::make_unique<HSigmaComponent>(p.delta + 1));
       ohp->attach_metrics(p.metrics, proc_labels(i));
       hsig->attach_metrics(p.metrics, proc_labels(i));
-      if (p.monitor != nullptr) {
-        ohp->set_output_listener(p.monitor->listener(i));
-        hsig->set_output_listener(p.monitor->listener(i));
+      if (FdOutputListener* l = chained_listener(i, p.monitor, p.chaos)) {
+        ohp->set_output_listener(l);
+        hsig->set_output_listener(l);
       }
       fds[i] = ohp;
       hsigs[i] = hsig;
@@ -606,6 +624,18 @@ ConsensusRunResult run_fig9_full_stack(const Fig9FullStackParams& p) {
     if (stab >= 0) p.metrics->gauge("fd_stabilization_time").set(stab);
   }
   ConsensusRunResult res = finish_result(sys, proposals, decisions, loop, max_sr, max_round);
+  if (p.check_hsigma_safety && !p.anonymous_ap_stack) {
+    // Perpetual HΣ properties only: they hold at every instant of every
+    // admissible run, so they stay meaningful even when a chaos schedule
+    // prevents the eventual properties from converging within the run.
+    const GroundTruth gt = GroundTruth::from(sys);
+    std::vector<const Trajectory<HSigmaSnapshot>*> snaps;
+    for (ProcIndex i = 0; i < n; ++i) snaps.push_back(&hsigs[i]->core().trace());
+    res.hsigma_safety_check = check_hsigma_safety(gt, snaps);
+    if (res.hsigma_safety_check) {
+      res.hsigma_safety_check = check_hsigma_monotonicity(snaps);
+    }
+  }
   if (p.collect_qos && !p.anonymous_ap_stack) {
     obs::QosInput in;
     in.gt = GroundTruth::from(sys);

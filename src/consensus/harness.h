@@ -33,6 +33,10 @@
 
 namespace hds {
 
+namespace chaos {
+class FaultInjector;
+}  // namespace chaos
+
 // ---------------------------------------------------------------- workloads
 
 // Identifiers 1..n (the classical AS extreme of homonymy).
@@ -81,6 +85,9 @@ struct Fig6Params {
   // Online property monitor; its per-process listeners are attached to every
   // detector before the run starts. Null disables.
   obs::OnlineMonitor* monitor = nullptr;
+  // Fault-injection adversary; armed on the system before start and chained
+  // in front of the monitor listeners. Null disables.
+  chaos::FaultInjector* chaos = nullptr;
 };
 
 struct Fig6Result {
@@ -141,6 +148,11 @@ struct ConsensusRunResult {
   std::vector<TraceEvent> trace_events;
   std::uint64_t trace_dropped = 0;
   obs::QosReport qos;  // populated by stacks run with collect_qos
+  // Populated by run_fig9_full_stack when check_hsigma_safety is set:
+  // perpetual HΣ properties (safety + monotonicity) over the run — the
+  // checks that stay meaningful under an adversarial (crash-heavy,
+  // convergence-free) schedule.
+  CheckResult hsigma_safety_check;
 };
 
 struct Fig8OracleParams {
@@ -193,6 +205,7 @@ struct Fig8FullStackParams {
   obs::MetricsRegistry* metrics = nullptr;
   bool collect_qos = false;               // as in Fig6Params
   obs::OnlineMonitor* monitor = nullptr;  // as in Fig6Params
+  chaos::FaultInjector* chaos = nullptr;  // as in Fig6Params
 };
 
 // Fig. 6 ▸ Corollary 2 ▸ Fig. 8 in HPS[t < n/2].
@@ -213,6 +226,11 @@ struct Fig9FullStackParams {
   // change events of their own).
   bool collect_qos = false;
   obs::OnlineMonitor* monitor = nullptr;
+  chaos::FaultInjector* chaos = nullptr;  // as in Fig6Params
+  // Evaluate the perpetual HΣ checks (safety + monotonicity) over the
+  // HSigmaComponent traces into result.hsigma_safety_check. Off by default;
+  // the chaos runner turns it on. Ignored by the anonymous AP stack.
+  bool check_hsigma_safety = false;
 };
 
 // Synchronous full stack for Fig. 9: OHPPolling (HΩ) + HSigmaComponent (HΣ)

@@ -160,6 +160,8 @@ RtSystem::RtSystem(RtConfig cfg)
   if (metrics_ != nullptr) {
     m_broadcasts_ = &metrics_->counter("rt_broadcasts_total");
     m_copies_delivered_ = &metrics_->counter("rt_copies_delivered_total");
+    m_copies_lost_link_ = &metrics_->counter("rt_copies_lost_link_total");
+    m_copies_duplicated_ = &metrics_->counter("rt_copies_duplicated_total");
   }
   nodes_.reserve(ids_.size());
   for (ProcIndex i = 0; i < ids_.size(); ++i) nodes_.push_back(std::make_unique<Node>(*this, i));
@@ -178,6 +180,11 @@ void RtSystem::start() {
   for (auto& node : nodes_) node->start();
 }
 
+void RtSystem::set_interposer(LinkInterposer* li) {
+  if (started_) throw std::logic_error("RtSystem: set_interposer after start");
+  interposer_ = li;
+}
+
 void RtSystem::crash(ProcIndex i) { nodes_.at(i)->crash(); }
 
 bool RtSystem::is_crashed(ProcIndex i) const { return nodes_.at(i)->crashed(); }
@@ -191,18 +198,42 @@ void RtSystem::broadcast_from(ProcIndex from, const Message& m) {
   if (nodes_.at(from)->crashed()) return;
   auto shared = std::make_shared<const Message>(m);
   const auto now = Clock::now();
+  const SimTime sent_ms = now_ms();
   std::uint64_t scheduled = 0;
   std::uint64_t rejected = 0;
-  for (auto& node : nodes_) {
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  for (ProcIndex to = 0; to < nodes_.size(); ++to) {
+    Node* node = nodes_[to].get();
+    CopyVerdict verdict;
+    if (interposer_ != nullptr) verdict = interposer_->on_copy(sent_ms, from, to, shared->type);
+    if (verdict.drop) {
+      ++dropped;
+      obs::inc(m_copies_lost_link_);
+      continue;
+    }
     SimTime d;
     {
       std::lock_guard lk(rng_mu_);
       d = rng_.uniform(min_delay_ms_, max_delay_ms_);
     }
+    d += verdict.extra_delay;
     if (node->deliver(now + std::chrono::milliseconds(d), shared)) {
       ++scheduled;
     } else {
       ++rejected;
+      continue;  // destination crashed; no point scheduling duplicates
+    }
+    for (std::size_t dup = 0; dup < verdict.duplicates; ++dup) {
+      SimTime trail = 1;
+      if (verdict.duplicate_spread > 0) {
+        std::lock_guard lk(rng_mu_);
+        trail = rng_.uniform(1, verdict.duplicate_spread);
+      }
+      if (node->deliver(now + std::chrono::milliseconds(d + trail), shared)) {
+        ++duplicated;
+        obs::inc(m_copies_duplicated_);
+      }
     }
   }
   {
@@ -211,6 +242,8 @@ void RtSystem::broadcast_from(ProcIndex from, const Message& m) {
     ++send_stats_.broadcasts_by_type[shared->type];
     send_stats_.copies_scheduled += scheduled;
     send_stats_.copies_to_crashed += rejected;
+    send_stats_.copies_lost_link += dropped;
+    send_stats_.copies_duplicated += duplicated;
   }
   obs::inc(m_broadcasts_);
 }

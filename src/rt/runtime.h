@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/link_fault.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "obs/metrics.h"
@@ -44,10 +45,12 @@ struct RtConfig {
 // net_stats() through the query() mailbox discipline (each alive node reads
 // its own counter on its own thread), so no reader ever races a handler.
 struct RtNetworkStats {
-  std::uint64_t broadcasts = 0;         // broadcast() invocations
-  std::uint64_t copies_scheduled = 0;   // copies enqueued toward a live node
-  std::uint64_t copies_delivered = 0;   // handler actually ran at the node
-  std::uint64_t copies_to_crashed = 0;  // rejected: destination already crashed
+  std::uint64_t broadcasts = 0;          // broadcast() invocations
+  std::uint64_t copies_scheduled = 0;    // copies enqueued toward a live node
+  std::uint64_t copies_delivered = 0;    // handler actually ran at the node
+  std::uint64_t copies_to_crashed = 0;   // rejected: destination already crashed
+  std::uint64_t copies_lost_link = 0;    // dropped by an interposed fault plan
+  std::uint64_t copies_duplicated = 0;   // extra copies injected by a fault plan
   std::map<std::string, std::uint64_t> broadcasts_by_type;
 };
 
@@ -61,6 +64,12 @@ class RtSystem {
 
   void set_process(ProcIndex i, std::unique_ptr<Process> p);
   void start();
+
+  // Installs a fault-plan interposer consulted on every copy send (chaos
+  // subsystem; null detaches). Install before start(); the interposer must
+  // outlive the system (it is called from node threads) and be thread-safe.
+  // CopyVerdict times are interpreted in milliseconds on this substrate.
+  void set_interposer(LinkInterposer* li);
 
   // Crash injection: the node thread stops dispatching; pending and future
   // deliveries to the node are dropped.
@@ -116,6 +125,9 @@ class RtSystem {
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Counter* m_broadcasts_ = nullptr;
   obs::Counter* m_copies_delivered_ = nullptr;
+  obs::Counter* m_copies_lost_link_ = nullptr;
+  obs::Counter* m_copies_duplicated_ = nullptr;
+  LinkInterposer* interposer_ = nullptr;
 
   // Send-side counters; guarded by stats_mu_ (broadcasts come from many
   // node threads).

@@ -13,7 +13,9 @@ Network::Network(Scheduler& sched, TimingModel& timing, Rng& rng, std::size_t n,
       metrics_(metrics) {
   if (metrics_ != nullptr) {
     m_copies_delivered_ = &metrics_->counter("net_copies_delivered_total");
-    m_copies_lost_ = &metrics_->counter("net_copies_lost_total");
+    m_copies_lost_link_ = &metrics_->counter("net_copies_lost_link_total");
+    m_copies_lost_dying_ = &metrics_->counter("net_copies_lost_dying_total");
+    m_copies_duplicated_ = &metrics_->counter("net_copies_duplicated_total");
     m_copies_to_dead_ = &metrics_->counter("net_copies_to_dead_total");
     m_latency_ = &metrics_->histogram("net_delivery_latency", obs::time_buckets());
   }
@@ -35,19 +37,36 @@ void Network::broadcast(ProcIndex from, Message m, double dying_delivery_prob) {
   for (ProcIndex to = 0; to < n_; ++to) {
     ++stats_.copies_sent;
     if (dying_delivery_prob < 1.0 && !rng_.chance(dying_delivery_prob)) {
-      ++stats_.copies_lost;
-      obs::inc(m_copies_lost_);
+      ++stats_.copies_lost_dying_sender;
+      obs::inc(m_copies_lost_dying_);
+      if (trace_ != nullptr) trace_->record(sent, TraceEvent::Kind::kLostDying, to, shared->type);
+      continue;
+    }
+    CopyVerdict verdict;
+    if (interposer_ != nullptr) verdict = interposer_->on_copy(sent, from, to, shared->type);
+    if (verdict.drop) {
+      ++stats_.copies_lost_link;
+      obs::inc(m_copies_lost_link_);
       if (trace_ != nullptr) trace_->record(sent, TraceEvent::Kind::kLost, to, shared->type);
       continue;
     }
     auto when = timing_.delivery_at(sent, from, to, shared->type, rng_);
     if (!when) {
-      ++stats_.copies_lost;
-      obs::inc(m_copies_lost_);
+      ++stats_.copies_lost_link;
+      obs::inc(m_copies_lost_link_);
       if (trace_ != nullptr) trace_->record(sent, TraceEvent::Kind::kLost, to, shared->type);
       continue;
     }
-    sched_.at(*when, [this, to, shared] { deliver_(to, shared); });
+    const SimTime arrive = *when + verdict.extra_delay;
+    sched_.at(arrive, [this, to, shared] { deliver_(to, shared); });
+    for (std::size_t d = 0; d < verdict.duplicates; ++d) {
+      ++stats_.copies_duplicated;
+      obs::inc(m_copies_duplicated_);
+      if (trace_ != nullptr) trace_->record(sent, TraceEvent::Kind::kDuplicate, to, shared->type);
+      const SimTime trail =
+          verdict.duplicate_spread > 0 ? rng_.uniform(1, verdict.duplicate_spread) : 1;
+      sched_.at(arrive + trail, [this, to, shared] { deliver_(to, shared); });
+    }
   }
 }
 

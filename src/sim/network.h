@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/link_fault.h"
 #include "common/rng.h"
 #include "obs/metrics.h"
 #include "sim/message.h"
@@ -23,9 +24,18 @@ struct NetworkStats {
   std::uint64_t broadcasts = 0;        // broadcast() invocations
   std::uint64_t copies_sent = 0;       // per-link copies put on the wire
   std::uint64_t copies_delivered = 0;  // copies handed to an alive process
-  std::uint64_t copies_lost = 0;       // dropped by the timing model / dying sender
-  std::uint64_t copies_to_dead = 0;    // arrived after the destination crashed
+  // Loss split by cause: the link itself (timing-model pre-GST loss or an
+  // injected link fault) vs the "crash during broadcast" subset semantics
+  // on the sender side.
+  std::uint64_t copies_lost_link = 0;
+  std::uint64_t copies_lost_dying_sender = 0;
+  std::uint64_t copies_duplicated = 0;  // extra copies injected by a fault plan
+  std::uint64_t copies_to_dead = 0;     // arrived after the destination crashed
   std::map<std::string, std::uint64_t> broadcasts_by_type;
+
+  [[nodiscard]] std::uint64_t copies_lost() const {
+    return copies_lost_link + copies_lost_dying_sender;
+  }
 
   // Delivery latency aggregate over copies handed to alive processes.
   SimTime latency_sum = 0;
@@ -53,6 +63,10 @@ class Network {
   // that probability (the model's "received by an arbitrary subset").
   void broadcast(ProcIndex from, Message m, double dying_delivery_prob = 1.0);
 
+  // Installs a fault-plan interposer on every link (null detaches). The
+  // pointer is consulted per copy; install before traffic starts.
+  void set_interposer(LinkInterposer* li) { interposer_ = li; }
+
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
   void note_copy_to_dead() {
     ++stats_.copies_to_dead;
@@ -74,11 +88,14 @@ class Network {
   Deliver deliver_;
   TraceLog* trace_;
   obs::MetricsRegistry* metrics_;
+  LinkInterposer* interposer_ = nullptr;
   NetworkStats stats_;
 
   // Cached instruments; all null when metrics_ is null.
   obs::Counter* m_copies_delivered_ = nullptr;
-  obs::Counter* m_copies_lost_ = nullptr;
+  obs::Counter* m_copies_lost_link_ = nullptr;
+  obs::Counter* m_copies_lost_dying_ = nullptr;
+  obs::Counter* m_copies_duplicated_ = nullptr;
   obs::Counter* m_copies_to_dead_ = nullptr;
   obs::Histogram* m_latency_ = nullptr;
   std::map<std::string, obs::Counter*> m_bcast_by_type_;

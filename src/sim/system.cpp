@@ -86,9 +86,25 @@ void System::start() {
     });
     if (trace_.enabled() && crashes_[i]) {
       const SimTime when = crashes_[i]->at;
-      sched_.at(when, [this, i, when] { trace_.record(when, TraceEvent::Kind::kCrash, i); });
+      // Guarded: an injected crash may have superseded the planned one by
+      // the time this event fires (inject_crash records its own event).
+      sched_.at(when, [this, i, when] {
+        if (crashes_[i] && crashes_[i]->at == when) {
+          trace_.record(when, TraceEvent::Kind::kCrash, i);
+        }
+      });
     }
   }
+}
+
+void System::set_interposer(LinkInterposer* li) { net_->set_interposer(li); }
+
+void System::inject_crash(ProcIndex i, const std::string& why) {
+  const SimTime t = now();
+  auto& plan = crashes_.at(i);
+  if (plan && plan->at <= t) return;  // already down, or going down this instant
+  plan = CrashPlan{t, false};
+  trace_.record(t, TraceEvent::Kind::kCrash, i, why);
 }
 
 bool System::run_all(std::uint64_t max_events) {

@@ -54,6 +54,17 @@ class System {
   // Schedules every process's on_start at time 0.
   void start();
 
+  // Installs a fault-plan interposer on the broadcast network (chaos
+  // subsystem; null detaches). Install before start().
+  void set_interposer(LinkInterposer* li);
+
+  // Dynamic crash injection — the chaos adversary's effector. The process
+  // is alive through the current instant and participates in no event
+  // afterwards; ground-truth accessors reflect it immediately. A process
+  // already down (or crashing this instant) is left untouched; a *future*
+  // planned crash is advanced to now. `why` tags the trace event.
+  void inject_crash(ProcIndex i, const std::string& why = {});
+
   void run_until(SimTime t) { sched_.run_until(t); }
   // Runs until the event queue drains (or the safety caps hit). Returns true
   // if the queue drained.

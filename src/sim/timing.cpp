@@ -23,13 +23,28 @@ PartialSyncTiming::PartialSyncTiming(Params p) : params_(p) {
   if (p.pre_gst_loss < 0.0 || p.pre_gst_loss > 1.0) {
     throw std::invalid_argument("PartialSyncTiming: loss probability out of range");
   }
+  for (const auto& [link, ov] : p.pre_gst_links) {
+    (void)link;
+    if (ov.pre_gst_loss < 0.0 || ov.pre_gst_loss > 1.0 || ov.pre_gst_max_delay < 0) {
+      throw std::invalid_argument("PartialSyncTiming: bad link override");
+    }
+  }
 }
 
-std::optional<SimTime> PartialSyncTiming::delivery_at(SimTime sent, ProcIndex, ProcIndex,
+std::optional<SimTime> PartialSyncTiming::delivery_at(SimTime sent, ProcIndex from, ProcIndex to,
                                                       const std::string&, Rng& rng) {
   if (sent >= params_.gst) return sent + rng.uniform(1, params_.delta);
-  if (rng.chance(params_.pre_gst_loss)) return std::nullopt;
-  return sent + rng.uniform(1, params_.pre_gst_max_delay);
+  double loss = params_.pre_gst_loss;
+  SimTime max_delay = params_.pre_gst_max_delay;
+  if (!params_.pre_gst_links.empty()) {
+    auto it = params_.pre_gst_links.find({from, to});
+    if (it != params_.pre_gst_links.end()) {
+      loss = it->second.pre_gst_loss;
+      if (it->second.pre_gst_max_delay > 0) max_delay = it->second.pre_gst_max_delay;
+    }
+  }
+  if (rng.chance(loss)) return std::nullopt;
+  return sent + rng.uniform(1, max_delay);
 }
 
 BoundedTiming::BoundedTiming(SimTime bound) : bound_(bound) {

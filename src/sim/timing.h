@@ -47,11 +47,23 @@ class AsyncTiming final : public TimingModel {
 // HPS: eventually timely links.
 class PartialSyncTiming final : public TimingModel {
  public:
+  // Pre-GST behaviour of one directed link, overriding the uniform
+  // parameters. Overrides can express static partitions ("(1,3) loses
+  // everything until GST") and asymmetric lossy/slow prefixes while keeping
+  // GST semantics intact: a copy sent at or after GST is always delivered
+  // within delta, whatever the override says.
+  struct LinkOverride {
+    double pre_gst_loss = 0.0;
+    SimTime pre_gst_max_delay = 0;  // 0 = inherit the uniform pre_gst_max_delay
+  };
+
   struct Params {
     SimTime gst = 0;            // global stabilization time
     SimTime delta = 1;          // post-GST latency bound (unknown to processes)
     double pre_gst_loss = 0.0;  // per-copy loss probability before GST
     SimTime pre_gst_max_delay = 1;  // max (finite) delay of surviving pre-GST copies
+    // Per-directed-link pre-GST overrides, keyed (from, to).
+    std::map<std::pair<ProcIndex, ProcIndex>, LinkOverride> pre_gst_links;
   };
   explicit PartialSyncTiming(Params p);
   std::optional<SimTime> delivery_at(SimTime sent, ProcIndex from, ProcIndex to,

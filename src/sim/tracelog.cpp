@@ -14,6 +14,10 @@ const char* TraceEvent::kind_name(Kind k) {
       return "deliver";
     case Kind::kLost:
       return "lost";
+    case Kind::kLostDying:
+      return "lost-dying";
+    case Kind::kDuplicate:
+      return "duplicate";
     case Kind::kToDead:
       return "to-dead";
     case Kind::kTimer:

@@ -26,7 +26,9 @@ struct TraceEvent {
     kStart,      // process began executing
     kBroadcast,  // process invoked broadcast(m)
     kDeliver,    // one copy handed to an alive process
-    kLost,       // copy dropped by the link (pre-GST loss / dying broadcast)
+    kLost,       // copy dropped by the link (pre-GST loss / injected link fault)
+    kLostDying,  // copy dropped because the sender crashed while broadcasting
+    kDuplicate,  // extra copy injected by a fault plan (chaos duplication)
     kToDead,     // copy arrived after the destination crashed
     kTimer,      // timer fired at the process
     kCrash,      // the process's crash instant passed

@@ -1,0 +1,229 @@
+// Chaos runner tests: the admissibility envelopes, clean runs of admissible
+// plans per stack, the deliberate violation demo, the shrinker, and the
+// repro JSON round trip + deterministic replay.
+#include "chaos/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "chaos/shrink.h"
+#include "common/rng.h"
+#include "obs/json.h"
+
+namespace hds::chaos {
+namespace {
+
+ChaosCase base_case(StackKind stack) {
+  ChaosCase c;
+  c.stack = stack;
+  c.n = 5;
+  c.distinct = 3;
+  c.gst = 150;
+  c.delta = 3;
+  c.seed = 42;
+  return c;
+}
+
+FaultClause healed_partition(SimTime until) {
+  FaultClause cl;
+  cl.kind = ClauseKind::kPartition;
+  cl.links.src = {0};
+  cl.links.dst = {1};
+  cl.until = until;
+  return cl;
+}
+
+TEST(ChaosAdmissibility, Fig6AcceptsHealedLinkFaultsRejectsUnhealed) {
+  ChaosCase c = base_case(StackKind::kFig6);
+  EXPECT_TRUE(admissible(c));  // empty plan
+  c.plan.clauses = {healed_partition(100)};
+  EXPECT_TRUE(admissible(c));
+  c.plan.clauses = {healed_partition(c.gst + 1)};  // heals after GST
+  EXPECT_FALSE(admissible(c));
+  c.plan.clauses = {healed_partition(-1)};  // never heals
+  EXPECT_FALSE(admissible(c));
+}
+
+TEST(ChaosAdmissibility, Fig6BoundsCrashes) {
+  ChaosCase c = base_case(StackKind::kFig6);
+  c.crash_k = c.n - 2;
+  c.crash_at = 100;
+  EXPECT_TRUE(admissible(c));
+  c.crash_k = c.n - 1;  // fewer than 2 survivors
+  EXPECT_FALSE(admissible(c));
+  c.crash_k = 1;
+  c.crash_at = c.run_for;  // too late for the convergence tail
+  EXPECT_FALSE(admissible(c));
+}
+
+TEST(ChaosAdmissibility, Fig8RejectsLossPartitionAndDuplication) {
+  // Fig. 8 inherits HAS reliable links: only delay/reorder shaping is
+  // admissible; loss, partition and duplication clauses are findings.
+  ChaosCase c = base_case(StackKind::kFig8);
+  EXPECT_TRUE(admissible(c));
+  FaultClause cl;
+  cl.until = 100;
+  for (ClauseKind bad : {ClauseKind::kLoss, ClauseKind::kPartition, ClauseKind::kDuplicate}) {
+    cl.kind = bad;
+    c.plan.clauses = {cl};
+    EXPECT_FALSE(admissible(c)) << kind_name(bad);
+  }
+  cl.kind = ClauseKind::kDelay;
+  cl.delay = 2;
+  c.plan.clauses = {cl};
+  EXPECT_TRUE(admissible(c));
+  c.plan.clauses[0].until = c.gst + 50;  // must heal by GST
+  EXPECT_FALSE(admissible(c));
+}
+
+TEST(ChaosAdmissibility, Fig8BoundsCrashBudgetByT) {
+  ChaosCase c = base_case(StackKind::kFig8);  // n=5, t=2
+  c.crash_k = 2;
+  c.crash_at = 500;
+  EXPECT_TRUE(admissible(c));
+  FaultClause trig;
+  trig.kind = ClauseKind::kCrashOnLeaderChange;
+  trig.count = 1;
+  c.plan.clauses = {trig};  // total budget 3 > t
+  EXPECT_FALSE(admissible(c));
+}
+
+TEST(ChaosAdmissibility, Fig9RejectsAllLinkClausesAllowsManyCrashes) {
+  ChaosCase c = base_case(StackKind::kFig9);
+  c.crash_k = c.n - 2;  // beyond any majority bound; fine for Fig. 9
+  c.crash_at = 500;
+  EXPECT_TRUE(admissible(c));
+  FaultClause cl;
+  cl.kind = ClauseKind::kDelay;
+  cl.delay = 1;
+  cl.until = 10;
+  c.plan.clauses = {cl};
+  EXPECT_FALSE(admissible(c));  // synchronous model: no link shaping at all
+}
+
+TEST(ChaosRunner, RandomCasesAreAdmissible) {
+  Rng rng(99);
+  for (StackKind s : {StackKind::kFig6, StackKind::kFig8, StackKind::kFig9}) {
+    for (int k = 0; k < 25; ++k) {
+      const ChaosCase c = random_admissible_case(rng, s);
+      EXPECT_TRUE(admissible(c)) << stack_name(s) << " draw " << k;
+    }
+  }
+}
+
+TEST(ChaosRunner, AdmissibleFig6PlanPassesAllChecks) {
+  ChaosCase c = base_case(StackKind::kFig6);
+  c.plan.clauses = {healed_partition(120)};
+  FaultClause jitter;
+  jitter.kind = ClauseKind::kReorder;
+  jitter.delay = 4;
+  jitter.until = 140;
+  c.plan.clauses.push_back(jitter);
+  ASSERT_TRUE(admissible(c));
+  const ChaosOutcome out = run_chaos_case(c);
+  EXPECT_TRUE(out.ok) << (out.violations.empty() ? "" : out.violations.front());
+}
+
+TEST(ChaosRunner, AdmissibleFig9CrashStormPassesAllChecks) {
+  ChaosCase c = base_case(StackKind::kFig9);
+  c.crash_k = 2;
+  c.crash_at = 400;
+  FaultClause trig;
+  trig.kind = ClauseKind::kCrashOnQuorum;
+  trig.count = 1;
+  trig.until = c.max_time / 2;
+  c.plan.clauses = {trig};
+  ASSERT_TRUE(admissible(c));
+  const ChaosOutcome out = run_chaos_case(c);
+  EXPECT_TRUE(out.ok) << (out.violations.empty() ? "" : out.violations.front());
+}
+
+TEST(ChaosRunner, EventTriggeredLeaderCrashFiresInsideFig6Run) {
+  ChaosCase c = base_case(StackKind::kFig6);
+  FaultClause trig;
+  trig.kind = ClauseKind::kCrashOnLeaderChange;
+  trig.count = 1;
+  trig.until = c.run_for / 2;
+  c.plan.clauses = {trig};
+  ASSERT_TRUE(admissible(c));
+  const ChaosOutcome out = run_chaos_case(c);
+  // The first HΩ election trips the trigger; the detector properties must
+  // still hold against the post-crash ground truth.
+  EXPECT_EQ(out.injected_crashes, 1u);
+  EXPECT_TRUE(out.ok) << (out.violations.empty() ? "" : out.violations.front());
+}
+
+TEST(ChaosRunner, DemoViolationIsCaughtAndShrinksSmall) {
+  const ChaosCase demo = violation_demo_case();
+  EXPECT_FALSE(admissible(demo));
+  const ChaosOutcome out = run_chaos_case(demo);
+  ASSERT_FALSE(out.ok);
+  const std::vector<std::string> tags = out.violation_tags();
+  EXPECT_NE(std::find(tags.begin(), tags.end(), "consensus"), tags.end());
+
+  const ShrinkResult sh = shrink_case(demo);
+  EXPECT_LE(sh.reduced.plan.clauses.size(), 3u);
+  EXPECT_LT(sh.reduced.plan.clauses.size(), demo.plan.clauses.size());
+  ASSERT_FALSE(sh.outcome.ok);
+  // The shrunken case fails for an overlapping reason.
+  const std::vector<std::string> shrunk_tags = sh.outcome.violation_tags();
+  bool overlap = false;
+  for (const std::string& t : shrunk_tags) {
+    overlap = overlap || std::find(tags.begin(), tags.end(), t) != tags.end();
+  }
+  EXPECT_TRUE(overlap);
+}
+
+TEST(ChaosRunner, ShrinkRejectsPassingCase) {
+  const ChaosCase c = base_case(StackKind::kFig6);
+  EXPECT_THROW(shrink_case(c), std::invalid_argument);
+}
+
+TEST(ChaosRunner, CaseJsonRoundTrip) {
+  ChaosCase c = base_case(StackKind::kFig8);
+  c.crash_k = 1;
+  c.crash_at = 300;
+  FaultClause slow;
+  slow.kind = ClauseKind::kDelay;
+  slow.delay = 2;
+  slow.until = 90;
+  c.plan.clauses = {slow};
+  EXPECT_EQ(ChaosCase::from_json(c.to_json()), c);
+  EXPECT_EQ(ChaosCase::from_json(obs::Json::parse(c.to_json().dump(2))), c);
+}
+
+TEST(ChaosRunner, ReproRoundTripAndDeterministicReplay) {
+  const ChaosCase demo = violation_demo_case();
+  const ChaosOutcome out = run_chaos_case(demo);
+  ASSERT_FALSE(out.ok);
+
+  const obs::Json j = repro_to_json(demo, out);
+  const Repro r = parse_repro(obs::Json::parse(j.dump(2)));
+  EXPECT_EQ(r.c, demo);
+  EXPECT_TRUE(r.violated);
+  EXPECT_EQ(r.tags, out.violation_tags());
+
+  const ReplayResult rep = replay_repro(r);
+  EXPECT_TRUE(rep.match);
+  EXPECT_EQ(rep.outcome.violation_tags(), r.tags);
+}
+
+TEST(ChaosRunner, ReplayDetectsTagMismatch) {
+  const ChaosCase demo = violation_demo_case();
+  const ChaosOutcome out = run_chaos_case(demo);
+  Repro r = parse_repro(repro_to_json(demo, out));
+  r.tags.push_back("zz-not-a-real-tag");
+  EXPECT_FALSE(replay_repro(r).match);
+}
+
+TEST(ChaosRunner, ParseReproRejectsWrongSchema) {
+  const ChaosCase demo = violation_demo_case();
+  const ChaosOutcome out = run_chaos_case(demo);
+  obs::Json j = repro_to_json(demo, out);
+  j["schema"] = obs::Json("hds-chaos-repro-v999");
+  EXPECT_THROW(parse_repro(j), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hds::chaos

@@ -1,0 +1,144 @@
+// FaultPlan DSL tests: clause kinds, selector matching, plan aggregates,
+// and the JSON round trip the repro files depend on.
+#include "chaos/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace hds::chaos {
+namespace {
+
+TEST(FaultPlan, KindNamesRoundTrip) {
+  for (ClauseKind k : {ClauseKind::kPartition, ClauseKind::kLoss, ClauseKind::kDelay,
+                       ClauseKind::kReorder, ClauseKind::kDuplicate, ClauseKind::kCrashAt,
+                       ClauseKind::kCrashOnLeaderChange, ClauseKind::kCrashOnQuorum}) {
+    EXPECT_EQ(kind_from_name(kind_name(k)), k);
+  }
+  EXPECT_THROW((void)kind_from_name("frobnicate"), std::invalid_argument);
+}
+
+TEST(FaultPlan, KindPredicates) {
+  EXPECT_TRUE(is_link_kind(ClauseKind::kPartition));
+  EXPECT_TRUE(is_link_kind(ClauseKind::kDuplicate));
+  EXPECT_FALSE(is_link_kind(ClauseKind::kCrashAt));
+  EXPECT_FALSE(is_trigger_kind(ClauseKind::kCrashAt));
+  EXPECT_TRUE(is_trigger_kind(ClauseKind::kCrashOnLeaderChange));
+  EXPECT_TRUE(is_trigger_kind(ClauseKind::kCrashOnQuorum));
+}
+
+TEST(FaultPlan, SelectorWildcardsAndLists) {
+  const std::vector<Id> ids = {1, 1, 2, 3};
+  LinkSelector any;
+  EXPECT_TRUE(any.matches(0, 3, ids));
+
+  LinkSelector s;
+  s.src = {0, 1};
+  s.dst = {2};
+  EXPECT_TRUE(s.matches(0, 2, ids));
+  EXPECT_TRUE(s.matches(1, 2, ids));
+  EXPECT_FALSE(s.matches(2, 2, ids));  // src not listed
+  EXPECT_FALSE(s.matches(0, 3, ids));  // dst not listed
+}
+
+TEST(FaultPlan, SelectorTargetsLabelClass) {
+  // dst_id selects every receiver carrying the identifier, regardless of
+  // index — the "targeted loss against a label class" selector.
+  const std::vector<Id> ids = {1, 1, 2, 3};
+  LinkSelector s;
+  s.dst_id = 1;
+  EXPECT_TRUE(s.matches(2, 0, ids));
+  EXPECT_TRUE(s.matches(2, 1, ids));
+  EXPECT_FALSE(s.matches(2, 2, ids));
+  EXPECT_FALSE(s.matches(2, 3, ids));
+}
+
+TEST(FaultPlan, ActiveWindow) {
+  FaultClause c;
+  c.from = 10;
+  c.until = 20;
+  EXPECT_FALSE(c.active_at(9));
+  EXPECT_TRUE(c.active_at(10));
+  EXPECT_TRUE(c.active_at(19));
+  EXPECT_FALSE(c.active_at(20));
+  c.until = -1;  // never heals
+  EXPECT_TRUE(c.active_at(1'000'000));
+}
+
+TEST(FaultPlan, PlanAggregates) {
+  FaultPlan p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.crash_budget(), 0u);
+  EXPECT_EQ(p.link_faults_end(), 0);  // no link clauses
+
+  FaultClause part;
+  part.kind = ClauseKind::kPartition;
+  part.until = 150;
+  FaultClause loss;
+  loss.kind = ClauseKind::kLoss;
+  loss.until = 80;
+  FaultClause crash;
+  crash.kind = ClauseKind::kCrashAt;
+  FaultClause trig;
+  trig.kind = ClauseKind::kCrashOnLeaderChange;
+  trig.count = 2;
+  p.clauses = {part, loss, crash, trig};
+
+  EXPECT_TRUE(p.has_crashes());
+  EXPECT_TRUE(p.has_triggers());
+  EXPECT_EQ(p.crash_budget(), 3u);      // 1 (kCrashAt) + 2 (trigger budget)
+  EXPECT_EQ(p.link_faults_end(), 150);  // max heal time across link clauses
+
+  p.clauses[0].until = -1;
+  EXPECT_EQ(p.link_faults_end(), -1);  // one clause never heals
+}
+
+TEST(FaultPlan, JsonRoundTrip) {
+  FaultPlan p;
+  FaultClause loss;
+  loss.kind = ClauseKind::kLoss;
+  loss.from = 5;
+  loss.until = 90;
+  loss.prob = 0.25;
+  loss.links.src = {0};
+  loss.links.dst_id = 7;
+  FaultClause dup;
+  dup.kind = ClauseKind::kDuplicate;
+  dup.prob = 0.5;
+  dup.count = 3;
+  dup.delay = 4;
+  FaultClause trig;
+  trig.kind = ClauseKind::kCrashOnQuorum;
+  trig.count = 2;
+  trig.until = 400;
+  p.clauses = {loss, dup, trig};
+
+  const obs::Json j = p.to_json();
+  EXPECT_EQ(FaultPlan::from_json(j), p);
+  // Serialized text parses back identically too (what repro files do).
+  EXPECT_EQ(FaultPlan::from_json(obs::Json::parse(j.dump(2))), p);
+}
+
+TEST(FaultPlan, JsonOmitsDefaultFields) {
+  FaultClause c;
+  c.kind = ClauseKind::kPartition;
+  const std::string text = c.to_json().dump(0);
+  EXPECT_NE(text.find("partition"), std::string::npos);
+  EXPECT_EQ(text.find("prob"), std::string::npos);
+  EXPECT_EQ(text.find("count"), std::string::npos);
+  EXPECT_EQ(text.find("links"), std::string::npos);
+}
+
+TEST(FaultPlan, JsonValidatesFields) {
+  EXPECT_THROW(FaultClause::from_json(obs::Json::parse(R"({"kind":"loss","prob":1.5})")),
+               std::invalid_argument);
+  EXPECT_THROW(FaultClause::from_json(obs::Json::parse(R"({"kind":"loss","prob":-0.1})")),
+               std::invalid_argument);
+  EXPECT_THROW(FaultClause::from_json(obs::Json::parse(R"({"kind":"delay","delay":-3})")),
+               std::invalid_argument);
+  EXPECT_THROW(FaultClause::from_json(obs::Json::parse(R"({"kind":"nonsense"})")),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hds::chaos

@@ -1,0 +1,253 @@
+// Runtime fault injection on the thread substrate: interposed drops,
+// delayed and duplicated mailbox deliveries, plan-scheduled crashes during
+// live traffic, and the RtNetworkStats accounting invariant mirroring the
+// sim substrate's split counters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "chaos/fault_plan.h"
+#include "chaos/injector.h"
+#include "consensus/majority_homega.h"
+#include "fd/impl/ohp_polling.h"
+#include "rt/runtime.h"
+#include "sim/stacked_process.h"
+
+namespace hds {
+namespace {
+
+using namespace std::chrono_literals;
+using chaos::ClauseKind;
+using chaos::FaultClause;
+using chaos::FaultInjector;
+using chaos::FaultPlan;
+
+struct PingMsg {};
+
+class Probe final : public Process {
+ public:
+  void on_start(Env& env) override {
+    if (send_on_start) env.broadcast(make_message("PING", PingMsg{}));
+    if (period_ms > 0) env.set_timer(period_ms);
+  }
+  void on_timer(Env& env, TimerId) override {
+    env.broadcast(make_message("PING", PingMsg{}));
+    env.set_timer(period_ms);
+  }
+  void on_message(Env&, const Message& m) override {
+    if (m.type == "PING") ++pings;
+  }
+
+  bool send_on_start = false;
+  SimTime period_ms = 0;
+  std::atomic<int> pings{0};
+};
+
+TEST(RtChaos, PartitionClauseDropsCopiesAndCountsThem) {
+  FaultPlan plan;
+  FaultClause part;
+  part.kind = ClauseKind::kPartition;
+  part.links.src = {0};
+  plan.clauses = {part};  // never heals: everything from node 0 is dropped
+  FaultInjector inj(plan, {1, 2, 3}, 5);
+
+  RtConfig cfg;
+  cfg.ids = {1, 2, 3};
+  RtSystem sys(std::move(cfg));
+  std::vector<Probe*> probes;
+  for (ProcIndex i = 0; i < 3; ++i) {
+    auto p = std::make_unique<Probe>();
+    p->send_on_start = true;
+    probes.push_back(p.get());
+    sys.set_process(i, std::move(p));
+  }
+  inj.arm(sys);
+  sys.start();
+  // Nodes 1 and 2 broadcast cleanly: everyone hears those two.
+  ASSERT_TRUE(sys.wait_for(
+      [&] { return probes[0]->pings >= 2 && probes[1]->pings >= 2 && probes[2]->pings >= 2; },
+      5000ms));
+  RtNetworkStats st = sys.net_stats();
+  sys.stop();
+  for (auto* p : probes) EXPECT_EQ(p->pings, 2);  // node 0's copies never landed
+  EXPECT_EQ(st.broadcasts, 3u);
+  EXPECT_EQ(st.copies_lost_link, 3u);
+  EXPECT_EQ(st.copies_scheduled, 6u);
+  // Accounting invariant shared with the sim substrate: every per-link copy
+  // is scheduled, rejected at a crashed node, or lost to a link fault.
+  EXPECT_EQ(st.copies_scheduled + st.copies_to_crashed + st.copies_lost_link,
+            3u * st.broadcasts);
+  EXPECT_EQ(inj.stats().copies_dropped, 3u);
+}
+
+TEST(RtChaos, DelayClauseDefersMailboxDelivery) {
+  FaultPlan plan;
+  FaultClause slow;
+  slow.kind = ClauseKind::kDelay;
+  slow.delay = 80;  // ms on this substrate
+  plan.clauses = {slow};
+  FaultInjector inj(plan, {1, 2}, 5);
+
+  RtConfig cfg;
+  cfg.ids = {1, 2};
+  cfg.max_delay_ms = 1;
+  RtSystem sys(std::move(cfg));
+  auto a = std::make_unique<Probe>();
+  a->send_on_start = true;
+  auto b = std::make_unique<Probe>();
+  auto* bp = b.get();
+  sys.set_process(0, std::move(a));
+  sys.set_process(1, std::move(b));
+  inj.arm(sys);
+  const auto t0 = std::chrono::steady_clock::now();
+  sys.start();
+  ASSERT_TRUE(sys.wait_for([&] { return bp->pings >= 1; }, 5000ms));
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(std::chrono::steady_clock::now() - t0);
+  sys.stop();
+  EXPECT_GE(elapsed.count(), 80);
+  EXPECT_GE(inj.stats().copies_delayed, 1u);
+}
+
+TEST(RtChaos, DuplicateClauseDeliversExtraCopies) {
+  FaultPlan plan;
+  FaultClause dup;
+  dup.kind = ClauseKind::kDuplicate;
+  dup.prob = 1.0;
+  dup.count = 2;
+  dup.delay = 2;
+  plan.clauses = {dup};
+  FaultInjector inj(plan, {1, 2}, 5);
+
+  RtConfig cfg;
+  cfg.ids = {1, 2};
+  RtSystem sys(std::move(cfg));
+  std::vector<Probe*> probes;
+  for (ProcIndex i = 0; i < 2; ++i) {
+    auto p = std::make_unique<Probe>();
+    p->send_on_start = (i == 0);
+    probes.push_back(p.get());
+    sys.set_process(i, std::move(p));
+  }
+  inj.arm(sys);
+  sys.start();
+  // One broadcast, two links, each original copy trailed by 2 duplicates.
+  ASSERT_TRUE(sys.wait_for([&] { return probes[0]->pings >= 3 && probes[1]->pings >= 3; },
+                           5000ms));
+  RtNetworkStats st = sys.net_stats();
+  sys.stop();
+  EXPECT_EQ(probes[0]->pings, 3);
+  EXPECT_EQ(probes[1]->pings, 3);
+  EXPECT_EQ(st.copies_scheduled, 2u);  // duplicates are counted separately
+  EXPECT_EQ(st.copies_duplicated, 4u);
+  EXPECT_EQ(st.copies_delivered, 6u);
+}
+
+TEST(RtChaos, PlanScheduledCrashSilencesNodeDuringTraffic) {
+  FaultPlan plan;
+  FaultClause cr;
+  cr.kind = ClauseKind::kCrashAt;
+  cr.proc = 1;
+  cr.at = 60;  // ms after arm
+  plan.clauses = {cr};
+  FaultInjector inj(plan, {1, 2}, 5);
+
+  RtConfig cfg;
+  cfg.ids = {1, 2};
+  RtSystem sys(std::move(cfg));
+  auto a = std::make_unique<Probe>();
+  a->period_ms = 15;  // keeps broadcasting across the crash instant
+  auto b = std::make_unique<Probe>();
+  auto* bp = b.get();
+  sys.set_process(0, std::move(a));
+  sys.set_process(1, std::move(b));
+  inj.arm(sys);
+  sys.start();
+  ASSERT_TRUE(sys.wait_for([&] { return sys.is_crashed(1); }, 5000ms));
+  EXPECT_EQ(inj.stats().crashes_injected, 1u);
+  const int pings_at_crash = bp->pings;
+  // Let traffic continue: the crashed node's tally must stop moving while
+  // the sender keeps broadcasting into a rejecting mailbox.
+  RtNetworkStats before = sys.net_stats();
+  ASSERT_TRUE(sys.wait_for(
+      [&] { return sys.net_stats().copies_to_crashed >= before.copies_to_crashed + 3; },
+      5000ms, 20ms));
+  RtNetworkStats st = sys.net_stats();
+  sys.stop();
+  EXPECT_EQ(bp->pings, pings_at_crash);
+  EXPECT_EQ(st.copies_scheduled + st.copies_to_crashed + st.copies_lost_link,
+            2u * st.broadcasts);
+}
+
+TEST(RtChaos, AdmissiblePlanConsensusStillDecidesAcrossThreads) {
+  // The fig8 stack's admissible adversary (delay shaping + a crash within
+  // t) on the thread substrate: consensus must still terminate and agree.
+  const std::size_t n = 4;
+  FaultPlan plan;
+  FaultClause slow;
+  slow.kind = ClauseKind::kDelay;
+  slow.delay = 3;
+  slow.until = 200;  // ms: transient pre-"GST" inflation
+  FaultClause cr;
+  cr.kind = ClauseKind::kCrashAt;
+  cr.proc = 3;
+  cr.at = 30;
+  plan.clauses = {slow, cr};
+  FaultInjector inj(plan, {1, 1, 2, 3}, 5);
+
+  RtConfig cfg;
+  cfg.ids = {1, 1, 2, 3};
+  cfg.max_delay_ms = 2;
+  RtSystem sys(std::move(cfg));
+  std::vector<MajorityHOmegaConsensus*> cons(n);
+  for (ProcIndex i = 0; i < n; ++i) {
+    auto stack = std::make_unique<StackedProcess>();
+    auto* fd = stack->add(std::make_unique<OHPPolling>());
+    MajorityConsensusConfig ccfg;
+    ccfg.n = n;
+    ccfg.t = 1;
+    ccfg.proposal = static_cast<Value>(100 + i);
+    ccfg.guard_poll = 5;
+    cons[i] = stack->add(std::make_unique<MajorityHOmegaConsensus>(ccfg, *fd));
+    sys.set_process(i, std::move(stack));
+  }
+  inj.arm(sys);
+  sys.start();
+
+  auto decided = [&](ProcIndex i) {
+    return sys.query(i, [&](Process&) { return cons[i]->decision(); });
+  };
+  ASSERT_TRUE(sys.wait_for(
+      [&] {
+        for (ProcIndex i = 0; i < 3; ++i) {
+          if (!decided(i).decided) return false;
+        }
+        return true;
+      },
+      20000ms, 20ms))
+      << "consensus did not terminate under the admissible plan";
+  EXPECT_TRUE(sys.is_crashed(3));
+  EXPECT_EQ(inj.stats().crashes_injected, 1u);
+  const Value v = decided(0).value;
+  for (ProcIndex i = 1; i < 3; ++i) EXPECT_EQ(decided(i).value, v);  // agreement
+  EXPECT_GE(v, 100);  // validity
+  EXPECT_LE(v, 103);
+  sys.stop();
+}
+
+TEST(RtChaos, RejectsInterposerInstallAfterStart) {
+  RtConfig cfg;
+  cfg.ids = {1};
+  RtSystem sys(std::move(cfg));
+  sys.set_process(0, std::make_unique<Probe>());
+  sys.start();
+  FaultPlan plan;
+  FaultInjector inj(plan, {1}, 5);
+  EXPECT_THROW(sys.set_interposer(&inj), std::logic_error);
+  sys.stop();
+}
+
+}  // namespace
+}  // namespace hds

@@ -146,7 +146,8 @@ TEST(TraceLog, DumpIsReadable) {
 
 TEST(TraceLog, KindNamesCoverAllKinds) {
   using K = TraceEvent::Kind;
-  for (K k : {K::kStart, K::kBroadcast, K::kDeliver, K::kLost, K::kToDead, K::kTimer, K::kCrash}) {
+  for (K k : {K::kStart, K::kBroadcast, K::kDeliver, K::kLost, K::kLostDying, K::kDuplicate,
+              K::kToDead, K::kTimer, K::kCrash}) {
     EXPECT_STRNE(TraceEvent::kind_name(k), "?");
   }
 }

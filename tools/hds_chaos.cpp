@@ -1,0 +1,213 @@
+// hds_chaos — seeded fault-plan fuzzer, shrinker, and repro replayer.
+//
+// Modes:
+//   --fuzz N          sweep N random *admissible* cases per selected stack.
+//                     Every property check must pass inside the envelope;
+//                     any violation is a finding: it is shrunk to a minimal
+//                     failing case and written as a replayable repro JSON
+//                     (schema hds-chaos-repro-v1), and the exit status is 1.
+//   --demo-violation PATH
+//                     build the deliberately inadmissible demo case (a
+//                     never-healing partition against the synchronous
+//                     Fig. 9 stack), verify the spec checkers catch it,
+//                     shrink it (expect <= 3 clauses), write the repro to
+//                     PATH and verify it replays. Exit 0 on success.
+//   --replay FILE...  re-run committed repro files; exit 0 iff every one
+//                     reproduces its recorded violation tags exactly.
+//
+// Determinism: cases are generated from --seed-base and run on their own
+// embedded seeds; the simulator is a pure function of the case, so CI can
+// pin seeds and replays are exact.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chaos/runner.h"
+#include "chaos/shrink.h"
+#include "common/rng.h"
+#include "obs/json.h"
+
+namespace {
+
+using hds::Rng;
+using hds::chaos::ChaosCase;
+using hds::chaos::ChaosOutcome;
+using hds::chaos::StackKind;
+
+void usage(std::ostream& os) {
+  os << "usage: hds_chaos --fuzz N [--stack all|fig6|fig8|fig9] [--seed-base S]\n"
+        "                 [--out PATH]\n"
+        "       hds_chaos --demo-violation PATH\n"
+        "       hds_chaos --replay FILE [FILE...]\n"
+        "exit status: 0 clean, 1 violation found / replay mismatch, 2 usage error\n";
+}
+
+std::vector<StackKind> stacks_of(const std::string& sel) {
+  if (sel == "all") return {StackKind::kFig6, StackKind::kFig8, StackKind::kFig9};
+  return {hds::chaos::stack_from_name(sel)};
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << text << "\n";
+}
+
+std::string join(const std::vector<std::string>& v, const char* sep) {
+  std::string out;
+  for (const std::string& s : v) {
+    if (!out.empty()) out += sep;
+    out += s;
+  }
+  return out;
+}
+
+int run_fuzz(std::size_t budget, const std::string& stack_sel, std::uint64_t seed_base,
+             const std::string& out_path) {
+  const std::vector<StackKind> stacks = stacks_of(stack_sel);
+  Rng rng(seed_base);
+  std::size_t ran = 0;
+  for (std::size_t k = 0; k < budget; ++k) {
+    for (StackKind stack : stacks) {
+      const ChaosCase c = hds::chaos::random_admissible_case(rng, stack);
+      const ChaosOutcome out = hds::chaos::run_chaos_case(c);
+      ++ran;
+      if (out.ok) continue;
+
+      std::cerr << "VIOLATION in admissible case (stack=" << hds::chaos::stack_name(stack)
+                << ", case " << ran << "):\n";
+      for (const std::string& v : out.violations) std::cerr << "  " << v << "\n";
+      std::cerr << "shrinking...\n";
+      const hds::chaos::ShrinkResult sh = hds::chaos::shrink_case(c);
+      std::cerr << "shrunk to " << sh.reduced.plan.clauses.size() << " clause(s) in " << sh.runs
+                << " runs; tags: " << join(sh.outcome.violation_tags(), ", ") << "\n";
+      const std::string path = out_path.empty() ? "chaos_repro.json" : out_path;
+      write_file(path, hds::chaos::repro_to_json(sh.reduced, sh.outcome).dump(2));
+      std::cerr << "repro written to " << path << "\n";
+      return 1;
+    }
+  }
+  std::cout << "fuzz: " << ran << " admissible case(s) ran clean (stacks=" << stack_sel
+            << ", seed-base=" << seed_base << ")\n";
+  return 0;
+}
+
+int run_demo(const std::string& out_path) {
+  const ChaosCase demo = hds::chaos::violation_demo_case();
+  const ChaosOutcome out = hds::chaos::run_chaos_case(demo);
+  if (out.ok) {
+    std::cerr << "demo-violation: the demo case unexpectedly passed every check\n";
+    return 1;
+  }
+  std::cout << "demo violation caught (" << out.violations.size() << " violation(s); tags: "
+            << join(out.violation_tags(), ", ") << ")\n";
+  const hds::chaos::ShrinkResult sh = hds::chaos::shrink_case(demo);
+  std::cout << "shrunk " << demo.plan.clauses.size() << " -> " << sh.reduced.plan.clauses.size()
+            << " clause(s) in " << sh.runs << " runs\n";
+  if (sh.reduced.plan.clauses.size() > 3) {
+    std::cerr << "demo-violation: shrinker left " << sh.reduced.plan.clauses.size()
+              << " clauses (expected <= 3)\n";
+    return 1;
+  }
+  write_file(out_path, hds::chaos::repro_to_json(sh.reduced, sh.outcome).dump(2));
+  // Round-trip: the written repro must replay to the same tags.
+  const hds::chaos::Repro r =
+      hds::chaos::parse_repro(hds::obs::Json::parse(read_file(out_path)));
+  const hds::chaos::ReplayResult rep = hds::chaos::replay_repro(r);
+  if (!rep.match) {
+    std::cerr << "demo-violation: written repro does not replay deterministically\n";
+    return 1;
+  }
+  std::cout << "repro written to " << out_path << " and verified by replay\n";
+  return 0;
+}
+
+int run_replay(const std::vector<std::string>& files) {
+  int status = 0;
+  for (const std::string& path : files) {
+    try {
+      const hds::chaos::Repro r =
+          hds::chaos::parse_repro(hds::obs::Json::parse(read_file(path)));
+      const hds::chaos::ReplayResult rep = hds::chaos::replay_repro(r);
+      if (rep.match) {
+        std::cout << "replay OK  " << path << " (tags: " << join(r.tags, ", ") << ")\n";
+      } else {
+        std::cerr << "replay MISMATCH " << path << ": expected tags [" << join(r.tags, ", ")
+                  << "], got [" << join(rep.outcome.violation_tags(), ", ") << "]\n";
+        status = 1;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "replay ERROR " << path << ": " << e.what() << "\n";
+      status = 1;
+    }
+  }
+  return status;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::size_t fuzz = 0;
+  std::string stack_sel = "all";
+  std::uint64_t seed_base = 1;
+  std::string out_path;
+  std::string demo_path;
+  std::vector<std::string> replay_files;
+  bool replay_mode = false;
+
+  try {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const std::string& flag = args[i];
+      auto next = [&]() -> const std::string& {
+        if (i + 1 >= args.size()) throw std::invalid_argument(flag + " needs a value");
+        return args[++i];
+      };
+      if (flag == "--fuzz") {
+        fuzz = std::stoul(next());
+      } else if (flag == "--stack") {
+        stack_sel = next();
+      } else if (flag == "--seed-base") {
+        seed_base = std::stoull(next());
+      } else if (flag == "--out") {
+        out_path = next();
+      } else if (flag == "--demo-violation") {
+        demo_path = next();
+      } else if (flag == "--replay") {
+        replay_mode = true;
+      } else if (flag == "--help" || flag == "-h") {
+        usage(std::cout);
+        return 0;
+      } else if (replay_mode) {
+        replay_files.push_back(flag);
+      } else {
+        throw std::invalid_argument("unknown flag " + flag);
+      }
+    }
+    if (replay_mode) {
+      if (replay_files.empty()) throw std::invalid_argument("--replay needs files");
+      return run_replay(replay_files);
+    }
+    if (!demo_path.empty()) return run_demo(demo_path);
+    if (fuzz > 0) return run_fuzz(fuzz, stack_sel, seed_base, out_path);
+    usage(std::cerr);
+    return 2;
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "hds_chaos: " << e.what() << "\n";
+    usage(std::cerr);
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "hds_chaos: " << e.what() << "\n";
+    return 1;
+  }
+}
