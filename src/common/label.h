@@ -38,6 +38,10 @@ class Label {
   // Free-form label for oracles and tests.
   static Label of_text(std::string text);
 
+  // Rehydrates a label from its canonical repr — the wire codec's inverse
+  // of repr(). Must never be fed anything but a repr produced by a Label.
+  static Label from_repr(std::string repr) { return Label(std::move(repr)); }
+
   [[nodiscard]] const std::string& repr() const { return repr_; }
 
   friend bool operator==(const Label&, const Label&) = default;

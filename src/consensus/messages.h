@@ -21,29 +21,34 @@ struct CoordMsg {
   Round r;
   Value est;
   std::int64_t instance = 0;
+  friend bool operator==(const CoordMsg&, const CoordMsg&) = default;
 };
 
 struct Ph0Msg {
   Round r;
   Value est;
   std::int64_t instance = 0;
+  friend bool operator==(const Ph0Msg&, const Ph0Msg&) = default;
 };
 
 struct Ph1Msg {
   Round r;
   Value est;
   std::int64_t instance = 0;
+  friend bool operator==(const Ph1Msg&, const Ph1Msg&) = default;
 };
 
 struct Ph2Msg {
   Round r;
   MaybeValue est2;  // nullopt is the paper's bottom
   std::int64_t instance = 0;
+  friend bool operator==(const Ph2Msg&, const Ph2Msg&) = default;
 };
 
 struct DecideMsg {
   Value v;
   std::int64_t instance = 0;
+  friend bool operator==(const DecideMsg&, const DecideMsg&) = default;
 };
 
 // Fig. 9's quorum-based phases carry the sender identity, the sub-round and
@@ -55,6 +60,7 @@ struct Ph1QMsg {
   std::set<Label> labels;
   Value est;
   std::int64_t instance = 0;
+  friend bool operator==(const Ph1QMsg&, const Ph1QMsg&) = default;
 };
 
 struct Ph2QMsg {
@@ -64,6 +70,7 @@ struct Ph2QMsg {
   std::set<Label> labels;
   MaybeValue est2;
   std::int64_t instance = 0;
+  friend bool operator==(const Ph2QMsg&, const Ph2QMsg&) = default;
 };
 
 inline constexpr const char* kCoordType = "COORD";

@@ -19,6 +19,7 @@ namespace hds {
 
 struct AliveMsg {
   Id id;
+  friend bool operator==(const AliveMsg&, const AliveMsg&) = default;
 };
 
 class AliveRanker final : public Process, public RankerHandle {

@@ -25,7 +25,9 @@
 
 namespace hds {
 
-struct ApAliveMsg {};
+struct ApAliveMsg {
+  friend bool operator==(const ApAliveMsg&, const ApAliveMsg&) = default;
+};
 
 class APCore {
  public:

@@ -33,6 +33,7 @@ namespace hds {
 struct HeartbeatMsg {
   Id id;
   std::int64_t seq;
+  friend bool operator==(const HeartbeatMsg&, const HeartbeatMsg&) = default;
 };
 
 class HOmegaHeartbeat final : public Process, public HOmegaHandle {

@@ -30,6 +30,7 @@ namespace hds {
 
 struct IdentMsg {
   Id id;
+  friend bool operator==(const IdentMsg&, const IdentMsg&) = default;
 };
 
 // Protocol state shared by both hosts.

@@ -31,6 +31,7 @@ namespace hds {
 struct PollingMsg {
   Round r;
   Id id;
+  friend bool operator==(const PollingMsg&, const PollingMsg&) = default;
 };
 
 struct PollReplyMsg {
@@ -38,6 +39,7 @@ struct PollReplyMsg {
   Round hi;     // last round this reply covers (the poll's round)
   Id to_id;     // the poller identifier this reply answers
   Id from_id;   // id(q) of the replier
+  friend bool operator==(const PollReplyMsg&, const PollReplyMsg&) = default;
 };
 
 class OHPPolling final : public Process, public OHPHandle, public HOmegaHandle {

@@ -1,0 +1,134 @@
+// The v1 frame format and the per-message-type codec registry.
+//
+// A frame carries exactly one Message across a process boundary:
+//
+//   offset 0   u8      magic 'H'
+//          1   u8      magic 'S'
+//          2   u8      version (1)
+//          3   u8      body type tag (see codecs_builtin.cpp; >= 0xF0 are
+//                      transport-control frames that never reach a Process)
+//          4   varint  sender node index (instrumentation -> meta_sender;
+//                      protocol code never reads it, matching the model's
+//                      "the receiver cannot identify the link")
+//          ..  varint  sender identifier (the homonymous id/label)
+//          ..  varint  body length in bytes
+//          ..  bytes   body (encoded by the tag's registered codec)
+//          ..  u32le   FNV-1a checksum of every preceding byte
+//
+// A datagram coalesces frames (send batching):
+//
+//   u8 'H', u8 'B', u8 version, varint frame count,
+//   then per frame: varint frame length, frame bytes.
+//
+// The layout is frozen by the golden fixtures under tests/wire/ — an
+// incompatible edit must bump kWireVersion and regenerate them.
+//
+// The registry maps a Message::type string to a (tag, encode, decode)
+// triple. Bodies travel as std::any exactly as they do in-process; the
+// registered functions are the only place that knows the concrete struct.
+// builtin_codecs() covers every FD and consensus body in the library, so
+// any stack the harness can assemble can cross a socket unchanged.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "net/wire.h"
+#include "sim/message.h"
+
+namespace hds::net {
+
+inline constexpr std::uint8_t kWireMagic0 = 'H';
+inline constexpr std::uint8_t kWireMagic1 = 'S';
+inline constexpr std::uint8_t kBatchMagic1 = 'B';
+inline constexpr std::uint8_t kWireVersion = 1;
+
+// Transport-control tags (handled by the substrate, never dispatched to a
+// Process; their "body" is codec-free).
+inline constexpr std::uint8_t kCtrlTagFirst = 0xF0;
+inline constexpr std::uint8_t kTagHello = 0xF0;     // peer-barrier probe
+inline constexpr std::uint8_t kTagHelloAck = 0xF1;  // probe answer
+
+struct BodyCodec {
+  std::uint8_t tag = 0;
+  std::string type;  // Message::type routing string
+  std::function<void(const std::any& body, WireWriter&)> encode;
+  std::function<std::any(WireReader&)> decode;
+};
+
+class CodecRegistry {
+ public:
+  // Throws std::logic_error on a duplicate tag or type, or a control-range
+  // tag — registration bugs, not wire faults.
+  void add(BodyCodec c);
+
+  [[nodiscard]] const BodyCodec* by_type(const std::string& type) const;
+  [[nodiscard]] const BodyCodec* by_tag(std::uint8_t tag) const;
+  [[nodiscard]] std::vector<const BodyCodec*> all() const;
+
+ private:
+  std::map<std::string, BodyCodec> by_type_;
+  std::map<std::uint8_t, const BodyCodec*> by_tag_;
+};
+
+// The registry covering every message body in the library (Figs. 3-9, AP,
+// heartbeats). Built once, immutable afterwards, safe to share across
+// threads.
+const CodecRegistry& builtin_codecs();
+
+// One frame. Throws CodecError when the type has no registered codec.
+std::vector<std::uint8_t> encode_frame(const CodecRegistry& reg, const Message& m,
+                                       ProcIndex sender_index, Id sender_id);
+
+// Inverse. Validates magic, version, tag, length, and checksum; fills
+// meta_sender from the header. Throws CodecError on any malformation.
+Message decode_frame(const CodecRegistry& reg, const std::uint8_t* data, std::size_t len);
+
+// A control frame (tag >= kCtrlTagFirst) with an empty body.
+std::vector<std::uint8_t> encode_control_frame(std::uint8_t tag, ProcIndex sender_index,
+                                               Id sender_id);
+
+// Peeks the type tag of an encoded frame without validating the rest.
+std::optional<std::uint8_t> peek_tag(const std::uint8_t* data, std::size_t len);
+
+// Encoded v1 frame size of `m` as sent by (sender_index, sender_id);
+// nullopt when the type is unregistered. This is what the sim/rt substrates
+// use to estimate byte costs comparably with the UDP substrate.
+std::optional<std::size_t> encoded_frame_size(const CodecRegistry& reg, const Message& m,
+                                              ProcIndex sender_index, Id sender_id);
+
+// ------------------------------------------------------------- batching
+
+// Accumulates frames into one datagram payload.
+class BatchWriter {
+ public:
+  void add(const std::vector<std::uint8_t>& frame);
+  [[nodiscard]] std::size_t frames() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  // Size of the datagram that take() would produce right now.
+  [[nodiscard]] std::size_t wire_size() const;
+  // Finishes the datagram (header + frames) and resets the writer.
+  std::vector<std::uint8_t> take();
+
+ private:
+  std::vector<std::uint8_t> frames_bytes_;  // already length-prefixed
+  std::size_t count_ = 0;
+};
+
+// Splits a received datagram back into frames (views into `data`). Throws
+// CodecError on a malformed envelope; individual frames are NOT validated
+// here (decode_frame does that per frame, so one corrupt frame cannot take
+// down its batch-mates before the envelope is walked).
+struct FrameView {
+  const std::uint8_t* data;
+  std::size_t len;
+};
+std::vector<FrameView> split_batch(const std::uint8_t* data, std::size_t len);
+
+}  // namespace hds::net

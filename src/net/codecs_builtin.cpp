@@ -1,0 +1,242 @@
+// Builtin body codecs: one registration per message type in the library,
+// kept next to the wire format they freeze. Tag numbers are part of the v1
+// wire contract (golden fixtures pin them) — append new types with fresh
+// tags, never renumber.
+#include <set>
+
+#include "common/label.h"
+#include "consensus/messages.h"
+#include "fd/impl/alive_ranker.h"
+#include "fd/impl/ap_sync.h"
+#include "fd/impl/homega_heartbeat.h"
+#include "fd/impl/hsigma_sync.h"
+#include "fd/impl/ohp_polling.h"
+#include "net/codec.h"
+
+namespace hds::net {
+
+namespace {
+
+template <typename T>
+const T& body_as(const std::any& body) {
+  const T* p = std::any_cast<T>(&body);
+  if (p == nullptr) throw CodecError("body type does not match registered codec");
+  return *p;
+}
+
+void put_maybe(WireWriter& w, const MaybeValue& v) {
+  w.u8(v.has_value() ? 1 : 0);
+  if (v.has_value()) w.svarint(*v);
+}
+
+MaybeValue get_maybe(WireReader& r) {
+  const std::uint8_t has = r.u8();
+  if (has > 1) throw CodecError("bad optional marker");
+  if (has == 0) return std::nullopt;
+  return r.svarint();
+}
+
+// Length-prefixed label collection: varint count, then each label's
+// canonical repr as a length-prefixed string (Fig. 7 labels are identifier
+// multisets rendered through Label::of_multiset; the repr is the identity).
+void put_labels(WireWriter& w, const std::set<Label>& labels) {
+  w.varint(labels.size());
+  for (const Label& l : labels) w.str(l.repr());
+}
+
+std::set<Label> get_labels(WireReader& r) {
+  const std::uint64_t count = r.varint();
+  if (count > r.remaining()) throw CodecError("label count exceeds remaining bytes");
+  std::set<Label> out;
+  for (std::uint64_t i = 0; i < count; ++i) out.insert(Label::from_repr(r.str()));
+  return out;
+}
+
+template <typename T>
+BodyCodec codec(std::uint8_t tag, const char* type, void (*enc)(const T&, WireWriter&),
+                T (*dec)(WireReader&)) {
+  BodyCodec c;
+  c.tag = tag;
+  c.type = type;
+  c.encode = [enc](const std::any& body, WireWriter& w) { enc(body_as<T>(body), w); };
+  c.decode = [dec](WireReader& r) -> std::any { return dec(r); };
+  return c;
+}
+
+CodecRegistry build() {
+  CodecRegistry reg;
+
+  // --- failure-detector bodies ---
+  reg.add(codec<AliveMsg>(
+      1, AliveRanker::kMsgType, [](const AliveMsg& m, WireWriter& w) { w.varint(m.id); },
+      [](WireReader& r) { return AliveMsg{r.varint()}; }));
+  reg.add(codec<ApAliveMsg>(
+      2, APSyncProcess::kMsgType, [](const ApAliveMsg&, WireWriter&) {},
+      [](WireReader&) { return ApAliveMsg{}; }));
+  reg.add(codec<HeartbeatMsg>(
+      3, HOmegaHeartbeat::kMsgType,
+      [](const HeartbeatMsg& m, WireWriter& w) {
+        w.varint(m.id);
+        w.svarint(m.seq);
+      },
+      [](WireReader& r) {
+        HeartbeatMsg m;
+        m.id = r.varint();
+        m.seq = r.svarint();
+        return m;
+      }));
+  reg.add(codec<IdentMsg>(
+      4, HSigmaSyncProcess::kMsgType, [](const IdentMsg& m, WireWriter& w) { w.varint(m.id); },
+      [](WireReader& r) { return IdentMsg{r.varint()}; }));
+  reg.add(codec<PollingMsg>(
+      5, OHPPolling::kPollType,
+      [](const PollingMsg& m, WireWriter& w) {
+        w.svarint(m.r);
+        w.varint(m.id);
+      },
+      [](WireReader& r) {
+        PollingMsg m;
+        m.r = r.svarint();
+        m.id = r.varint();
+        return m;
+      }));
+  reg.add(codec<PollReplyMsg>(
+      6, OHPPolling::kReplyType,
+      [](const PollReplyMsg& m, WireWriter& w) {
+        w.svarint(m.lo);
+        w.svarint(m.hi);
+        w.varint(m.to_id);
+        w.varint(m.from_id);
+      },
+      [](WireReader& r) {
+        PollReplyMsg m;
+        m.lo = r.svarint();
+        m.hi = r.svarint();
+        m.to_id = r.varint();
+        m.from_id = r.varint();
+        return m;
+      }));
+
+  // --- consensus bodies (Figs. 8 and 9) ---
+  reg.add(codec<CoordMsg>(
+      7, kCoordType,
+      [](const CoordMsg& m, WireWriter& w) {
+        w.varint(m.id);
+        w.svarint(m.r);
+        w.svarint(m.est);
+        w.svarint(m.instance);
+      },
+      [](WireReader& r) {
+        CoordMsg m;
+        m.id = r.varint();
+        m.r = r.svarint();
+        m.est = r.svarint();
+        m.instance = r.svarint();
+        return m;
+      }));
+  reg.add(codec<Ph0Msg>(
+      8, kPh0Type,
+      [](const Ph0Msg& m, WireWriter& w) {
+        w.svarint(m.r);
+        w.svarint(m.est);
+        w.svarint(m.instance);
+      },
+      [](WireReader& r) {
+        Ph0Msg m;
+        m.r = r.svarint();
+        m.est = r.svarint();
+        m.instance = r.svarint();
+        return m;
+      }));
+  reg.add(codec<Ph1Msg>(
+      9, kPh1Type,
+      [](const Ph1Msg& m, WireWriter& w) {
+        w.svarint(m.r);
+        w.svarint(m.est);
+        w.svarint(m.instance);
+      },
+      [](WireReader& r) {
+        Ph1Msg m;
+        m.r = r.svarint();
+        m.est = r.svarint();
+        m.instance = r.svarint();
+        return m;
+      }));
+  reg.add(codec<Ph2Msg>(
+      10, kPh2Type,
+      [](const Ph2Msg& m, WireWriter& w) {
+        w.svarint(m.r);
+        put_maybe(w, m.est2);
+        w.svarint(m.instance);
+      },
+      [](WireReader& r) {
+        Ph2Msg m;
+        m.r = r.svarint();
+        m.est2 = get_maybe(r);
+        m.instance = r.svarint();
+        return m;
+      }));
+  reg.add(codec<DecideMsg>(
+      11, kDecideType,
+      [](const DecideMsg& m, WireWriter& w) {
+        w.svarint(m.v);
+        w.svarint(m.instance);
+      },
+      [](WireReader& r) {
+        DecideMsg m;
+        m.v = r.svarint();
+        m.instance = r.svarint();
+        return m;
+      }));
+  reg.add(codec<Ph1QMsg>(
+      12, kPh1QType,
+      [](const Ph1QMsg& m, WireWriter& w) {
+        w.varint(m.id);
+        w.svarint(m.r);
+        w.svarint(m.sr);
+        put_labels(w, m.labels);
+        w.svarint(m.est);
+        w.svarint(m.instance);
+      },
+      [](WireReader& r) {
+        Ph1QMsg m;
+        m.id = r.varint();
+        m.r = r.svarint();
+        m.sr = r.svarint();
+        m.labels = get_labels(r);
+        m.est = r.svarint();
+        m.instance = r.svarint();
+        return m;
+      }));
+  reg.add(codec<Ph2QMsg>(
+      13, kPh2QType,
+      [](const Ph2QMsg& m, WireWriter& w) {
+        w.varint(m.id);
+        w.svarint(m.r);
+        w.svarint(m.sr);
+        put_labels(w, m.labels);
+        put_maybe(w, m.est2);
+        w.svarint(m.instance);
+      },
+      [](WireReader& r) {
+        Ph2QMsg m;
+        m.id = r.varint();
+        m.r = r.svarint();
+        m.sr = r.svarint();
+        m.labels = get_labels(r);
+        m.est2 = get_maybe(r);
+        m.instance = r.svarint();
+        return m;
+      }));
+
+  return reg;
+}
+
+}  // namespace
+
+const CodecRegistry& builtin_codecs() {
+  static const CodecRegistry reg = build();
+  return reg;
+}
+
+}  // namespace hds::net

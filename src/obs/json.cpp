@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
 
 namespace hds::obs {
@@ -388,5 +389,22 @@ std::string Json::dump(int indent) const {
 }
 
 Json Json::parse(const std::string& text) { return Parser(text).run(); }
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << text;
+  if (!out) throw std::runtime_error("short write to " + path);
+}
+
+Json load_json_file(const std::string& path) { return Json::parse(read_text_file(path)); }
 
 }  // namespace hds::obs

@@ -96,4 +96,14 @@ class Json {
   Object obj_;
 };
 
+// File round-trip helpers shared by every JSON-speaking CLI tool
+// (hds_chaos repros, hds_report baselines, hds_node configs), so "read the
+// whole file / write it back / fail with the path in the message" exists
+// exactly once. All three throw std::runtime_error naming the path;
+// load_json_file lets JsonParseError (a runtime_error) propagate so callers
+// can distinguish an unreadable file from malformed JSON.
+std::string read_text_file(const std::string& path);
+void write_text_file(const std::string& path, const std::string& text);
+Json load_json_file(const std::string& path);
+
 }  // namespace hds::obs

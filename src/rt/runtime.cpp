@@ -1,6 +1,8 @@
 #include "rt/runtime.h"
 
 #include <queue>
+
+#include "net/codec.h"
 #include <stdexcept>
 #include <variant>
 
@@ -44,7 +46,9 @@ class RtSystem::Node {
     return enqueue(at, Task{[this, m = std::move(m)](Process& p, Env& e) {
       p.on_message(e, *m);
       delivered_.fetch_add(1, std::memory_order_relaxed);
+      bytes_received_.fetch_add(m->meta_wire_bytes, std::memory_order_relaxed);
       obs::inc(sys_.m_copies_delivered_);
+      obs::inc(sys_.m_bytes_received_, m->meta_wire_bytes);
     }});
   }
 
@@ -52,6 +56,9 @@ class RtSystem::Node {
   // handler may still be bumping it when an observer reads).
   [[nodiscard]] std::uint64_t delivered() const {
     return delivered_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bytes_received() const {
+    return bytes_received_.load(std::memory_order_relaxed);
   }
 
   void post(std::function<void(Process&)> fn) {
@@ -137,6 +144,7 @@ class RtSystem::Node {
   NodeEnv env_;
   std::unique_ptr<Process> proc_;
   std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::priority_queue<Item, std::vector<Item>, Later> queue_;
@@ -162,6 +170,8 @@ RtSystem::RtSystem(RtConfig cfg)
     m_copies_delivered_ = &metrics_->counter("rt_copies_delivered_total");
     m_copies_lost_link_ = &metrics_->counter("rt_copies_lost_link_total");
     m_copies_duplicated_ = &metrics_->counter("rt_copies_duplicated_total");
+    m_bytes_sent_ = &metrics_->counter("rt_bytes_sent_total");
+    m_bytes_received_ = &metrics_->counter("rt_bytes_received_total");
   }
   nodes_.reserve(ids_.size());
   for (ProcIndex i = 0; i < ids_.size(); ++i) nodes_.push_back(std::make_unique<Node>(*this, i));
@@ -196,9 +206,14 @@ void RtSystem::post_task(ProcIndex i, std::function<void(Process&)> task) {
 
 void RtSystem::broadcast_from(ProcIndex from, const Message& m) {
   if (nodes_.at(from)->crashed()) return;
-  auto shared = std::make_shared<const Message>(m);
+  Message stamped = m;
+  stamped.meta_sender = from;
+  stamped.meta_sent_at = now_ms();
+  stamped.meta_wire_bytes =
+      net::encoded_frame_size(net::builtin_codecs(), m, from, ids_.at(from)).value_or(0);
+  auto shared = std::make_shared<const Message>(std::move(stamped));
   const auto now = Clock::now();
-  const SimTime sent_ms = now_ms();
+  const SimTime sent_ms = shared->meta_sent_at;
   std::uint64_t scheduled = 0;
   std::uint64_t rejected = 0;
   std::uint64_t dropped = 0;
@@ -220,6 +235,7 @@ void RtSystem::broadcast_from(ProcIndex from, const Message& m) {
     d += verdict.extra_delay;
     if (node->deliver(now + std::chrono::milliseconds(d), shared)) {
       ++scheduled;
+      obs::inc(m_bytes_sent_, shared->meta_wire_bytes);
     } else {
       ++rejected;
       continue;  // destination crashed; no point scheduling duplicates
@@ -233,6 +249,7 @@ void RtSystem::broadcast_from(ProcIndex from, const Message& m) {
       if (node->deliver(now + std::chrono::milliseconds(d + trail), shared)) {
         ++duplicated;
         obs::inc(m_copies_duplicated_);
+        obs::inc(m_bytes_sent_, shared->meta_wire_bytes);
       }
     }
   }
@@ -244,6 +261,7 @@ void RtSystem::broadcast_from(ProcIndex from, const Message& m) {
     send_stats_.copies_to_crashed += rejected;
     send_stats_.copies_lost_link += dropped;
     send_stats_.copies_duplicated += duplicated;
+    send_stats_.bytes_sent += shared->meta_wire_bytes * (scheduled + duplicated);
   }
   obs::inc(m_broadcasts_);
 }
@@ -268,6 +286,7 @@ RtNetworkStats RtSystem::net_stats() {
       d = node->delivered();
     }
     out.copies_delivered += d;
+    out.bytes_received += node->bytes_received();
   }
   return out;
 }

@@ -51,6 +51,11 @@ struct RtNetworkStats {
   std::uint64_t copies_to_crashed = 0;   // rejected: destination already crashed
   std::uint64_t copies_lost_link = 0;    // dropped by an interposed fault plan
   std::uint64_t copies_duplicated = 0;   // extra copies injected by a fault plan
+  // Estimated wire bytes (v1 codec frame size per copy scheduled /
+  // delivered; 0 for message types with no registered codec). Mirrors the
+  // sim substrate's NetworkStats so the two report comparable cost metrics.
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
   std::map<std::string, std::uint64_t> broadcasts_by_type;
 };
 
@@ -127,6 +132,8 @@ class RtSystem {
   obs::Counter* m_copies_delivered_ = nullptr;
   obs::Counter* m_copies_lost_link_ = nullptr;
   obs::Counter* m_copies_duplicated_ = nullptr;
+  obs::Counter* m_bytes_sent_ = nullptr;
+  obs::Counter* m_bytes_received_ = nullptr;
   LinkInterposer* interposer_ = nullptr;
 
   // Send-side counters; guarded by stats_mu_ (broadcasts come from many

@@ -24,6 +24,10 @@ struct Message {
   // Instrumentation only (see header comment). Filled in by the network.
   ProcIndex meta_sender = 0;
   SimTime meta_sent_at = 0;
+  // Estimated v1 wire-frame size of this message (net/codec.h); 0 when the
+  // type has no registered codec. Filled in by the substrate so sim/rt/net
+  // report comparable byte costs. Instrumentation only, like meta_sender.
+  std::size_t meta_wire_bytes = 0;
 
   template <typename T>
   [[nodiscard]] const T* as() const {

@@ -17,6 +17,8 @@ Network::Network(Scheduler& sched, TimingModel& timing, Rng& rng, std::size_t n,
     m_copies_lost_dying_ = &metrics_->counter("net_copies_lost_dying_total");
     m_copies_duplicated_ = &metrics_->counter("net_copies_duplicated_total");
     m_copies_to_dead_ = &metrics_->counter("net_copies_to_dead_total");
+    m_bytes_sent_ = &metrics_->counter("net_bytes_sent_total");
+    m_bytes_received_ = &metrics_->counter("net_bytes_received_total");
     m_latency_ = &metrics_->histogram("net_delivery_latency", obs::time_buckets());
   }
 }
@@ -31,6 +33,7 @@ void Network::broadcast(ProcIndex from, Message m, double dying_delivery_prob) {
   }
   m.meta_sender = from;
   m.meta_sent_at = sched_.now();
+  if (byte_meter_) m.meta_wire_bytes = byte_meter_(m, from);
   auto shared = std::make_shared<const Message>(std::move(m));
   const SimTime sent = sched_.now();
   if (trace_ != nullptr) trace_->record(sent, TraceEvent::Kind::kBroadcast, from, shared->type);
@@ -50,6 +53,8 @@ void Network::broadcast(ProcIndex from, Message m, double dying_delivery_prob) {
       if (trace_ != nullptr) trace_->record(sent, TraceEvent::Kind::kLost, to, shared->type);
       continue;
     }
+    stats_.bytes_sent += shared->meta_wire_bytes;
+    obs::inc(m_bytes_sent_, shared->meta_wire_bytes);
     auto when = timing_.delivery_at(sent, from, to, shared->type, rng_);
     if (!when) {
       ++stats_.copies_lost_link;
@@ -61,7 +66,9 @@ void Network::broadcast(ProcIndex from, Message m, double dying_delivery_prob) {
     sched_.at(arrive, [this, to, shared] { deliver_(to, shared); });
     for (std::size_t d = 0; d < verdict.duplicates; ++d) {
       ++stats_.copies_duplicated;
+      stats_.bytes_sent += shared->meta_wire_bytes;
       obs::inc(m_copies_duplicated_);
+      obs::inc(m_bytes_sent_, shared->meta_wire_bytes);
       if (trace_ != nullptr) trace_->record(sent, TraceEvent::Kind::kDuplicate, to, shared->type);
       const SimTime trail =
           verdict.duplicate_spread > 0 ? rng_.uniform(1, verdict.duplicate_spread) : 1;

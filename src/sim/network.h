@@ -31,6 +31,12 @@ struct NetworkStats {
   std::uint64_t copies_lost_dying_sender = 0;
   std::uint64_t copies_duplicated = 0;  // extra copies injected by a fault plan
   std::uint64_t copies_to_dead = 0;     // arrived after the destination crashed
+  // Estimated wire bytes (v1 codec frame size per copy; 0 for message types
+  // with no registered codec). Sent counts every copy put on the wire —
+  // including copies the timing model later loses — mirroring what a socket
+  // substrate pays; received counts copies handed to an alive process.
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
   std::map<std::string, std::uint64_t> broadcasts_by_type;
 
   [[nodiscard]] std::uint64_t copies_lost() const {
@@ -67,16 +73,24 @@ class Network {
   // pointer is consulted per copy; install before traffic starts.
   void set_interposer(LinkInterposer* li) { interposer_ = li; }
 
+  // Wire-size estimator (net/codec.h via the owning System, which knows the
+  // sender identifiers); evaluated once per broadcast, result stamped into
+  // meta_wire_bytes. Null disables byte accounting (bytes_* stay 0).
+  using ByteMeter = std::function<std::size_t(const Message& m, ProcIndex from)>;
+  void set_byte_meter(ByteMeter bm) { byte_meter_ = std::move(bm); }
+
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
   void note_copy_to_dead() {
     ++stats_.copies_to_dead;
     obs::inc(m_copies_to_dead_);
   }
-  void note_delivered(SimTime latency) {
+  void note_delivered(SimTime latency, std::size_t wire_bytes) {
     ++stats_.copies_delivered;
     stats_.latency_sum += latency;
     stats_.latency_max = std::max(stats_.latency_max, latency);
+    stats_.bytes_received += wire_bytes;
     obs::inc(m_copies_delivered_);
+    obs::inc(m_bytes_received_, wire_bytes);
     obs::observe(m_latency_, latency);
   }
 
@@ -89,6 +103,7 @@ class Network {
   TraceLog* trace_;
   obs::MetricsRegistry* metrics_;
   LinkInterposer* interposer_ = nullptr;
+  ByteMeter byte_meter_;
   NetworkStats stats_;
 
   // Cached instruments; all null when metrics_ is null.
@@ -97,6 +112,8 @@ class Network {
   obs::Counter* m_copies_lost_dying_ = nullptr;
   obs::Counter* m_copies_duplicated_ = nullptr;
   obs::Counter* m_copies_to_dead_ = nullptr;
+  obs::Counter* m_bytes_sent_ = nullptr;
+  obs::Counter* m_bytes_received_ = nullptr;
   obs::Histogram* m_latency_ = nullptr;
   std::map<std::string, obs::Counter*> m_bcast_by_type_;
 };

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "net/codec.h"
+
 namespace hds {
 
 class System::NodeEnv final : public Env {
@@ -63,6 +65,11 @@ System::System(SystemConfig cfg)
       sched_, *timing_, rng_, ids_.size(),
       [this](ProcIndex to, const std::shared_ptr<const Message>& m) { deliver(to, m); },
       trace_.enabled() ? &trace_ : nullptr, metrics_);
+  // Byte accounting: estimate each broadcast's frame size with the v1 wire
+  // codec, so sim runs report costs comparable with the socket substrate.
+  net_->set_byte_meter([this](const Message& m, ProcIndex from) {
+    return net::encoded_frame_size(net::builtin_codecs(), m, from, ids_.at(from)).value_or(0);
+  });
   if (metrics_ != nullptr) m_timer_fires_ = &metrics_->counter("sim_timer_fires_total");
 }
 
@@ -118,7 +125,7 @@ void System::deliver(ProcIndex to, const std::shared_ptr<const Message>& m) {
     trace_.record(now(), TraceEvent::Kind::kToDead, to, m->type);
     return;
   }
-  net_->note_delivered(now() - m->meta_sent_at);
+  net_->note_delivered(now() - m->meta_sent_at, m->meta_wire_bytes);
   trace_.record(now(), TraceEvent::Kind::kDeliver, to, m->type);
   procs_.at(to)->on_message(*envs_.at(to), *m);
 }

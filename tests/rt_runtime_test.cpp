@@ -9,8 +9,10 @@
 
 #include "consensus/majority_homega.h"
 #include "consensus/quorum_homega_hsigma.h"
+#include "fd/impl/alive_ranker.h"
 #include "fd/impl/ohp_polling.h"
 #include "fd/oracles.h"
+#include "net/codec.h"
 #include "sim/stacked_process.h"
 
 namespace hds {
@@ -121,6 +123,45 @@ TEST(RtSystem, NetStatsCountBroadcastsAndDeliveries) {
   EXPECT_EQ(stats.copies_delivered, 9u);
   EXPECT_EQ(stats.copies_to_crashed, 0u);
   EXPECT_EQ(stats.broadcasts_by_type["PING"], 3u);
+  // "PING" has no registered wire codec, so the byte estimate is zero.
+  EXPECT_EQ(stats.bytes_sent, 0u);
+  EXPECT_EQ(stats.bytes_received, 0u);
+  sys.stop();
+}
+
+TEST(RtSystem, ByteCountersTrackEstimatedFrameSizes) {
+  // A codec-registered body is costed at its exact v1 frame size per copy,
+  // so thread-runtime byte counts are comparable with the UDP substrate's.
+  struct AliveOnce final : Process {
+    void on_start(Env& env) override {
+      env.broadcast(make_message(AliveRanker::kMsgType, AliveMsg{env.self_id()}));
+    }
+    void on_message(Env&, const Message& m) override {
+      if (m.type == AliveRanker::kMsgType) ++alives;
+    }
+    std::atomic<int> alives{0};
+  };
+  RtConfig cfg;
+  cfg.ids = {1, 2, 3};
+  RtSystem sys(std::move(cfg));
+  std::vector<AliveOnce*> probes;
+  for (ProcIndex i = 0; i < 3; ++i) {
+    auto p = std::make_unique<AliveOnce>();
+    probes.push_back(p.get());
+    sys.set_process(i, std::move(p));
+  }
+  sys.start();
+  ASSERT_TRUE(sys.wait_for(
+      [&] {
+        return probes[0]->alives >= 3 && probes[1]->alives >= 3 && probes[2]->alives >= 3;
+      },
+      5000ms));
+  const auto frame = net::encoded_frame_size(
+      net::builtin_codecs(), make_message(AliveRanker::kMsgType, AliveMsg{1}), 0, 1);
+  ASSERT_TRUE(frame.has_value());
+  RtNetworkStats stats = sys.net_stats();
+  EXPECT_EQ(stats.bytes_sent, 9 * *frame);
+  EXPECT_EQ(stats.bytes_received, 9 * *frame);
   sys.stop();
 }
 

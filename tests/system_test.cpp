@@ -6,6 +6,9 @@
 
 #include <memory>
 
+#include "fd/impl/alive_ranker.h"
+#include "net/codec.h"
+
 namespace hds {
 namespace {
 
@@ -77,6 +80,29 @@ TEST(System, BroadcastReachesEveryoneIncludingSelf) {
   EXPECT_EQ(sys.net_stats().broadcasts, 1u);
   EXPECT_EQ(sys.net_stats().copies_sent, 4u);
   EXPECT_EQ(sys.net_stats().copies_delivered, 4u);
+  // "PING" has no registered wire codec, so the byte estimate is zero.
+  EXPECT_EQ(sys.net_stats().bytes_sent, 0u);
+  EXPECT_EQ(sys.net_stats().bytes_received, 0u);
+}
+
+TEST(System, ByteCountersTrackEstimatedFrameSizes) {
+  // A codec-registered body is costed at its exact v1 frame size per copy,
+  // so simulated byte counts are comparable with the UDP substrate's.
+  struct AliveOnce final : Process {
+    void on_start(Env& env) override {
+      env.broadcast(make_message(AliveRanker::kMsgType, AliveMsg{env.self_id()}));
+    }
+  };
+  System sys(base_config(3));
+  sys.set_process(0, std::make_unique<AliveOnce>());
+  for (ProcIndex i = 1; i < 3; ++i) sys.set_process(i, std::make_unique<Recorder>());
+  sys.start();
+  sys.run_until(50);
+  const auto frame = net::encoded_frame_size(
+      net::builtin_codecs(), make_message(AliveRanker::kMsgType, AliveMsg{1}), 0, 1);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(sys.net_stats().bytes_sent, 3 * *frame);
+  EXPECT_EQ(sys.net_stats().bytes_received, 3 * *frame);
 }
 
 TEST(System, TimersFireAfterDelay) {

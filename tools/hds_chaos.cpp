@@ -18,9 +18,7 @@
 // Determinism: cases are generated from --seed-base and run on their own
 // embedded seeds; the simulator is a pure function of the case, so CI can
 // pin seeds and replays are exact.
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -47,20 +45,6 @@ void usage(std::ostream& os) {
 std::vector<StackKind> stacks_of(const std::string& sel) {
   if (sel == "all") return {StackKind::kFig6, StackKind::kFig8, StackKind::kFig9};
   return {hds::chaos::stack_from_name(sel)};
-}
-
-std::string read_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot read " + path);
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
-}
-
-void write_file(const std::string& path, const std::string& text) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot write " + path);
-  out << text << "\n";
 }
 
 std::string join(const std::vector<std::string>& v, const char* sep) {
@@ -92,7 +76,7 @@ int run_fuzz(std::size_t budget, const std::string& stack_sel, std::uint64_t see
       std::cerr << "shrunk to " << sh.reduced.plan.clauses.size() << " clause(s) in " << sh.runs
                 << " runs; tags: " << join(sh.outcome.violation_tags(), ", ") << "\n";
       const std::string path = out_path.empty() ? "chaos_repro.json" : out_path;
-      write_file(path, hds::chaos::repro_to_json(sh.reduced, sh.outcome).dump(2));
+      hds::obs::write_text_file(path, hds::chaos::repro_to_json(sh.reduced, sh.outcome).dump(2) + "\n");
       std::cerr << "repro written to " << path << "\n";
       return 1;
     }
@@ -119,10 +103,10 @@ int run_demo(const std::string& out_path) {
               << " clauses (expected <= 3)\n";
     return 1;
   }
-  write_file(out_path, hds::chaos::repro_to_json(sh.reduced, sh.outcome).dump(2));
+  hds::obs::write_text_file(out_path, hds::chaos::repro_to_json(sh.reduced, sh.outcome).dump(2) + "\n");
   // Round-trip: the written repro must replay to the same tags.
   const hds::chaos::Repro r =
-      hds::chaos::parse_repro(hds::obs::Json::parse(read_file(out_path)));
+      hds::chaos::parse_repro(hds::obs::load_json_file(out_path));
   const hds::chaos::ReplayResult rep = hds::chaos::replay_repro(r);
   if (!rep.match) {
     std::cerr << "demo-violation: written repro does not replay deterministically\n";
@@ -137,7 +121,7 @@ int run_replay(const std::vector<std::string>& files) {
   for (const std::string& path : files) {
     try {
       const hds::chaos::Repro r =
-          hds::chaos::parse_repro(hds::obs::Json::parse(read_file(path)));
+          hds::chaos::parse_repro(hds::obs::load_json_file(path));
       const hds::chaos::ReplayResult rep = hds::chaos::replay_repro(r);
       if (rep.match) {
         std::cout << "replay OK  " << path << " (tags: " << join(r.tags, ", ") << ")\n";

@@ -1,0 +1,343 @@
+// hds_cluster — loopback deployment launcher: spawns N hds_node processes
+// on 127.0.0.1, drives a full run, and verifies the outcome.
+//
+//   hds_cluster --node PATH/hds_node --stack fig8 --n 3 [--t 1] [--seed S]
+//               [--dir OUT] [--timeout-ms 60000] [--no-batching]
+//               [--metrics] [--homonymous]
+//
+// Steps: probe-bind N ephemeral UDP ports (closed again just before the
+// spawn — the hds_node barrier tolerates the tiny rebind window), write one
+// hds-node-config-v1 JSON per slot into --dir, fork/exec the daemons with
+// stdout/stderr captured to files, wait with a deadline (SIGKILL on
+// overrun), then parse each node's result line.
+//
+// Verification per stack: fig8/fig9 — every node decided, all values agree
+// (uniform agreement) and each is some node's proposal (validity);
+// fig6 — every node converged on the same (leader, multiplicity);
+// fig7 — every node certified at least one quorum.
+// Exit 0 iff everything checks out; a machine-readable summary JSON
+// (schema hds-cluster-result-v1) is the last stdout line.
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/udp.h"
+#include "obs/json.h"
+
+namespace {
+
+using hds::obs::Json;
+
+struct Options {
+  std::string node_bin;
+  std::string stack = "fig8";
+  std::size_t n = 3;
+  std::size_t t = 1;
+  std::uint64_t seed = 1;
+  std::string dir;
+  std::int64_t timeout_ms = 60000;
+  bool batching = true;
+  bool metrics = false;
+  bool homonymous = false;  // give two nodes the same identifier
+};
+
+void usage(std::ostream& os) {
+  os << "usage: hds_cluster --node PATH --stack fig6|fig7|fig8|fig9 --n N\n"
+        "                   [--t T] [--seed S] [--dir OUT] [--timeout-ms MS]\n"
+        "                   [--no-batching] [--metrics] [--homonymous]\n";
+}
+
+bool parse_args(int argc, char** argv, Options& o) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (a == "--node") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.node_bin = v;
+    } else if (a == "--stack") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.stack = v;
+    } else if (a == "--n") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.n = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (a == "--t") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.t = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (a == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--dir") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.dir = v;
+    } else if (a == "--timeout-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.timeout_ms = std::strtoll(v, nullptr, 10);
+    } else if (a == "--no-batching") {
+      o.batching = false;
+    } else if (a == "--metrics") {
+      o.metrics = true;
+    } else if (a == "--homonymous") {
+      o.homonymous = true;
+    } else {
+      return false;
+    }
+  }
+  return !o.node_bin.empty() && o.n >= 1;
+}
+
+// Identifier pattern: 1..n, or with --homonymous the first two slots share
+// identifier 1 (needs n >= 3 so a correct majority still exists).
+std::vector<std::uint64_t> make_ids(const Options& o) {
+  std::vector<std::uint64_t> ids(o.n);
+  for (std::size_t i = 0; i < o.n; ++i) ids[i] = i + 1;
+  if (o.homonymous && o.n >= 3) {
+    ids[1] = ids[0];
+    for (std::size_t i = 2; i < o.n; ++i) ids[i] = i;
+  }
+  return ids;
+}
+
+Json node_config(const Options& o, const std::vector<std::uint64_t>& ids,
+                 const std::vector<std::uint16_t>& ports, std::size_t self) {
+  Json cfg = Json::object();
+  cfg["schema"] = "hds-node-config-v1";
+  cfg["self"] = self;
+  cfg["stack"] = o.stack;
+  Json peers = Json::array();
+  for (std::size_t i = 0; i < o.n; ++i) {
+    Json p = Json::object();
+    p["id"] = ids[i];
+    p["host"] = "127.0.0.1";
+    p["port"] = ports[i];
+    peers.push_back(p);
+  }
+  cfg["peers"] = peers;
+  cfg["seed"] = o.seed + self;
+  cfg["proposal"] = 100 + self;
+  cfg["t_known"] = o.t;
+  cfg["batching"] = o.batching;
+  cfg["max_time_ms"] = o.timeout_ms;
+  cfg["barrier_timeout_ms"] = o.timeout_ms;
+  if (o.metrics) cfg["metrics_json"] = o.dir + "/node" + std::to_string(self) + "_metrics.json";
+  return cfg;
+}
+
+pid_t spawn_node(const std::string& bin, const std::string& cfg_path, const std::string& out_path,
+                 const std::string& err_path) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;  // parent (or fork failure, reported there)
+  // Child: capture output, exec the daemon.
+  if (FILE* f = std::freopen(out_path.c_str(), "w", stdout); f == nullptr) _exit(127);
+  if (FILE* f = std::freopen(err_path.c_str(), "w", stderr); f == nullptr) _exit(127);
+  execl(bin.c_str(), bin.c_str(), "--config", cfg_path.c_str(), (char*)nullptr);
+  _exit(127);
+}
+
+// The result line is the LAST non-empty stdout line (the daemon logs to
+// stderr, so stdout normally holds exactly one line).
+Json parse_result(const std::string& out_path) {
+  const std::string text = hds::obs::read_text_file(out_path);
+  std::string last;
+  std::string cur;
+  for (const char c : text) {
+    if (c == '\n') {
+      if (!cur.empty()) last = cur;
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) last = cur;
+  if (last.empty()) throw std::runtime_error("no result line in " + out_path);
+  return Json::parse(last);
+}
+
+int run(const Options& o) {
+  // Reserve one ephemeral port per node. The sockets stay open while ALL
+  // ports are chosen (so the kernel cannot hand out duplicates), then close
+  // just before the spawn. The small rebind window is covered by the
+  // hds_node HELLO barrier: nothing is sent before every peer is bound.
+  std::vector<std::uint16_t> ports(o.n);
+  {
+    std::vector<std::unique_ptr<hds::net::UdpSocket>> probes;
+    for (std::size_t i = 0; i < o.n; ++i) {
+      auto s = std::make_unique<hds::net::UdpSocket>();
+      s->open(hds::net::UdpEndpoint{"127.0.0.1", 0});
+      ports[i] = s->local_port();
+      probes.push_back(std::move(s));
+    }
+  }
+
+  const std::vector<std::uint64_t> ids = make_ids(o);
+  std::vector<pid_t> pids(o.n, -1);
+  std::vector<std::string> out_paths(o.n), err_paths(o.n);
+  for (std::size_t i = 0; i < o.n; ++i) {
+    const std::string base = o.dir + "/node" + std::to_string(i);
+    const std::string cfg_path = base + ".json";
+    out_paths[i] = base + ".out";
+    err_paths[i] = base + ".err";
+    hds::obs::write_text_file(cfg_path, node_config(o, ids, ports, i).dump(2) + "\n");
+    pids[i] = spawn_node(o.node_bin, cfg_path, out_paths[i], err_paths[i]);
+    if (pids[i] < 0) {
+      std::cerr << "hds_cluster: fork failed for node " << i << "\n";
+      for (std::size_t k = 0; k < i; ++k) kill(pids[k], SIGKILL);
+      return 1;
+    }
+  }
+  std::cerr << "hds_cluster: spawned " << o.n << " node(s), stack=" << o.stack << "\n";
+
+  // Wait for everyone, with a deadline covering barrier + run + linger.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(o.timeout_ms) + std::chrono::seconds(10);
+  std::vector<int> exit_codes(o.n, -1);
+  std::size_t live = o.n;
+  bool timed_out = false;
+  while (live > 0) {
+    for (std::size_t i = 0; i < o.n; ++i) {
+      if (exit_codes[i] != -1) continue;
+      int status = 0;
+      const pid_t r = waitpid(pids[i], &status, WNOHANG);
+      if (r == pids[i]) {
+        exit_codes[i] = WIFEXITED(status) ? WEXITSTATUS(status) : 128 + WTERMSIG(status);
+        --live;
+      }
+    }
+    if (live == 0) break;
+    if (std::chrono::steady_clock::now() > deadline) {
+      timed_out = true;
+      for (std::size_t i = 0; i < o.n; ++i) {
+        if (exit_codes[i] == -1) {
+          kill(pids[i], SIGKILL);
+          int status = 0;
+          waitpid(pids[i], &status, 0);
+          exit_codes[i] = 124;
+          --live;
+        }
+      }
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  // Collect and verify.
+  bool ok = !timed_out;
+  Json nodes = Json::array();
+  std::vector<Json> results(o.n);
+  for (std::size_t i = 0; i < o.n; ++i) {
+    if (exit_codes[i] != 0) {
+      std::cerr << "hds_cluster: node " << i << " exited " << exit_codes[i] << " (see "
+                << err_paths[i] << ")\n";
+      ok = false;
+    }
+    try {
+      results[i] = parse_result(out_paths[i]);
+    } catch (const std::exception& e) {
+      std::cerr << "hds_cluster: node " << i << ": " << e.what() << "\n";
+      ok = false;
+      results[i] = Json::object();
+    }
+    nodes.push_back(results[i]);
+  }
+
+  std::string verdict = "ok";
+  if (o.stack == "fig8" || o.stack == "fig9") {
+    std::set<std::int64_t> values;
+    std::set<std::int64_t> valid;
+    for (std::size_t i = 0; i < o.n; ++i) valid.insert(static_cast<std::int64_t>(100 + i));
+    for (std::size_t i = 0; i < o.n && ok; ++i) {
+      const Json* d = results[i].find("decided");
+      if (d == nullptr || !d->boolean()) {
+        verdict = "node " + std::to_string(i) + " did not decide";
+        ok = false;
+        break;
+      }
+      const std::int64_t v = static_cast<std::int64_t>(results[i].number_or("value", -1));
+      values.insert(v);
+      if (valid.count(v) == 0) {
+        verdict = "node " + std::to_string(i) + " decided non-proposed value";
+        ok = false;
+      }
+    }
+    if (ok && values.size() != 1) {
+      verdict = "agreement violated: " + std::to_string(values.size()) + " distinct decisions";
+      ok = false;
+    }
+  } else if (o.stack == "fig6") {
+    std::set<std::pair<std::int64_t, std::int64_t>> leaders;
+    for (std::size_t i = 0; i < o.n && ok; ++i) {
+      leaders.insert({static_cast<std::int64_t>(results[i].number_or("leader", -1)),
+                      static_cast<std::int64_t>(results[i].number_or("multiplicity", -1))});
+    }
+    if (ok && leaders.size() != 1) {
+      verdict = "leader disagreement across nodes";
+      ok = false;
+    }
+  } else if (o.stack == "fig7") {
+    for (std::size_t i = 0; i < o.n && ok; ++i) {
+      if (results[i].number_or("quora", 0) < 1) {
+        verdict = "node " + std::to_string(i) + " certified no quorum";
+        ok = false;
+      }
+    }
+  }
+  if (timed_out) verdict = "deadline exceeded";
+
+  Json summary = Json::object();
+  summary["schema"] = "hds-cluster-result-v1";
+  summary["stack"] = o.stack;
+  summary["n"] = o.n;
+  summary["ok"] = ok;
+  summary["verdict"] = ok ? "ok" : verdict;
+  summary["nodes"] = nodes;
+  std::cout << summary.dump() << "\n";
+  hds::obs::write_text_file(o.dir + "/summary.json", summary.dump(2) + "\n");
+  if (ok) {
+    std::cerr << "hds_cluster: PASS (" << o.stack << ", n=" << o.n << ")\n";
+  } else {
+    std::cerr << "hds_cluster: FAIL: " << verdict << "\n";
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  if (!parse_args(argc, argv, o)) {
+    usage(std::cerr);
+    return 2;
+  }
+  if (o.dir.empty()) {
+    o.dir = "cluster_out_" + std::to_string(getpid());
+  }
+  if (mkdir(o.dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    std::cerr << "hds_cluster: cannot create " << o.dir << "\n";
+    return 2;
+  }
+  try {
+    return run(o);
+  } catch (const std::exception& e) {
+    std::cerr << "hds_cluster: " << e.what() << "\n";
+    return 2;
+  }
+}

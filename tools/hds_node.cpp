@@ -1,0 +1,326 @@
+// hds_node — one process of a real UDP deployment.
+//
+//   hds_node --config node.json
+//
+// The config (schema hds-node-config-v1, loaded with the same
+// obs::load_json_file helper as hds_chaos/hds_report) describes the whole
+// cluster and which slot this process occupies:
+//
+//   {
+//     "schema": "hds-node-config-v1",
+//     "self": 0,                       // index into peers
+//     "stack": "fig8",                 // fig6 | fig7 | fig8 | fig9
+//     "peers": [{"id": 1, "host": "127.0.0.1", "port": 9101}, ...],
+//     "seed": 1,
+//     "proposal": 100,                 // consensus stacks; default 100+self
+//     "t_known": 1,                    // fig8's t parameter
+//     "step_len_ms": 30,               // HΣ step length (fig7/fig9)
+//     "run_for_ms": 2000,              // observation window (fig6/fig7)
+//     "settle_ms": 750,                // fig6: report only after the ◊HΩ
+//                                      // output was stable this long
+//     "trace": false,                  // fig6: dump trusted/timeout traces
+//     "max_time_ms": 60000,            // decision deadline (fig8/fig9)
+//     "barrier_timeout_ms": 15000,
+//     "linger_ms": 300,                // stay alive after deciding so
+//                                      // laggard peers still hear us
+//     "batching": true,
+//     "flush_interval_ms": 1,
+//     "metrics_json": "node0_metrics.json"   // optional registry dump
+//   }
+//
+// On success the last stdout line is a one-line result JSON
+// (schema hds-node-result-v1); the cluster launcher parses it.
+// Exit: 0 result produced, 1 run failed (no decision / barrier timeout),
+// 2 usage or config error.
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "consensus/majority_homega.h"
+#include "consensus/quorum_homega_hsigma.h"
+#include "fd/impl/hsigma_sync.h"
+#include "fd/impl/ohp_polling.h"
+#include "net/net_system.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "sim/stacked_process.h"
+
+namespace {
+
+using hds::obs::Json;
+using namespace std::chrono_literals;
+
+struct NodeOptions {
+  hds::net::NetConfig net;
+  std::string stack = "fig8";
+  hds::Value proposal = 0;
+  std::size_t t_known = 0;
+  hds::SimTime step_len_ms = 30;
+  hds::SimTime run_for_ms = 2000;
+  hds::SimTime settle_ms = 750;
+  bool trace = false;
+  hds::SimTime max_time_ms = 60000;
+  hds::SimTime barrier_timeout_ms = 15000;
+  hds::SimTime linger_ms = 300;
+  std::string metrics_json;
+};
+
+NodeOptions parse_config(const Json& cfg) {
+  if (cfg.string_or("schema", "") != "hds-node-config-v1") {
+    throw std::runtime_error("config: expected schema hds-node-config-v1");
+  }
+  NodeOptions o;
+  o.net.self = static_cast<hds::ProcIndex>(cfg.number_or("self", 0));
+  const Json* peers = cfg.find("peers");
+  if (peers == nullptr || !peers->is_array() || peers->items().empty()) {
+    throw std::runtime_error("config: peers array required");
+  }
+  for (const Json& p : peers->items()) {
+    hds::net::NetPeer peer;
+    peer.id = static_cast<hds::Id>(p.number_or("id", 0));
+    peer.ep.host = p.string_or("host", "127.0.0.1");
+    peer.ep.port = static_cast<std::uint16_t>(p.number_or("port", 0));
+    o.net.peers.push_back(peer);
+  }
+  if (o.net.self >= o.net.peers.size()) throw std::runtime_error("config: self out of range");
+  o.net.seed = static_cast<std::uint64_t>(cfg.number_or("seed", 1));
+  if (const Json* b = cfg.find("batching")) o.net.batching = b->boolean();
+  o.net.flush_interval_ms = static_cast<hds::SimTime>(cfg.number_or("flush_interval_ms", 1));
+  o.stack = cfg.string_or("stack", "fig8");
+  o.proposal =
+      static_cast<hds::Value>(cfg.number_or("proposal", 100 + static_cast<double>(o.net.self)));
+  o.t_known = static_cast<std::size_t>(cfg.number_or("t_known", 0));
+  o.step_len_ms = static_cast<hds::SimTime>(cfg.number_or("step_len_ms", 30));
+  o.run_for_ms = static_cast<hds::SimTime>(cfg.number_or("run_for_ms", 2000));
+  o.settle_ms = static_cast<hds::SimTime>(cfg.number_or("settle_ms", 750));
+  if (const Json* tr = cfg.find("trace")) o.trace = tr->boolean();
+  o.max_time_ms = static_cast<hds::SimTime>(cfg.number_or("max_time_ms", 60000));
+  o.barrier_timeout_ms =
+      static_cast<hds::SimTime>(cfg.number_or("barrier_timeout_ms", 15000));
+  o.linger_ms = static_cast<hds::SimTime>(cfg.number_or("linger_ms", 300));
+  o.metrics_json = cfg.string_or("metrics_json", "");
+  return o;
+}
+
+Json stats_json(const hds::net::NetNetworkStats& s) {
+  Json j = Json::object();
+  j["broadcasts"] = s.broadcasts;
+  j["copies_sent"] = s.copies_sent;
+  j["copies_delivered"] = s.copies_delivered;
+  j["copies_lost_link"] = s.copies_lost_link;
+  j["bytes_sent"] = s.bytes_sent;
+  j["bytes_received"] = s.bytes_received;
+  j["packets_sent"] = s.packets_sent;
+  j["packets_received"] = s.packets_received;
+  j["decode_errors"] = s.decode_errors;
+  return j;
+}
+
+int run(const NodeOptions& o) {
+  hds::obs::MetricsRegistry metrics;
+  hds::obs::MetricsRegistry* metrics_ptr = &metrics;
+
+  hds::net::NetConfig net_cfg = o.net;
+  net_cfg.metrics = metrics_ptr;
+  hds::net::NetSystem sys(std::move(net_cfg));
+  const std::size_t n = sys.n();
+  const hds::ProcIndex self = sys.self();
+
+  // Assemble the selected stack. Raw pointers stay valid: the system owns
+  // the StackedProcess, which owns its components.
+  hds::OHPPolling* ohp = nullptr;
+  hds::HSigmaComponent* hsig = nullptr;
+  hds::MajorityHOmegaConsensus* cons8 = nullptr;
+  hds::QuorumConsensus* cons9 = nullptr;
+  auto stack = std::make_unique<hds::StackedProcess>();
+  if (o.stack == "fig6") {
+    ohp = stack->add(std::make_unique<hds::OHPPolling>());
+  } else if (o.stack == "fig7") {
+    hsig = stack->add(std::make_unique<hds::HSigmaComponent>(o.step_len_ms));
+  } else if (o.stack == "fig8") {
+    ohp = stack->add(std::make_unique<hds::OHPPolling>());
+    hds::MajorityConsensusConfig ccfg;
+    ccfg.n = n;
+    ccfg.t = o.t_known;
+    ccfg.proposal = o.proposal;
+    ccfg.guard_poll = 5;
+    cons8 = stack->add(std::make_unique<hds::MajorityHOmegaConsensus>(ccfg, *ohp));
+  } else if (o.stack == "fig9") {
+    ohp = stack->add(std::make_unique<hds::OHPPolling>());
+    hsig = stack->add(std::make_unique<hds::HSigmaComponent>(o.step_len_ms));
+    cons9 = stack->add(std::make_unique<hds::QuorumConsensus>(
+        hds::QuorumConsensusConfig{o.proposal, 5}, *ohp, *hsig));
+  } else {
+    throw std::runtime_error("config: unknown stack " + o.stack);
+  }
+  if (ohp != nullptr) ohp->attach_metrics(metrics_ptr);
+  if (hsig != nullptr) hsig->attach_metrics(metrics_ptr);
+  if (cons8 != nullptr) cons8->attach_metrics(metrics_ptr);
+  if (cons9 != nullptr) cons9->attach_metrics(metrics_ptr);
+  sys.set_process(std::move(stack));
+
+  std::cerr << "hds_node[" << self << "]: bound " << o.net.peers[self].ep.host << ":"
+            << sys.local_port() << ", awaiting " << (n - 1) << " peer(s)\n";
+  if (!sys.await_peers(std::chrono::milliseconds(o.barrier_timeout_ms))) {
+    std::cerr << "hds_node[" << self << "]: peer barrier timed out\n";
+    return 1;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  sys.start();
+
+  Json result = Json::object();
+  result["schema"] = "hds-node-result-v1";
+  result["stack"] = o.stack;
+  result["self"] = self;
+  result["id"] = sys.id_of(self);
+  bool ok = true;
+
+  if (cons8 != nullptr || cons9 != nullptr) {
+    const auto decided = [&] {
+      return sys.query([&](hds::Process&) {
+        return cons8 != nullptr ? cons8->decision() : cons9->decision();
+      });
+    };
+    ok = sys.wait_for([&] { return decided().decided; },
+                      std::chrono::milliseconds(o.max_time_ms), 10ms);
+    const hds::DecisionRecord d = decided();
+    result["decided"] = d.decided;
+    if (d.decided) {
+      result["value"] = d.value;
+      result["round"] = d.round;
+    }
+    if (!ok) std::cerr << "hds_node[" << self << "]: no decision within deadline\n";
+    // Keep the substrate up briefly so peers still mid-protocol hear our
+    // final phase/DECIDE messages (UDP has no retransmission).
+    if (ok && o.linger_ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(o.linger_ms));
+  } else if (ohp != nullptr) {
+    // ◊HΩ only promises *eventual* leader agreement; on a real-jitter
+    // substrate an instantaneous snapshot can catch a one-round flap while
+    // the adaptive timeout is still tuning, so peers would compare
+    // transients. Observe for run_for_ms, then keep sampling until the
+    // output has held still for settle_ms (or max_time_ms expires).
+    struct Obs {
+      hds::HOmegaOut lead;
+      hds::Multiset<hds::Id> trusted;
+      hds::Round round;
+      hds::SimTime timeout;
+    };
+    const auto observe = [&] {
+      return sys.query([&](hds::Process&) {
+        return Obs{ohp->h_omega(), ohp->h_trusted(), ohp->round(), ohp->timeout()};
+      });
+    };
+    const auto min_end = t0 + std::chrono::milliseconds(o.run_for_ms);
+    const auto deadline = t0 + std::chrono::milliseconds(o.max_time_ms);
+    Obs cur = observe();
+    auto last_change = std::chrono::steady_clock::now();
+    auto now = last_change;
+    bool settled = false;
+    while (!settled && now < deadline) {
+      std::this_thread::sleep_for(25ms);
+      now = std::chrono::steady_clock::now();
+      Obs next = observe();
+      if (next.lead.leader != cur.lead.leader ||
+          next.lead.multiplicity != cur.lead.multiplicity ||
+          !(next.trusted == cur.trusted)) {
+        last_change = now;
+      }
+      cur = std::move(next);
+      settled = now >= min_end && now - last_change >= std::chrono::milliseconds(o.settle_ms);
+    }
+    ok = settled;
+    if (!settled) std::cerr << "hds_node[" << self << "]: h_omega did not settle\n";
+    result["leader"] = cur.lead.leader;
+    result["multiplicity"] = cur.lead.multiplicity;
+    result["settled"] = settled;
+    result["stable_ms"] =
+        std::chrono::duration_cast<std::chrono::milliseconds>(now - last_change).count();
+    result["poll_round"] = cur.round;
+    result["poll_timeout_ms"] = cur.timeout;
+    Json tr = Json::array();
+    for (const auto& [id, count] : cur.trusted.counts()) {
+      for (std::size_t k = 0; k < count; ++k) tr.push_back(id);
+    }
+    result["trusted"] = tr;
+    if (o.trace) {
+      const auto traces = sys.query([&](hds::Process&) {
+        return std::make_pair(ohp->trusted_trace().points(), ohp->timeout_trace().points());
+      });
+      Json tt = Json::array();
+      for (const auto& [t, v] : traces.first) {
+        Json e = Json::object();
+        e["t"] = t;
+        Json ids = Json::array();
+        for (const auto& [id, count] : v.counts()) {
+          for (std::size_t k = 0; k < count; ++k) ids.push_back(id);
+        }
+        e["trusted"] = ids;
+        tt.push_back(e);
+      }
+      result["trusted_trace"] = tt;
+      Json ot = Json::array();
+      for (const auto& [t, v] : traces.second) {
+        Json e = Json::object();
+        e["t"] = t;
+        e["timeout"] = v;
+        ot.push_back(e);
+      }
+      result["timeout_trace"] = ot;
+    }
+    // Peers finish their own observation windows up to a barrier-skew +
+    // sample-period later than we do. Stay up and keep answering polls so a
+    // peer mid-observation doesn't watch us vanish (its instantaneous
+    // h_trusted would collapse to [self] right at its snapshot).
+    if (o.linger_ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(o.linger_ms));
+  } else {
+    std::this_thread::sleep_for(std::chrono::milliseconds(o.run_for_ms));
+    if (hsig != nullptr) {
+      const hds::HSigmaSnapshot snap = sys.query([&](hds::Process&) { return hsig->snapshot(); });
+      result["labels"] = snap.labels.size();
+      result["quora"] = snap.quora.size();
+      ok = !snap.quora.empty();
+    }
+    // Same shutdown courtesy as fig6: peers may still be observing.
+    if (o.linger_ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(o.linger_ms));
+  }
+
+  result["elapsed_ms"] = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+  sys.stop();
+  result["stats"] = stats_json(sys.net_stats());
+
+  if (!o.metrics_json.empty()) {
+    hds::obs::write_text_file(o.metrics_json, metrics.to_json());
+  }
+  std::cout << result.dump() << "\n";
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--config" && i + 1 < argc) {
+      config_path = argv[++i];
+    } else {
+      std::cerr << "usage: hds_node --config FILE.json\n";
+      return 2;
+    }
+  }
+  if (config_path.empty()) {
+    std::cerr << "usage: hds_node --config FILE.json\n";
+    return 2;
+  }
+  try {
+    return run(parse_config(hds::obs::load_json_file(config_path)));
+  } catch (const std::exception& e) {
+    std::cerr << "hds_node: " << e.what() << "\n";
+    return 2;
+  }
+}

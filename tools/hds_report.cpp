@@ -462,12 +462,12 @@ std::string markdown_report(const Options& o, const std::vector<SweepResult>& sw
 }
 
 bool write_file(const std::string& path, const std::string& content) {
-  std::ofstream os(path);
-  if (!os) {
-    std::cerr << "hds_report: cannot write " << path << '\n';
+  try {
+    hds::obs::write_text_file(path, content);
+  } catch (const std::exception& e) {
+    std::cerr << "hds_report: " << e.what() << '\n';
     return false;
   }
-  os << content;
   return true;
 }
 
@@ -494,25 +494,18 @@ int main(int argc, char** argv) {
   std::vector<Regression> regressions;
   std::vector<std::string> notes;
   bool baseline_loaded = false;
-  {
-    std::ifstream is(o.baseline);
-    if (is) {
-      std::stringstream buf;
-      buf << is.rdbuf();
-      try {
-        const Json baseline = Json::parse(buf.str());
-        baseline_loaded = true;
-        if (o.write_baseline) {
-          notes.push_back("baseline freshly written; comparison is a self-check");
-        }
-        compare_against_baseline(baseline, o, sweeps, regressions, notes);
-      } catch (const hds::obs::JsonParseError& e) {
-        std::cerr << "hds_report: baseline unreadable: " << e.what() << '\n';
-        return 1;
-      }
-    } else {
-      notes.push_back("no baseline at " + o.baseline + "; regression check skipped");
+  try {
+    const Json baseline = hds::obs::load_json_file(o.baseline);
+    baseline_loaded = true;
+    if (o.write_baseline) {
+      notes.push_back("baseline freshly written; comparison is a self-check");
     }
+    compare_against_baseline(baseline, o, sweeps, regressions, notes);
+  } catch (const hds::obs::JsonParseError& e) {
+    std::cerr << "hds_report: baseline unreadable: " << e.what() << '\n';
+    return 1;
+  } catch (const std::runtime_error&) {
+    notes.push_back("no baseline at " + o.baseline + "; regression check skipped");
   }
 
   const Json report = report_json(o, sweeps, regressions, notes, baseline_loaded);

@@ -7,6 +7,8 @@
 #   bench_output.txt          every benchmark's console output
 #   <bench>_metrics.json      per-benchmark metrics snapshot (--metrics-json)
 #   fig8_trace.json / .jsonl  structured event log exports
+#   cluster_fig8/             3-process UDP deployment: per-node configs,
+#                             stdout/stderr, metrics, summary.json
 #   qos_report.{json,md}      QoS sweep + regression verdict
 #   qos_metrics_*.json        per-sweep-point metrics snapshots
 #
@@ -30,6 +32,11 @@ for b in build/bench/bench_*; do
   echo "==== $name ====" | tee -a "$OUT/bench_output.txt"
   "$b" --metrics-json="$OUT/${name}_metrics.json" 2>&1 | tee -a "$OUT/bench_output.txt"
 done
+
+# Real multi-process deployment: 3 hds_node processes over loopback UDP run
+# Fig. 8 to a verified common decision (per-node stdout/metrics in the dir).
+build/tools/hds_cluster --node build/tools/hds_node --stack fig8 --n 3 --t 1 \
+  --seed 1 --timeout-ms 60000 --metrics --dir "$OUT/cluster_fig8"
 
 build/tools/trace_export --stack fig8 --n 5 --crashes 1 --seed 1 \
   --chrome "$OUT/fig8_trace.json" \
