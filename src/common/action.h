@@ -1,0 +1,123 @@
+// Action: a move-only callable of signature void() with small-buffer
+// optimization, the event payload of the discrete-event scheduler.
+//
+// std::function heap-allocates most capturing closures; the simulator
+// schedules one closure per timer and per broadcast fan-out group, so that
+// allocation sits on the hottest path of every run. Action stores captures
+// of up to kInlineBytes (48 bytes — enough for {pointer, shared_ptr,
+// vector} fan-out closures) inline in the event record and only falls back
+// to the heap beyond that. Dispatch is two raw function pointers (invoke +
+// manage), no virtual tables, no RTTI.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hds {
+
+class Action {
+ public:
+  // Inline capture budget. Chosen to fit the largest hot closure in the
+  // simulator: Network's fan-out group {Network*, shared_ptr<const Message>,
+  // std::vector<ProcIndex>} = 8 + 16 + 24 bytes.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  Action() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, Action> &&
+                                        std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  Action(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* p) { (*static_cast<Fn*>(p))(); };
+      manage_ = [](Op op, void* self, void* other) {
+        auto* fn = static_cast<Fn*>(self);
+        if (op == Op::kMoveTo) ::new (other) Fn(std::move(*fn));
+        fn->~Fn();
+      };
+    } else {
+      heap_ = new Fn(std::forward<F>(f));
+      invoke_ = [](void* p) { (*static_cast<Fn*>(p))(); };
+      manage_ = [](Op op, void* self, void* other) {
+        if (op == Op::kMoveTo) {
+          *static_cast<void**>(other) = self;  // steal the heap object
+        } else {
+          delete static_cast<Fn*>(self);
+        }
+      };
+      on_heap_ = true;
+    }
+  }
+
+  Action(Action&& rhs) noexcept { move_from(rhs); }
+
+  Action& operator=(Action&& rhs) noexcept {
+    if (this != &rhs) {
+      reset();
+      move_from(rhs);
+    }
+    return *this;
+  }
+
+  Action(const Action&) = delete;
+  Action& operator=(const Action&) = delete;
+
+  ~Action() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const { return invoke_ != nullptr; }
+
+  // True when the stored callable lives in the inline buffer (introspection
+  // for tests and the allocation-counting benchmark).
+  [[nodiscard]] bool is_inline() const { return invoke_ != nullptr && !on_heap_; }
+
+  void operator()() { invoke_(target()); }
+
+ private:
+  enum class Op : std::uint8_t { kMoveTo, kDestroy };
+  using Invoke = void (*)(void*);
+  using Manage = void (*)(Op, void* self, void* other);
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  void* target() { return on_heap_ ? heap_ : static_cast<void*>(buf_); }
+
+  void reset() {
+    if (invoke_ != nullptr) manage_(Op::kDestroy, target(), nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+    on_heap_ = false;
+  }
+
+  // Precondition: *this is empty. Leaves rhs empty.
+  void move_from(Action& rhs) noexcept {
+    if (rhs.invoke_ == nullptr) return;
+    invoke_ = rhs.invoke_;
+    manage_ = rhs.manage_;
+    on_heap_ = rhs.on_heap_;
+    if (on_heap_) {
+      rhs.manage_(Op::kMoveTo, rhs.heap_, &heap_);
+    } else {
+      rhs.manage_(Op::kMoveTo, rhs.buf_, buf_);
+    }
+    rhs.invoke_ = nullptr;
+    rhs.manage_ = nullptr;
+    rhs.on_heap_ = false;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  void* heap_ = nullptr;
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+  bool on_heap_ = false;
+};
+
+}  // namespace hds

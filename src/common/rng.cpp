@@ -24,4 +24,12 @@ std::size_t Rng::index(std::size_t n) {
 
 Rng Rng::fork() { return Rng(engine_()); }
 
+Rng Rng::derived(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return Rng(z);
+}
+
 }  // namespace hds

@@ -30,6 +30,12 @@ class Rng {
   // Derives an independent child generator (for per-process streams).
   Rng fork();
 
+  // An independent generator for stream `stream` of base seed `seed`
+  // (splitmix64 finalizer over the pair). The parallel experiment engine
+  // gives task k the stream-k generator, so a task's draws depend only on
+  // (seed, k) — never on which worker thread ran it or in what order.
+  static Rng derived(std::uint64_t seed, std::uint64_t stream);
+
   template <typename T>
   void shuffle(std::vector<T>& v) {
     std::shuffle(v.begin(), v.end(), engine_);

@@ -138,6 +138,7 @@ Fig6Result run_fig6(const Fig6Params& p) {
   cfg.crashes = p.crashes;
   cfg.seed = p.seed;
   cfg.metrics = p.metrics;
+  cfg.queue = p.queue;
   System sys(std::move(cfg));
   if (p.chaos != nullptr) p.chaos->arm(sys);
   for (ProcIndex i = 0; i < sys.n(); ++i) {
@@ -474,6 +475,7 @@ ConsensusRunResult run_fig8_full_stack(const Fig8FullStackParams& p) {
   cfg.seed = p.seed;
   cfg.trace_capacity = p.trace_capacity;
   cfg.metrics = p.metrics;
+  cfg.queue = p.queue;
   System sys(std::move(cfg));
   if (p.chaos != nullptr) p.chaos->arm(sys);
 

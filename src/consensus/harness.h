@@ -88,6 +88,9 @@ struct Fig6Params {
   // Fault-injection adversary; armed on the system before start and chained
   // in front of the monitor listeners. Null disables.
   chaos::FaultInjector* chaos = nullptr;
+  // Event-queue back end (determinism cross-checks swap in the reference
+  // heap; results are bit-identical either way).
+  QueueKind queue = QueueKind::kCalendar;
 };
 
 struct Fig6Result {
@@ -206,6 +209,7 @@ struct Fig8FullStackParams {
   bool collect_qos = false;               // as in Fig6Params
   obs::OnlineMonitor* monitor = nullptr;  // as in Fig6Params
   chaos::FaultInjector* chaos = nullptr;  // as in Fig6Params
+  QueueKind queue = QueueKind::kCalendar;  // as in Fig6Params
 };
 
 // Fig. 6 ▸ Corollary 2 ▸ Fig. 8 in HPS[t < n/2].

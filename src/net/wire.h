@@ -23,12 +23,45 @@ class CodecError : public std::runtime_error {
   explicit CodecError(const std::string& what) : std::runtime_error("wire codec: " + what) {}
 };
 
+// Encoded width of an unsigned LEB128 varint, without encoding it.
+[[nodiscard]] constexpr std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+// Encoded width of a zigzag-mapped signed varint.
+[[nodiscard]] constexpr std::size_t svarint_size(std::int64_t v) {
+  return varint_size((static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63));
+}
+
 class WireWriter {
  public:
-  void u8(std::uint8_t v) { buf_.push_back(v); }
+  // Tag selecting the counting mode: the writer materializes nothing and
+  // only tracks size(). This is how the substrates estimate per-broadcast
+  // wire bytes without allocating or copying on the hot path.
+  struct CountOnly {};
+
+  WireWriter() = default;
+  explicit WireWriter(CountOnly) : counting_(true) {}
+
+  void u8(std::uint8_t v) {
+    if (counting_) {
+      ++count_;
+      return;
+    }
+    buf_.push_back(v);
+  }
 
   // Little-endian fixed 32-bit word (the checksum slot).
   void u32_fixed(std::uint32_t v) {
+    if (counting_) {
+      count_ += 4;
+      return;
+    }
     buf_.push_back(static_cast<std::uint8_t>(v & 0xFF));
     buf_.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
     buf_.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
@@ -37,6 +70,10 @@ class WireWriter {
 
   // Unsigned LEB128.
   void varint(std::uint64_t v) {
+    if (counting_) {
+      count_ += varint_size(v);
+      return;
+    }
     while (v >= 0x80) {
       buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
       v >>= 7;
@@ -50,6 +87,10 @@ class WireWriter {
   }
 
   void bytes(const void* data, std::size_t len) {
+    if (counting_) {
+      count_ += len;
+      return;
+    }
     const auto* p = static_cast<const std::uint8_t*>(data);
     buf_.insert(buf_.end(), p, p + len);
   }
@@ -60,12 +101,15 @@ class WireWriter {
     bytes(s.data(), s.size());
   }
 
+  // In counting mode data() is always empty; use size().
   [[nodiscard]] const std::vector<std::uint8_t>& data() const { return buf_; }
-  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] std::size_t size() const { return counting_ ? count_ : buf_.size(); }
   std::vector<std::uint8_t> take() { return std::move(buf_); }
 
  private:
   std::vector<std::uint8_t> buf_;
+  std::size_t count_ = 0;
+  bool counting_ = false;
 };
 
 class WireReader {

@@ -1,0 +1,165 @@
+// Event queues for the discrete-event scheduler.
+//
+// Both back ends realize the same deterministic total order — events pop in
+// (time, scheduling order) — so a run is bit-identical whichever one drives
+// it (the golden-trace test pins this).
+//
+//  - CalendarQueue (default): a bucketed calendar / bucket queue. A ring of
+//    kSlots buckets covers the time window [base, base + kSlots); each
+//    in-window tick maps to exactly one bucket, which is a FIFO vector of
+//    actions. Events beyond the window park in a sorted overflow map and
+//    migrate into the ring when the window advances. push/pop are O(1) for
+//    the near-future events that dominate simulation workloads (heartbeat
+//    periods, link delays), versus O(log n) heap churn per event — and the
+//    bucket vectors recycle their capacity, so the steady state allocates
+//    nothing.
+//  - BinaryHeapQueue: the original std::priority_queue back end, kept as
+//    the executable reference for determinism cross-checks and the speedup
+//    benchmark.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "common/action.h"
+#include "common/types.h"
+
+namespace hds {
+
+class CalendarQueue {
+ public:
+  // Ring width: covers all short-horizon scheduling (link delays, heartbeat
+  // periods, consensus phase timers) without overflow traffic. Power of two
+  // so the slot index is a mask.
+  static constexpr std::size_t kSlots = 1024;
+
+  CalendarQueue() : ring_(kSlots) {}
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  // Pushes an event at absolute time t. Caller (the scheduler) guarantees
+  // t >= the time of the most recently popped event.
+  void push(SimTime t, Action fn) {
+    if (t < window_end_ && t >= base_) {
+      ring_[slot_of(t)].items.push_back(std::move(fn));
+      ++window_count_;
+      // A peek may have walked the cursor past an empty tick that is now
+      // being filled; pull it back so the scan revisits it.
+      if (t < cursor_) cursor_ = t;
+    } else {
+      overflow_[t].push_back(std::move(fn));
+    }
+    ++size_;
+  }
+
+  // Time of the earliest pending event. Precondition: !empty().
+  [[nodiscard]] SimTime next_time() {
+    if (window_count_ > 0) {
+      advance_cursor();
+      return cursor_;
+    }
+    return overflow_.begin()->first;
+  }
+
+  // Pops the earliest event (FIFO within a tick); sets t to its time.
+  // Precondition: !empty().
+  Action pop(SimTime& t) {
+    if (window_count_ == 0) advance_window_to(overflow_.begin()->first);
+    advance_cursor();
+    t = cursor_;
+    Bucket& b = ring_[slot_of(cursor_)];
+    Action out = std::move(b.items[b.head++]);
+    if (b.head == b.items.size()) {
+      b.items.clear();
+      b.head = 0;
+    }
+    --window_count_;
+    --size_;
+    return out;
+  }
+
+ private:
+  struct Bucket {
+    std::vector<Action> items;  // FIFO: consumed from head, appended at back
+    std::size_t head = 0;
+  };
+
+  [[nodiscard]] std::size_t slot_of(SimTime t) const {
+    return static_cast<std::size_t>(t) & (kSlots - 1);
+  }
+
+  [[nodiscard]] bool bucket_empty(const Bucket& b) const { return b.head == b.items.size(); }
+
+  // Walks the cursor to the first non-empty in-window bucket.
+  // Precondition: window_count_ > 0.
+  void advance_cursor() {
+    while (bucket_empty(ring_[slot_of(cursor_)])) ++cursor_;
+  }
+
+  // Re-bases the (fully drained) window so it starts at `t` and migrates
+  // every overflow entry that now falls inside it. The migrated vectors are
+  // in push order, and later direct pushes append after them, so the
+  // FIFO-within-tick order is preserved across the window boundary.
+  void advance_window_to(SimTime t) {
+    base_ = t;
+    window_end_ = t + static_cast<SimTime>(kSlots);
+    cursor_ = t;
+    auto it = overflow_.begin();
+    while (it != overflow_.end() && it->first < window_end_) {
+      Bucket& b = ring_[slot_of(it->first)];
+      b.items = std::move(it->second);
+      b.head = 0;
+      window_count_ += b.items.size();
+      it = overflow_.erase(it);
+    }
+  }
+
+  std::vector<Bucket> ring_;
+  std::map<SimTime, std::vector<Action>> overflow_;  // events with t >= window_end_
+  SimTime base_ = 0;
+  SimTime window_end_ = static_cast<SimTime>(kSlots);
+  SimTime cursor_ = 0;          // current scan position (absolute time)
+  std::size_t window_count_ = 0;  // pending events inside the window
+  std::size_t size_ = 0;
+};
+
+// Reference back end: the pre-calendar binary heap over (time, seq).
+class BinaryHeapQueue {
+ public:
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t size() const { return queue_.size(); }
+
+  void push(SimTime t, Action fn) { queue_.push(Ev{t, next_seq_++, std::move(fn)}); }
+
+  [[nodiscard]] SimTime next_time() const { return queue_.top().at; }
+
+  Action pop(SimTime& t) {
+    // priority_queue::top() is const; the action is move-only, so cast away
+    // const for the extraction (the element is popped immediately after).
+    Ev& top = const_cast<Ev&>(queue_.top());
+    t = top.at;
+    Action out = std::move(top.fn);
+    queue_.pop();
+    return out;
+  }
+
+ private:
+  struct Ev {
+    SimTime at;
+    std::uint64_t seq;
+    Action fn;
+  };
+  struct Later {
+    bool operator()(const Ev& a, const Ev& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Ev, std::vector<Ev>, Later> queue_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace hds

@@ -23,13 +23,55 @@ Network::Network(Scheduler& sched, TimingModel& timing, Rng& rng, std::size_t n,
   }
 }
 
+std::size_t Network::slot_of(const std::string& type) {
+  if (last_slot_ != SIZE_MAX && slots_[last_slot_].name == type) return last_slot_;
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    if (slots_[s].name == type) {
+      last_slot_ = s;
+      return s;
+    }
+  }
+  TypeSlot slot;
+  slot.name = type;
+  if (metrics_ != nullptr) {
+    slot.counter = &metrics_->counter("net_broadcasts_total", {{"type", type}});
+  }
+  slots_.push_back(std::move(slot));
+  last_slot_ = slots_.size() - 1;
+  return last_slot_;
+}
+
+std::vector<ProcIndex> Network::take_tos_buffer() {
+  if (tos_pool_.empty()) return {};
+  std::vector<ProcIndex> buf = std::move(tos_pool_.back());
+  tos_pool_.pop_back();
+  buf.clear();
+  return buf;
+}
+
+void Network::add_to_fanout(SimTime at, ProcIndex to) {
+  // Distinct delivery times per broadcast are few (bounded by the timing
+  // model's delay spread), so a linear scan beats any map. Groups are kept
+  // in first-copy order, which is exactly the old per-link seq order.
+  for (std::size_t g = 0; g < fanout_used_; ++g) {
+    if (fanout_[g].at == at) {
+      fanout_[g].tos.push_back(to);
+      return;
+    }
+  }
+  if (fanout_used_ == fanout_.size()) fanout_.emplace_back();
+  Fanout& f = fanout_[fanout_used_++];
+  f.at = at;
+  f.tos = take_tos_buffer();
+  f.tos.push_back(to);
+}
+
 void Network::broadcast(ProcIndex from, Message m, double dying_delivery_prob) {
   ++stats_.broadcasts;
-  ++stats_.broadcasts_by_type[m.type];
-  if (metrics_ != nullptr) {
-    auto [it, inserted] = m_bcast_by_type_.try_emplace(m.type, nullptr);
-    if (inserted) it->second = &metrics_->counter("net_broadcasts_total", {{"type", m.type}});
-    it->second->inc();
+  {
+    TypeSlot& slot = slots_[slot_of(m.type)];
+    ++slot.broadcasts;
+    if (slot.counter != nullptr) slot.counter->inc();
   }
   m.meta_sender = from;
   m.meta_sent_at = sched_.now();
@@ -37,6 +79,7 @@ void Network::broadcast(ProcIndex from, Message m, double dying_delivery_prob) {
   auto shared = std::make_shared<const Message>(std::move(m));
   const SimTime sent = sched_.now();
   if (trace_ != nullptr) trace_->record(sent, TraceEvent::Kind::kBroadcast, from, shared->type);
+  fanout_used_ = 0;
   for (ProcIndex to = 0; to < n_; ++to) {
     ++stats_.copies_sent;
     if (dying_delivery_prob < 1.0 && !rng_.chance(dying_delivery_prob)) {
@@ -63,7 +106,7 @@ void Network::broadcast(ProcIndex from, Message m, double dying_delivery_prob) {
       continue;
     }
     const SimTime arrive = *when + verdict.extra_delay;
-    sched_.at(arrive, [this, to, shared] { deliver_(to, shared); });
+    add_to_fanout(arrive, to);
     for (std::size_t d = 0; d < verdict.duplicates; ++d) {
       ++stats_.copies_duplicated;
       stats_.bytes_sent += shared->meta_wire_bytes;
@@ -72,9 +115,24 @@ void Network::broadcast(ProcIndex from, Message m, double dying_delivery_prob) {
       if (trace_ != nullptr) trace_->record(sent, TraceEvent::Kind::kDuplicate, to, shared->type);
       const SimTime trail =
           verdict.duplicate_spread > 0 ? rng_.uniform(1, verdict.duplicate_spread) : 1;
-      sched_.at(arrive + trail, [this, to, shared] { deliver_(to, shared); });
+      add_to_fanout(arrive + trail, to);
     }
   }
+  // One scheduled event per distinct delivery time; the event delivers every
+  // same-time copy in link order and recycles its destination buffer.
+  for (std::size_t g = 0; g < fanout_used_; ++g) {
+    Fanout& f = fanout_[g];
+    sched_.at(f.at, [this, shared, tos = std::move(f.tos)]() mutable {
+      for (const ProcIndex to : tos) deliver_(to, shared);
+      tos.clear();
+      tos_pool_.push_back(std::move(tos));
+    });
+  }
+}
+
+const NetworkStats& Network::stats() {
+  for (const TypeSlot& slot : slots_) stats_.broadcasts_by_type[slot.name] = slot.broadcasts;
+  return stats_;
 }
 
 }  // namespace hds

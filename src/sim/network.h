@@ -1,5 +1,16 @@
 // Broadcast network: fans a message out along the n directed links (one per
 // destination, self included), asking the timing model for each copy's fate.
+//
+// Hot-path design: one broadcast schedules ONE event per distinct delivery
+// time (grouping every same-time copy into a fan-out list) instead of one
+// closure per directed link, message types are interned to small-int slots
+// (the string-keyed map lookup happens once per distinct type, not once per
+// broadcast), and the destination buffers recycle through a pool so the
+// steady state allocates nothing per broadcast. The observable event order,
+// traces, and statistics are bit-identical to the per-link formulation: all
+// same-time copies of a broadcast were already contiguous in the scheduler's
+// (time, seq) order, so collapsing them into one fan-out event preserves the
+// deterministic total order.
 #pragma once
 
 #include <algorithm>
@@ -37,6 +48,9 @@ struct NetworkStats {
   // substrate pays; received counts copies handed to an alive process.
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_received = 0;
+  // String-keyed view of the interned per-type broadcast counts, rebuilt by
+  // Network::stats() for JSON snapshots and assertions (the live counters
+  // are slot-indexed).
   std::map<std::string, std::uint64_t> broadcasts_by_type;
 
   [[nodiscard]] std::uint64_t copies_lost() const {
@@ -79,7 +93,9 @@ class Network {
   using ByteMeter = std::function<std::size_t(const Message& m, ProcIndex from)>;
   void set_byte_meter(ByteMeter bm) { byte_meter_ = std::move(bm); }
 
-  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  // Synchronizes the string-keyed by-type view from the interned slots; the
+  // result stays valid until the next broadcast of a brand-new type.
+  [[nodiscard]] const NetworkStats& stats();
   void note_copy_to_dead() {
     ++stats_.copies_to_dead;
     obs::inc(m_copies_to_dead_);
@@ -95,6 +111,25 @@ class Network {
   }
 
  private:
+  // Interned per-message-type state: one slot per distinct type string,
+  // resolved once, then addressed by index.
+  struct TypeSlot {
+    std::string name;
+    std::uint64_t broadcasts = 0;
+    obs::Counter* counter = nullptr;  // null when metrics are detached
+  };
+
+  // A fan-out group: every destination whose copy of the current broadcast
+  // arrives at the same instant, delivered by a single scheduled event.
+  struct Fanout {
+    SimTime at = 0;
+    std::vector<ProcIndex> tos;
+  };
+
+  std::size_t slot_of(const std::string& type);
+  std::vector<ProcIndex> take_tos_buffer();
+  void add_to_fanout(SimTime at, ProcIndex to);
+
   Scheduler& sched_;
   TimingModel& timing_;
   Rng& rng_;
@@ -106,6 +141,13 @@ class Network {
   ByteMeter byte_meter_;
   NetworkStats stats_;
 
+  std::vector<TypeSlot> slots_;
+  std::size_t last_slot_ = SIZE_MAX;  // fast path: consecutive same-type broadcasts
+
+  std::vector<Fanout> fanout_;     // groups of the in-flight broadcast (reused)
+  std::size_t fanout_used_ = 0;    // live prefix of fanout_
+  std::vector<std::vector<ProcIndex>> tos_pool_;  // recycled destination buffers
+
   // Cached instruments; all null when metrics_ is null.
   obs::Counter* m_copies_delivered_ = nullptr;
   obs::Counter* m_copies_lost_link_ = nullptr;
@@ -115,7 +157,6 @@ class Network {
   obs::Counter* m_bytes_sent_ = nullptr;
   obs::Counter* m_bytes_received_ = nullptr;
   obs::Histogram* m_latency_ = nullptr;
-  std::map<std::string, obs::Counter*> m_bcast_by_type_;
 };
 
 }  // namespace hds

@@ -6,21 +6,25 @@ namespace hds {
 
 void Scheduler::at(SimTime t, Action fn) {
   if (t < now_) throw std::invalid_argument("Scheduler::at: time in the past");
-  queue_.push(Ev{t, next_seq_++, std::move(fn)});
+  if (kind_ == QueueKind::kCalendar) {
+    calendar_.push(t, std::move(fn));
+  } else {
+    heap_.push(t, std::move(fn));
+  }
 }
 
 bool Scheduler::step() {
-  if (queue_.empty()) return false;
-  Ev ev = queue_.top();
-  queue_.pop();
-  now_ = ev.at;
+  if (empty()) return false;
+  SimTime t = 0;
+  Action fn = kind_ == QueueKind::kCalendar ? calendar_.pop(t) : heap_.pop(t);
+  now_ = t;
   ++executed_;
-  ev.fn();
+  fn();
   return true;
 }
 
 void Scheduler::run_until(SimTime t) {
-  while (!queue_.empty() && queue_.top().at <= t) step();
+  while (!empty() && next_time() <= t) step();
   if (now_ < t) now_ = t;
 }
 

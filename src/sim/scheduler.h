@@ -2,24 +2,40 @@
 //
 // Events at equal times run in scheduling order (a deterministic total
 // order), so a run is a pure function of the configuration seed.
+//
+// The queue is a bucketed calendar queue by default (see event_queue.h);
+// the original binary-heap back end stays available behind QueueKind so
+// determinism tests and the engine benchmark can cross-check the two —
+// both realize the identical event order.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
 
+#include "common/action.h"
 #include "common/types.h"
+#include "sim/event_queue.h"
 
 namespace hds {
 
+enum class QueueKind : std::uint8_t {
+  kCalendar,  // bucketed calendar queue (default)
+  kHeap,      // reference std::priority_queue back end
+};
+
 class Scheduler {
  public:
-  using Action = std::function<void()>;
+  using Action = hds::Action;
 
+  explicit Scheduler(QueueKind kind = QueueKind::kCalendar) : kind_(kind) {}
+
+  [[nodiscard]] QueueKind queue_kind() const { return kind_; }
   [[nodiscard]] SimTime now() const { return now_; }
-  [[nodiscard]] bool empty() const { return queue_.empty(); }
-  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] bool empty() const {
+    return kind_ == QueueKind::kCalendar ? calendar_.empty() : heap_.empty();
+  }
+  [[nodiscard]] std::size_t pending() const {
+    return kind_ == QueueKind::kCalendar ? calendar_.size() : heap_.size();
+  }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
   // Schedules `fn` at absolute time t (>= now).
@@ -38,20 +54,14 @@ class Scheduler {
   void run_all(std::uint64_t max_events = UINT64_MAX);
 
  private:
-  struct Ev {
-    SimTime at;
-    std::uint64_t seq;
-    Action fn;
-  };
-  struct Later {
-    bool operator()(const Ev& a, const Ev& b) const {
-      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
-    }
-  };
+  [[nodiscard]] SimTime next_time() {
+    return kind_ == QueueKind::kCalendar ? calendar_.next_time() : heap_.next_time();
+  }
 
-  std::priority_queue<Ev, std::vector<Ev>, Later> queue_;
+  QueueKind kind_;
+  CalendarQueue calendar_;
+  BinaryHeapQueue heap_;
   SimTime now_ = 0;
-  std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
 };
 

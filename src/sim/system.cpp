@@ -49,6 +49,7 @@ System::System(SystemConfig cfg)
       crashes_(std::move(cfg.crashes)),
       dying_copy_delivery_prob_(cfg.dying_copy_delivery_prob),
       rng_(cfg.seed),
+      sched_(cfg.queue),
       trace_(cfg.trace_capacity),
       metrics_(cfg.metrics),
       timing_(std::move(cfg.timing)) {
@@ -67,8 +68,18 @@ System::System(SystemConfig cfg)
       trace_.enabled() ? &trace_ : nullptr, metrics_);
   // Byte accounting: estimate each broadcast's frame size with the v1 wire
   // codec, so sim runs report costs comparable with the socket substrate.
-  net_->set_byte_meter([this](const Message& m, ProcIndex from) {
-    return net::encoded_frame_size(net::builtin_codecs(), m, from, ids_.at(from)).value_or(0);
+  // The per-sender envelope and the per-type codec lookup are memoized; only
+  // the body is counting-encoded per broadcast, so sizes stay exact even for
+  // bodies whose varint-encoded length varies run to run.
+  frame_overhead_by_sender_.reserve(ids_.size());
+  for (ProcIndex i = 0; i < ids_.size(); ++i) {
+    frame_overhead_by_sender_.push_back(net::frame_overhead(i, ids_[i]));
+  }
+  net_->set_byte_meter([this](const Message& m, ProcIndex from) -> std::size_t {
+    const net::BodyCodec* c = meter_codec_of(m.type);
+    if (c == nullptr) return 0;
+    const std::size_t body = net::encoded_body_size(*c, m);
+    return frame_overhead_by_sender_[from] + net::varint_size(body) + body;
   });
   if (metrics_ != nullptr) m_timer_fires_ = &metrics_->counter("sim_timer_fires_total");
 }
@@ -102,6 +113,21 @@ void System::start() {
       });
     }
   }
+}
+
+const net::BodyCodec* System::meter_codec_of(const std::string& type) {
+  if (meter_last_ != SIZE_MAX && meter_cache_[meter_last_].type == type) {
+    return meter_cache_[meter_last_].codec;
+  }
+  for (std::size_t s = 0; s < meter_cache_.size(); ++s) {
+    if (meter_cache_[s].type == type) {
+      meter_last_ = s;
+      return meter_cache_[s].codec;
+    }
+  }
+  meter_cache_.push_back(MeterCacheEntry{type, net::builtin_codecs().by_type(type)});
+  meter_last_ = meter_cache_.size() - 1;
+  return meter_cache_[meter_last_].codec;
 }
 
 void System::set_interposer(LinkInterposer* li) { net_->set_interposer(li); }

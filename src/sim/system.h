@@ -7,8 +7,10 @@
 // Pi is a formalization device the processes do not know.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/multiset.h"
@@ -22,6 +24,10 @@
 #include "sim/tracelog.h"
 
 namespace hds {
+
+namespace net {
+struct BodyCodec;  // net/codec.h
+}
 
 struct CrashPlan {
   SimTime at = 0;
@@ -41,6 +47,10 @@ struct SystemConfig {
   // Observability sink; null disables metric collection entirely (the
   // network and the node environments then never touch an instrument).
   obs::MetricsRegistry* metrics = nullptr;
+  // Event-queue back end. kCalendar is the fast default; kHeap is the
+  // reference implementation kept for determinism cross-checks (both give
+  // bit-identical runs — see the golden-trace test).
+  QueueKind queue = QueueKind::kCalendar;
 };
 
 class System {
@@ -98,11 +108,24 @@ class System {
 
   void deliver(ProcIndex to, const std::shared_ptr<const Message>& m);
 
+  // Memoized byte-meter state: the per-sender frame envelope is constant,
+  // and the codec resolution is per distinct message type; only the body is
+  // (counting-)encoded per broadcast, so metered sizes stay exact. A null
+  // codec entry memoizes "type not registered" (meters to 0).
+  struct MeterCacheEntry {
+    std::string type;
+    const net::BodyCodec* codec = nullptr;
+  };
+  [[nodiscard]] const net::BodyCodec* meter_codec_of(const std::string& type);
+
   std::vector<Id> ids_;
   std::vector<std::optional<CrashPlan>> crashes_;
   double dying_copy_delivery_prob_;
   Rng rng_;
   Scheduler sched_;
+  std::vector<std::size_t> frame_overhead_by_sender_;
+  std::vector<MeterCacheEntry> meter_cache_;
+  std::size_t meter_last_ = SIZE_MAX;  // fast path: same-type broadcast runs
   TraceLog trace_{0};
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Counter* m_timer_fires_ = nullptr;

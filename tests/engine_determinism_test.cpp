@@ -1,0 +1,287 @@
+// The hot-path rework's safety net: the calendar queue, the SBO Action, the
+// broadcast fan-out grouping, and the parallel experiment engine must all be
+// invisible — a run is a pure function of its config, bit-identical across
+// queue back ends and across -j. These tests pin that contract.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/action.h"
+#include "common/rng.h"
+#include "consensus/harness.h"
+#include "exp/runner.h"
+#include "fd/impl/alive_ranker.h"
+#include "net/codec.h"
+#include "obs/qos.h"
+#include "sim/scheduler.h"
+#include "sim/system.h"
+
+namespace hds {
+namespace {
+
+// ------------------------------------------------------------------ Action
+
+TEST(Action, SmallCaptureStaysInline) {
+  int hits = 0;
+  Action a([&hits] { ++hits; });
+  EXPECT_TRUE(a.is_inline());
+  a();
+  a();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(Action, FanoutShapedCaptureStaysInline) {
+  // The shape Network::broadcast schedules: {pointer, shared_ptr, vector}.
+  auto shared = std::make_shared<int>(7);
+  std::vector<std::uint32_t> tos{1, 2, 3};
+  int* sink = new int(0);
+  Action a([sink, shared, tos = std::move(tos)]() mutable { *sink += static_cast<int>(tos.size()) * *shared; });
+  EXPECT_TRUE(a.is_inline());
+  a();
+  EXPECT_EQ(*sink, 21);
+  delete sink;
+}
+
+TEST(Action, OversizedCaptureGoesToHeapAndStillRuns) {
+  struct Big {
+    char pad[96] = {};
+    int* out;
+  };
+  int result = 0;
+  Big big;
+  big.out = &result;
+  Action a([big] { *big.out = 42; });
+  EXPECT_FALSE(a.is_inline());
+  Action b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));
+  b();
+  EXPECT_EQ(result, 42);
+}
+
+TEST(Action, MoveTransfersInlineState) {
+  int hits = 0;
+  Action a([&hits] { ++hits; });
+  Action b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+  Action c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+// ------------------------------------------------- queue order equivalence
+
+// Drives both queue back ends through the same adversarial schedule —
+// same-tick FIFO runs, events scheduling into the current tick, and
+// far-future times past the calendar window — and requires the identical
+// execution sequence.
+std::vector<std::pair<SimTime, int>> drive_schedule(QueueKind kind, std::uint64_t seed) {
+  Scheduler sched(kind);
+  Rng rng(seed);
+  std::vector<std::pair<SimTime, int>> order;
+  int tag = 0;
+  // Seed events: bursts at shared ticks plus far-future outliers (beyond the
+  // 1024-slot window, forcing the overflow map and window rebasing).
+  for (int k = 0; k < 400; ++k) {
+    const SimTime at = rng.chance(0.1) ? rng.uniform(2000, 50'000) : rng.uniform(0, 60);
+    const int id = tag++;
+    sched.at(at, [&order, &sched, &rng, &tag, id] {
+      order.emplace_back(sched.now(), id);
+      // Half the events fan out further work, some into the *current* tick
+      // (exercising push-behind-cursor) and some past the window.
+      if (order.size() < 3000 && rng.chance(0.5)) {
+        const SimTime d = rng.chance(0.2) ? 0 : rng.uniform(1, 1500);
+        const int id2 = tag++;
+        sched.after(d, [&order, &sched, id2] { order.emplace_back(sched.now(), id2); });
+      }
+    });
+  }
+  sched.run_all();
+  return order;
+}
+
+TEST(QueueEquivalence, CalendarMatchesHeapOrder) {
+  for (const std::uint64_t seed : {1ull, 7ull, 99ull, 12345ull}) {
+    const auto cal = drive_schedule(QueueKind::kCalendar, seed);
+    const auto heap = drive_schedule(QueueKind::kHeap, seed);
+    ASSERT_GT(cal.size(), 400u);
+    EXPECT_EQ(cal, heap) << "divergence at seed " << seed;
+  }
+}
+
+// ------------------------------------------------------------ golden trace
+
+// Mixed traffic: a codec-registered type (ALIVE, so the byte meter meters
+// real frame sizes) plus an unregistered one (PONG, memoized to 0 bytes).
+struct Pinger final : Process {
+  void on_start(Env& env) override {
+    env.broadcast(make_message(AliveRanker::kMsgType, AliveMsg{env.self_id()}));
+    env.set_timer(3);
+  }
+  void on_timer(Env& env, TimerId) override {
+    env.broadcast(make_message(AliveRanker::kMsgType, AliveMsg{env.self_id()}));
+    env.set_timer(3);
+  }
+  void on_message(Env& env, const Message& m) override {
+    if (m.type == AliveRanker::kMsgType && env.local_now() % 2 == 0) {
+      env.broadcast(make_message("PONG", 0));
+    }
+  }
+};
+
+struct RunFingerprint {
+  std::string trace;
+  std::string metrics;
+  NetworkStats stats;
+};
+
+RunFingerprint run_pinger_system(QueueKind kind) {
+  obs::MetricsRegistry reg;
+  SystemConfig cfg;
+  cfg.ids = {1, 2, 2, 3, 3, 3};
+  cfg.crashes.resize(6);
+  cfg.crashes[4] = CrashPlan{40, true};
+  cfg.crashes[5] = CrashPlan{25, false};
+  cfg.timing = std::make_unique<AsyncTiming>(1, 5);
+  cfg.seed = 424242;
+  cfg.trace_capacity = 1 << 16;
+  cfg.metrics = &reg;
+  cfg.queue = kind;
+  System sys(std::move(cfg));
+  for (ProcIndex i = 0; i < 6; ++i) sys.set_process(i, std::make_unique<Pinger>());
+  sys.start();
+  sys.run_until(120);
+  RunFingerprint fp;
+  fp.trace = sys.trace().dump(1 << 16);
+  fp.metrics = reg.to_json();
+  fp.stats = sys.net_stats();
+  return fp;
+}
+
+TEST(GoldenTrace, SystemRunIsByteIdenticalAcrossQueueBackends) {
+  const RunFingerprint cal = run_pinger_system(QueueKind::kCalendar);
+  const RunFingerprint heap = run_pinger_system(QueueKind::kHeap);
+  // The full event log, every metric series, and every network counter —
+  // byte for byte.
+  EXPECT_EQ(cal.trace, heap.trace);
+  EXPECT_EQ(cal.metrics, heap.metrics);
+  EXPECT_EQ(cal.stats.broadcasts, heap.stats.broadcasts);
+  EXPECT_EQ(cal.stats.copies_sent, heap.stats.copies_sent);
+  EXPECT_EQ(cal.stats.copies_delivered, heap.stats.copies_delivered);
+  EXPECT_EQ(cal.stats.copies_lost_link, heap.stats.copies_lost_link);
+  EXPECT_EQ(cal.stats.copies_lost_dying_sender, heap.stats.copies_lost_dying_sender);
+  EXPECT_EQ(cal.stats.copies_to_dead, heap.stats.copies_to_dead);
+  EXPECT_EQ(cal.stats.bytes_sent, heap.stats.bytes_sent);
+  EXPECT_EQ(cal.stats.bytes_received, heap.stats.bytes_received);
+  EXPECT_EQ(cal.stats.latency_sum, heap.stats.latency_sum);
+  EXPECT_EQ(cal.stats.broadcasts_by_type, heap.stats.broadcasts_by_type);
+  ASSERT_GT(cal.stats.copies_delivered, 0u);
+  ASSERT_GT(cal.stats.bytes_sent, 0u);  // the memoized byte meter metered
+}
+
+TEST(GoldenTrace, MemoizedByteMeterMatchesFullCodecComputation) {
+  // One ALIVE broadcast from process 0 reaches all 3 peers with no loss;
+  // bytes_sent must be exactly 3 full v1 frames as the unmemoized
+  // encoded_frame_size computes them.
+  struct OneShot final : Process {
+    void on_start(Env& env) override {
+      env.broadcast(make_message(AliveRanker::kMsgType, AliveMsg{env.self_id()}));
+    }
+    void on_message(Env&, const Message&) override {}
+  };
+  struct Quiet final : Process {
+    void on_start(Env&) override {}
+    void on_message(Env&, const Message&) override {}
+  };
+  SystemConfig cfg;
+  cfg.ids = {41, 42, 43};
+  cfg.timing = std::make_unique<AsyncTiming>(1, 1);
+  cfg.seed = 3;
+  System sys(std::move(cfg));
+  sys.set_process(0, std::make_unique<OneShot>());
+  sys.set_process(1, std::make_unique<Quiet>());
+  sys.set_process(2, std::make_unique<Quiet>());
+  sys.start();
+  sys.run_until(10);
+  const Message m = make_message(AliveRanker::kMsgType, AliveMsg{41});
+  const auto frame = net::encoded_frame_size(net::builtin_codecs(), m, 0, 41);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(sys.net_stats().bytes_sent, 3 * *frame);
+  EXPECT_EQ(sys.net_stats().bytes_received, 3 * *frame);
+}
+
+std::string fig6_qos_fingerprint(QueueKind kind) {
+  Fig6Params p;
+  p.ids = ids_homonymous(6, 3, 5);
+  p.crashes = crashes_last_k(6, 2, /*at=*/300, /*stagger=*/40);
+  p.net.gst = 500;
+  p.net.delta = 3;
+  p.net.pre_gst_loss = 0.2;
+  p.net.pre_gst_max_delay = 6;
+  p.seed = 5;
+  p.run_for = 2000;
+  p.collect_qos = true;
+  p.queue = kind;
+  const Fig6Result r = run_fig6(p);
+  return obs::qos_json(r.qos).dump(2);
+}
+
+TEST(GoldenTrace, Fig6QosJsonIsByteIdenticalAcrossQueueBackends) {
+  EXPECT_EQ(fig6_qos_fingerprint(QueueKind::kCalendar), fig6_qos_fingerprint(QueueKind::kHeap));
+}
+
+// ----------------------------------------------- parallel experiment engine
+
+TEST(ExpRunner, CollectPreservesTaskOrderForEveryJobCount) {
+  auto square = [](std::size_t i) { return i * i; };
+  const auto serial = exp::run_collect(37, 1, square);
+  for (const std::size_t jobs : {2ul, 4ul, 8ul, 64ul}) {
+    EXPECT_EQ(exp::run_collect(37, jobs, square), serial) << "jobs=" << jobs;
+  }
+}
+
+TEST(ExpRunner, FullSystemTasksAreThreadCountIndependent) {
+  // Each task runs its own System seeded from Rng::derived(seed, index) —
+  // the whole point of the engine: -j only changes wall clock, never output.
+  auto task = [](std::size_t i) {
+    Rng rng = Rng::derived(99, i);
+    SystemConfig cfg;
+    cfg.ids = {1, 2, 2, 3};
+    cfg.timing = std::make_unique<AsyncTiming>(1, 1 + rng.uniform(1, 4));
+    cfg.seed = rng.engine()();
+    System sys(std::move(cfg));
+    for (ProcIndex p = 0; p < 4; ++p) sys.set_process(p, std::make_unique<Pinger>());
+    sys.start();
+    sys.run_until(80);
+    return std::to_string(sys.net_stats().copies_delivered) + ":" +
+           std::to_string(sys.net_stats().bytes_sent);
+  };
+  const auto j1 = exp::run_collect(12, 1, task);
+  const auto j8 = exp::run_collect(12, 8, task);
+  EXPECT_EQ(j1, j8);
+}
+
+TEST(ExpRunner, FirstTaskExceptionPropagates) {
+  EXPECT_THROW(exp::run_indexed(16, 4,
+                                [](std::size_t i) {
+                                  if (i == 5) throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+}
+
+TEST(ExpRunner, DerivedRngIsAPureFunctionOfSeedAndStream) {
+  Rng a = Rng::derived(7, 3);
+  Rng b = Rng::derived(7, 3);
+  for (int k = 0; k < 64; ++k) EXPECT_EQ(a.engine()(), b.engine()());
+  // Neighboring streams diverge immediately.
+  Rng c = Rng::derived(7, 4);
+  EXPECT_NE(Rng::derived(7, 3).engine()(), c.engine()());
+}
+
+}  // namespace
+}  // namespace hds

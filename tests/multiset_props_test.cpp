@@ -87,6 +87,84 @@ TEST_P(MultisetProps, ToVectorRoundTrips) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Flat backend vs the std::map reference: every operation of the default
+// sorted-flat-vector store must agree with MapStore, observer by observer,
+// over a mirrored random workload.
+
+// Runs identical mutations against both backends and compares every scalar
+// and structural observer.
+template <typename A, typename B>
+void expect_equivalent(const A& flat, const B& ref) {
+  ASSERT_EQ(flat.size(), ref.size());
+  ASSERT_EQ(flat.empty(), ref.empty());
+  ASSERT_EQ(flat.distinct_size(), ref.distinct_size());
+  ASSERT_EQ(flat.to_vector(), ref.to_vector());
+  ASSERT_EQ(flat.to_string(), ref.to_string());
+  for (Id v = 0; v <= 8; ++v) {
+    ASSERT_EQ(flat.multiplicity(v), ref.multiplicity(v)) << "value " << v;
+    ASSERT_EQ(flat.contains(v), ref.contains(v)) << "value " << v;
+  }
+  if (!flat.empty()) ASSERT_EQ(flat.min(), ref.min());
+  // counts(): different container types, identical (value, count) sequence.
+  std::vector<std::pair<Id, std::size_t>> fc(flat.counts().begin(), flat.counts().end());
+  std::vector<std::pair<Id, std::size_t>> rc(ref.counts().begin(), ref.counts().end());
+  ASSERT_EQ(fc, rc);
+}
+
+TEST_P(MultisetProps, FlatBackendMatchesMapReference) {
+  Rng rng(GetParam() + 5);
+  for (int trial = 0; trial < 60; ++trial) {
+    Multiset<Id> fa;
+    Multiset<Id> fb;
+    MapMultiset<Id> ra;
+    MapMultiset<Id> rb;
+    for (int op = 0; op < 40; ++op) {
+      const bool on_a = rng.chance(0.5);
+      Multiset<Id>& f = on_a ? fa : fb;
+      MapMultiset<Id>& r = on_a ? ra : rb;
+      const auto pick = rng.uniform(0, 9);
+      if (pick <= 4) {
+        const Id v = static_cast<Id>(rng.uniform(1, 6));
+        const auto c = static_cast<std::size_t>(rng.uniform(1, 3));
+        f.insert(v, c);
+        r.insert(v, c);
+      } else if (pick <= 7) {
+        const Id v = static_cast<Id>(rng.uniform(1, 6));
+        if (f.contains(v)) {
+          f.erase_one(v);
+          r.erase_one(v);
+        } else {
+          EXPECT_THROW(f.erase_one(v), std::out_of_range);
+          EXPECT_THROW(r.erase_one(v), std::out_of_range);
+        }
+      } else if (pick == 8 && rng.chance(0.2)) {
+        f.clear();
+        r.clear();
+      } else {
+        const Id v = static_cast<Id>(rng.uniform(1, 6));
+        f = Multiset<Id>::with_copies(v, 2).sum(f);
+        r = MapMultiset<Id>::with_copies(v, 2).sum(r);
+      }
+      expect_equivalent(fa, ra);
+      expect_equivalent(fb, rb);
+      // Binary algebra, mirrored pair against mirrored pair.
+      expect_equivalent(fa.union_max(fb), ra.union_max(rb));
+      expect_equivalent(fa.sum(fb), ra.sum(rb));
+      expect_equivalent(fa.intersection(fb), ra.intersection(rb));
+      ASSERT_EQ(fa.is_subset_of(fb), ra.is_subset_of(rb));
+      ASSERT_EQ(fb.is_subset_of(fa), rb.is_subset_of(ra));
+      ASSERT_EQ(fa.intersects(fb), ra.intersects(rb));
+      ASSERT_EQ(fa == fb, ra == rb);
+      // Total order: the flat <=> must rank pairs exactly like the map's
+      // container comparison (Fig. 7 keys maps by multiset).
+      ASSERT_EQ(fa < fb, ra < rb);
+      ASSERT_EQ(fa > fb, ra > rb);
+      ASSERT_EQ((fa <=> fb) == 0, (ra <=> rb) == 0);
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, MultisetProps, ::testing::Values<std::uint64_t>(11, 22, 33));
 
 }  // namespace

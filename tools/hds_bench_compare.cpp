@@ -1,0 +1,165 @@
+// hds_bench_compare — direction-aware comparison of two google-benchmark
+// JSON outputs (--benchmark_out=... --benchmark_out_format=json).
+//
+// For every benchmark present in both files it picks the right metric and
+// direction automatically: items_per_second when the series reports it
+// (higher is better), real_time otherwise (lower is better). A benchmark
+// that got worse by more than --max-regress (default 15%) is a regression;
+// --min-speedup NAME=R additionally requires the current run to beat the
+// baseline by at least R× on that series (this is how CI enforces the
+// engine-overhaul throughput floor against the committed old-engine
+// baseline). Exit status: 0 clean, 1 regression / unmet floor, 2 usage or
+// unreadable input.
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace {
+
+using hds::obs::Json;
+
+struct Series {
+  double value = 0;
+  bool higher_is_better = false;
+  std::string metric;
+};
+
+std::map<std::string, Series> series_of(const Json& doc, const std::string& what) {
+  const Json* benches = doc.find("benchmarks");
+  if (benches == nullptr || !benches->is_array()) {
+    throw std::runtime_error(what + ": no 'benchmarks' array (need --benchmark_out_format=json)");
+  }
+  std::map<std::string, Series> out;
+  for (const Json& b : benches->items()) {
+    const std::string name = b.string_or("name", "");
+    if (name.empty()) continue;
+    // Aggregate rows (mean/median/stddev) would double-count; plain runs
+    // have no run_type or run_type == "iteration".
+    const std::string run_type = b.string_or("run_type", "iteration");
+    if (run_type != "iteration") continue;
+    Series s;
+    if (const Json* ips = b.find("items_per_second"); ips != nullptr && ips->is_number()) {
+      s.value = ips->number();
+      s.higher_is_better = true;
+      s.metric = "items_per_second";
+    } else if (const Json* rt = b.find("real_time"); rt != nullptr && rt->is_number()) {
+      s.value = rt->number();
+      s.higher_is_better = false;
+      s.metric = "real_time";
+    } else {
+      continue;
+    }
+    out[name] = s;
+  }
+  return out;
+}
+
+void usage(std::ostream& os) {
+  os << "usage: hds_bench_compare --baseline FILE --current FILE\n"
+        "                         [--max-regress R] [--min-speedup NAME=R]...\n"
+        "R is a ratio: --max-regress 0.15 tolerates 15% regression;\n"
+        "--min-speedup BM_Foo=3.0 demands current >= 3x baseline on BM_Foo\n"
+        "exit: 0 clean, 1 regression or unmet speedup floor, 2 usage error\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string current_path;
+  double max_regress = 0.15;
+  std::vector<std::pair<std::string, double>> floors;
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const std::string& flag = args[i];
+      auto next = [&]() -> const std::string& {
+        if (i + 1 >= args.size()) throw std::invalid_argument(flag + " needs a value");
+        return args[++i];
+      };
+      if (flag == "--baseline") {
+        baseline_path = next();
+      } else if (flag == "--current") {
+        current_path = next();
+      } else if (flag == "--max-regress") {
+        max_regress = std::stod(next());
+      } else if (flag == "--min-speedup") {
+        const std::string spec = next();
+        const auto eq = spec.rfind('=');
+        if (eq == std::string::npos) throw std::invalid_argument("--min-speedup wants NAME=R");
+        floors.emplace_back(spec.substr(0, eq), std::stod(spec.substr(eq + 1)));
+      } else if (flag == "--help" || flag == "-h") {
+        usage(std::cout);
+        return 0;
+      } else {
+        throw std::invalid_argument("unknown flag " + flag);
+      }
+    }
+    if (baseline_path.empty() || current_path.empty()) {
+      throw std::invalid_argument("--baseline and --current are required");
+    }
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "hds_bench_compare: " << e.what() << "\n";
+    usage(std::cerr);
+    return 2;
+  }
+
+  std::map<std::string, Series> base;
+  std::map<std::string, Series> cur;
+  try {
+    base = series_of(hds::obs::load_json_file(baseline_path), baseline_path);
+    cur = series_of(hds::obs::load_json_file(current_path), current_path);
+  } catch (const std::exception& e) {
+    std::cerr << "hds_bench_compare: " << e.what() << "\n";
+    return 2;
+  }
+
+  int status = 0;
+  std::cout << std::left << std::setw(56) << "benchmark" << std::right << std::setw(14)
+            << "baseline" << std::setw(14) << "current" << std::setw(9) << "ratio"
+            << "  verdict\n";
+  for (const auto& [name, b] : base) {
+    const auto it = cur.find(name);
+    if (it == cur.end()) {
+      std::cout << std::left << std::setw(56) << name << "  (absent from current; skipped)\n";
+      continue;
+    }
+    const Series& c = it->second;
+    // ratio > 1 always means "current is better".
+    const double ratio = b.higher_is_better ? c.value / b.value : b.value / c.value;
+    const bool regressed = ratio < 1.0 - max_regress;
+    std::ostringstream verdict;
+    if (regressed) {
+      verdict << "REGRESSION (" << b.metric << ", >" << max_regress * 100 << "% worse)";
+      status = 1;
+    } else {
+      verdict << "ok";
+    }
+    std::cout << std::left << std::setw(56) << name << std::right << std::setw(14)
+              << std::setprecision(6) << b.value << std::setw(14) << c.value << std::setw(8)
+              << std::setprecision(3) << ratio << "x  " << verdict.str() << "\n";
+  }
+  for (const auto& [name, floor] : floors) {
+    const auto bi = base.find(name);
+    const auto ci = cur.find(name);
+    if (bi == base.end() || ci == cur.end()) {
+      std::cerr << "hds_bench_compare: --min-speedup target " << name
+                << " missing from baseline or current\n";
+      status = 1;
+      continue;
+    }
+    const double ratio = bi->second.higher_is_better ? ci->second.value / bi->second.value
+                                                     : bi->second.value / ci->second.value;
+    const bool met = ratio >= floor;
+    std::cout << "speedup floor " << name << ": " << std::setprecision(3) << ratio << "x vs "
+              << floor << "x required — " << (met ? "met" : "NOT MET") << "\n";
+    if (!met) status = 1;
+  }
+  return status;
+}

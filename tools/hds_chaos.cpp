@@ -25,6 +25,7 @@
 #include "chaos/runner.h"
 #include "chaos/shrink.h"
 #include "common/rng.h"
+#include "exp/runner.h"
 #include "obs/json.h"
 
 namespace {
@@ -36,7 +37,10 @@ using hds::chaos::StackKind;
 
 void usage(std::ostream& os) {
   os << "usage: hds_chaos --fuzz N [--stack all|fig6|fig8|fig9] [--seed-base S]\n"
-        "                 [--out PATH]\n"
+        "                 [--out PATH] [-j N | --jobs N]\n"
+        "-j 0 means one worker per hardware thread. Case k is generated from\n"
+        "Rng::derived(seed-base, k), so the explored set and any reported\n"
+        "finding are identical for every -j\n"
         "       hds_chaos --demo-violation PATH\n"
         "       hds_chaos --replay FILE [FILE...]\n"
         "exit status: 0 clean, 1 violation found / replay mismatch, 2 usage error\n";
@@ -57,32 +61,50 @@ std::string join(const std::vector<std::string>& v, const char* sep) {
 }
 
 int run_fuzz(std::size_t budget, const std::string& stack_sel, std::uint64_t seed_base,
-             const std::string& out_path) {
+             const std::string& out_path, std::size_t jobs) {
   const std::vector<StackKind> stacks = stacks_of(stack_sel);
-  Rng rng(seed_base);
-  std::size_t ran = 0;
-  for (std::size_t k = 0; k < budget; ++k) {
-    for (StackKind stack : stacks) {
-      const ChaosCase c = hds::chaos::random_admissible_case(rng, stack);
-      const ChaosOutcome out = hds::chaos::run_chaos_case(c);
-      ++ran;
-      if (out.ok) continue;
+  const std::size_t tasks = budget * stacks.size();
 
-      std::cerr << "VIOLATION in admissible case (stack=" << hds::chaos::stack_name(stack)
-                << ", case " << ran << "):\n";
-      for (const std::string& v : out.violations) std::cerr << "  " << v << "\n";
-      std::cerr << "shrinking...\n";
-      const hds::chaos::ShrinkResult sh = hds::chaos::shrink_case(c);
-      std::cerr << "shrunk to " << sh.reduced.plan.clauses.size() << " clause(s) in " << sh.runs
-                << " runs; tags: " << join(sh.outcome.violation_tags(), ", ") << "\n";
-      const std::string path = out_path.empty() ? "chaos_repro.json" : out_path;
-      hds::obs::write_text_file(path, hds::chaos::repro_to_json(sh.reduced, sh.outcome).dump(2) + "\n");
-      std::cerr << "repro written to " << path << "\n";
-      return 1;
-    }
+  // Task t covers case t/|stacks| of stack t%|stacks|, generated from
+  // Rng::derived(seed_base, t): every task is a pure function of
+  // (seed_base, t), so the explored set — and any finding — is identical
+  // for every -j and every thread interleaving. All tasks run to completion
+  // and the lowest-index violation is reported, which keeps the selected
+  // repro deterministic too.
+  struct TaskResult {
+    bool ok = true;
+    ChaosCase c;
+    std::vector<std::string> violations;
+  };
+  const std::vector<TaskResult> results =
+      hds::exp::run_collect(tasks, jobs, [&](std::size_t t) {
+        TaskResult r;
+        Rng rng = Rng::derived(seed_base, t);
+        r.c = hds::chaos::random_admissible_case(rng, stacks[t % stacks.size()]);
+        const ChaosOutcome out = hds::chaos::run_chaos_case(r.c);
+        r.ok = out.ok;
+        r.violations = out.violations;
+        return r;
+      });
+
+  for (std::size_t t = 0; t < results.size(); ++t) {
+    const TaskResult& r = results[t];
+    if (r.ok) continue;
+    std::cerr << "VIOLATION in admissible case (stack=" << hds::chaos::stack_name(r.c.stack)
+              << ", case " << t + 1 << "):\n";
+    for (const std::string& v : r.violations) std::cerr << "  " << v << "\n";
+    std::cerr << "shrinking...\n";
+    const hds::chaos::ShrinkResult sh = hds::chaos::shrink_case(r.c);
+    std::cerr << "shrunk to " << sh.reduced.plan.clauses.size() << " clause(s) in " << sh.runs
+              << " runs; tags: " << join(sh.outcome.violation_tags(), ", ") << "\n";
+    const std::string path = out_path.empty() ? "chaos_repro.json" : out_path;
+    hds::obs::write_text_file(path,
+                              hds::chaos::repro_to_json(sh.reduced, sh.outcome).dump(2) + "\n");
+    std::cerr << "repro written to " << path << "\n";
+    return 1;
   }
-  std::cout << "fuzz: " << ran << " admissible case(s) ran clean (stacks=" << stack_sel
-            << ", seed-base=" << seed_base << ")\n";
+  std::cout << "fuzz: " << tasks << " admissible case(s) ran clean (stacks=" << stack_sel
+            << ", seed-base=" << seed_base << ", jobs=" << jobs << ")\n";
   return 0;
 }
 
@@ -143,6 +165,7 @@ int run_replay(const std::vector<std::string>& files) {
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   std::size_t fuzz = 0;
+  std::size_t jobs = 1;
   std::string stack_sel = "all";
   std::uint64_t seed_base = 1;
   std::string out_path;
@@ -165,6 +188,9 @@ int main(int argc, char** argv) {
         seed_base = std::stoull(next());
       } else if (flag == "--out") {
         out_path = next();
+      } else if (flag == "-j" || flag == "--jobs") {
+        jobs = std::stoul(next());
+        if (jobs == 0) jobs = hds::exp::default_jobs();
       } else if (flag == "--demo-violation") {
         demo_path = next();
       } else if (flag == "--replay") {
@@ -183,7 +209,7 @@ int main(int argc, char** argv) {
       return run_replay(replay_files);
     }
     if (!demo_path.empty()) return run_demo(demo_path);
-    if (fuzz > 0) return run_fuzz(fuzz, stack_sel, seed_base, out_path);
+    if (fuzz > 0) return run_fuzz(fuzz, stack_sel, seed_base, out_path, jobs);
     usage(std::cerr);
     return 2;
   } catch (const std::invalid_argument& e) {

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "consensus/harness.h"
+#include "exp/runner.h"
 #include "obs/json.h"
 #include "obs/monitor.h"
 #include "obs/qos.h"
@@ -54,13 +55,16 @@ struct Options {
   std::string baseline = "BENCH_qos_baseline.json";
   bool write_baseline = false;
   double tolerance = 0.25;
+  std::size_t jobs = 1;  // sweep-point parallelism; 0 = hardware concurrency
 };
 
 void usage(std::ostream& os) {
   os << "usage: hds_report [--stack fig8|fig9] [--n N] [--t T] [--delta D]\n"
         "                  [--seed S] [--ell L1,L2,...] [--out-dir DIR]\n"
         "                  [--json PATH] [--md PATH] [--baseline PATH]\n"
-        "                  [--write-baseline] [--tolerance R]\n"
+        "                  [--write-baseline] [--tolerance R] [-j N | --jobs N]\n"
+        "-j 0 means one worker per hardware thread; results are identical\n"
+        "for every -j (each sweep point is an isolated, seed-derived run)\n"
         "exit status: 0 clean, 1 usage/run error, 2 QoS regression\n";
 }
 
@@ -111,6 +115,9 @@ bool parse_args(int argc, char** argv, Options& o) {
       o.write_baseline = true;
     } else if (flag == "--tolerance") {
       o.tolerance = std::stod(need());
+    } else if (flag == "-j" || flag == "--jobs") {
+      o.jobs = std::stoul(need());
+      if (o.jobs == 0) o.jobs = hds::exp::default_jobs();
     } else if (flag == "--help" || flag == "-h") {
       usage(std::cout);
       std::exit(0);
@@ -480,11 +487,13 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::vector<SweepResult> sweeps;
-  for (const std::size_t ell : o.ells) {
-    std::cerr << "hds_report: running " << o.stack << " sweep point ell=" << ell << "...\n";
-    sweeps.push_back(run_sweep_point(o, ell));
-  }
+  // Each sweep point is a pure function of (options, ell) — its own System,
+  // registry, and monitors — so the points fan out across workers and the
+  // report is byte-identical for every -j.
+  std::cerr << "hds_report: running " << o.ells.size() << ' ' << o.stack
+            << " sweep point(s) with " << o.jobs << " worker(s)\n";
+  const std::vector<SweepResult> sweeps = hds::exp::run_collect(
+      o.ells.size(), o.jobs, [&o](std::size_t k) { return run_sweep_point(o, o.ells[k]); });
 
   if (o.write_baseline) {
     if (!write_file(o.baseline, baseline_json(o, sweeps).dump(2) + "\n")) return 1;

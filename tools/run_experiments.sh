@@ -23,7 +23,9 @@ echo "artifacts: $OUT"
 cmake -B build -S .
 cmake --build build -j
 
-ctest --test-dir build 2>&1 | tee "$OUT/test_output.txt"
+JOBS="$(nproc 2>/dev/null || echo 1)"
+
+ctest --test-dir build -j "$JOBS" 2>&1 | tee "$OUT/test_output.txt"
 
 : > "$OUT/bench_output.txt"
 for b in build/bench/bench_*; do
@@ -46,8 +48,12 @@ build/tools/trace_export --stack fig8 --n 5 --crashes 1 --seed 1 \
 # QoS sweep against the committed baseline; a regression fails the script
 # (after everything above has been collected).
 qos_status=0
-build/tools/hds_report --stack fig8 --n 5 --seed 1 \
+build/tools/hds_report --stack fig8 --n 5 --seed 1 -j "$JOBS" \
   --out-dir "$OUT" --baseline BENCH_qos_baseline.json || qos_status=$?
+
+# Seeded chaos sweep on the parallel engine (case set is -j independent).
+build/tools/hds_chaos --fuzz 4 --stack all --seed-base 1 -j "$JOBS" \
+  --out "$OUT/chaos_repro.json"
 
 echo "done: artifacts in $OUT"
 if [ "$qos_status" -ne 0 ]; then
