@@ -180,6 +180,41 @@ void BM_System_FloodMetricsOverhead(benchmark::State& state) {
 BENCHMARK(BM_System_FloodMetricsOverhead)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
+// Causal-tracing overhead: the same flood with the trace ring (and its
+// lineage stamping) off vs on. The off series is the CI-gated one: tracing
+// disabled must stay allocation-free per event and within noise of the
+// baseline flood; the on series prices the flight recorder.
+void BM_System_FloodTraceOverhead(benchmark::State& state) {
+  const bool traced = state.range(0) != 0;
+  const std::size_t n = 16;
+  std::uint64_t delivered = 0;
+  std::uint64_t run_allocs = 0;
+  std::uint64_t trace_recorded = 0;
+  for (auto _ : state) {
+    SystemConfig cfg;
+    for (std::size_t i = 0; i < n; ++i) cfg.ids.push_back(i + 1);
+    cfg.timing = std::make_unique<AsyncTiming>(1, 4);
+    cfg.seed = 1;
+    if (traced) cfg.trace_capacity = std::size_t{1} << 16;
+    System sys(std::move(cfg));
+    for (ProcIndex i = 0; i < n; ++i) sys.set_process(i, std::make_unique<Flooder>(2));
+    sys.start();
+    const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+    sys.run_until(200);
+    run_allocs = g_allocs.load(std::memory_order_relaxed) - a0;
+    delivered = sys.net_stats().copies_delivered;
+    if (traced) trace_recorded = sys.trace().recorded();
+  }
+  state.counters["copies_delivered"] = static_cast<double>(delivered);
+  state.counters["allocs_per_copy"] =
+      delivered == 0 ? 0.0 : static_cast<double>(run_allocs) / static_cast<double>(delivered);
+  if (traced) state.counters["trace_recorded"] = static_cast<double>(trace_recorded);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(delivered));
+}
+BENCHMARK(BM_System_FloodTraceOverhead)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 HDS_BENCH_MAIN();

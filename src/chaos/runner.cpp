@@ -188,7 +188,7 @@ PartialSyncTiming::Params hps_net(const ChaosCase& c, bool lossy) {
 
 }  // namespace
 
-ChaosOutcome run_chaos_case(const ChaosCase& c) {
+ChaosOutcome run_chaos_case(const ChaosCase& c, std::size_t trace_capacity) {
   const std::vector<Id> ids = ids_homonymous(c.n, c.distinct, c.seed);
   const auto crashes =
       c.crash_k > 0 ? crashes_last_k(c.n, c.crash_k, c.crash_at) : crashes_none(c.n);
@@ -216,10 +216,13 @@ ChaosOutcome run_chaos_case(const ChaosCase& c) {
       p.stable_window = 400;
       p.monitor = mon ? &*mon : nullptr;
       p.chaos = &inj;
+      p.trace_capacity = trace_capacity;
       Fig6Result res = run_fig6(p);
       if (!res.ohp_check) out.violations.push_back("ohp: " + res.ohp_check.detail);
       if (!res.homega_check) out.violations.push_back("homega: " + res.homega_check.detail);
       if (mon) add_monitor_violations(*mon, out.violations);
+      out.trace_events = std::move(res.trace_events);
+      out.trace_dropped = res.trace_dropped;
       break;
     }
     case StackKind::kFig8: {
@@ -231,12 +234,15 @@ ChaosOutcome run_chaos_case(const ChaosCase& c) {
       p.seed = c.seed;
       p.max_time = c.max_time;
       p.chaos = &inj;
+      p.trace_capacity = trace_capacity;
       ConsensusRunResult res = run_fig8_full_stack(p);
       if (!res.check) out.violations.push_back("consensus: " + res.check.detail);
       if (!res.all_correct_decided) {
         out.violations.push_back("liveness: not all correct processes decided by t=" +
                                  std::to_string(res.end_time));
       }
+      out.trace_events = std::move(res.trace_events);
+      out.trace_dropped = res.trace_dropped;
       break;
     }
     case StackKind::kFig9: {
@@ -257,6 +263,7 @@ ChaosOutcome run_chaos_case(const ChaosCase& c) {
       p.monitor = &mon;
       p.chaos = &inj;
       p.check_hsigma_safety = true;
+      p.trace_capacity = trace_capacity;
       ConsensusRunResult res = run_fig9_full_stack(p);
       if (!res.check) out.violations.push_back("consensus: " + res.check.detail);
       if (!res.all_correct_decided) {
@@ -267,6 +274,8 @@ ChaosOutcome run_chaos_case(const ChaosCase& c) {
         out.violations.push_back("hsigma-safety: " + res.hsigma_safety_check.detail);
       }
       add_monitor_violations(mon, out.violations);
+      out.trace_events = std::move(res.trace_events);
+      out.trace_dropped = res.trace_dropped;
       break;
     }
   }
@@ -449,9 +458,9 @@ Repro parse_repro(const obs::Json& j) {
   return r;
 }
 
-ReplayResult replay_repro(const Repro& r) {
+ReplayResult replay_repro(const Repro& r, std::size_t trace_capacity) {
   ReplayResult res;
-  res.outcome = run_chaos_case(r.c);
+  res.outcome = run_chaos_case(r.c, trace_capacity);
   res.match = (!res.outcome.ok == r.violated) && res.outcome.violation_tags() == r.tags;
   return res;
 }

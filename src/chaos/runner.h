@@ -26,6 +26,7 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "obs/json.h"
+#include "sim/tracelog.h"
 
 namespace hds::chaos {
 
@@ -64,6 +65,11 @@ struct ChaosOutcome {
   std::vector<std::string> violations;
   std::uint64_t injected_crashes = 0;
   std::uint64_t copies_dropped = 0;
+  // The run's retained event log (with causal lineage) when the case ran
+  // with trace_capacity > 0 — feed obs::causal_chain to explain a finding
+  // by its message ancestry — plus the ring's eviction count.
+  std::vector<TraceEvent> trace_events;
+  std::uint64_t trace_dropped = 0;
 
   // Sorted, de-duplicated tags (prefix of each violation before ':').
   [[nodiscard]] std::vector<std::string> violation_tags() const;
@@ -73,7 +79,10 @@ struct ChaosOutcome {
 // every property check is *expected* to pass. See the rules in runner.cpp.
 [[nodiscard]] bool admissible(const ChaosCase& c);
 
-ChaosOutcome run_chaos_case(const ChaosCase& c);
+// trace_capacity > 0 turns on the simulator's causal trace ring for the run
+// and returns the retained events in the outcome. 0 (the fuzzer's sweep
+// default) keeps the hot path allocation-free.
+ChaosOutcome run_chaos_case(const ChaosCase& c, std::size_t trace_capacity = 0);
 
 // Uniformly random case drawn inside the admissible envelope of `stack`.
 ChaosCase random_admissible_case(Rng& rng, StackKind stack);
@@ -99,6 +108,8 @@ struct ReplayResult {
   ChaosOutcome outcome;
 };
 
-ReplayResult replay_repro(const Repro& r);
+// trace_capacity as in run_chaos_case; tracing never perturbs the schedule,
+// so a replay matches its recorded tags with or without it.
+ReplayResult replay_repro(const Repro& r, std::size_t trace_capacity = 0);
 
 }  // namespace hds::chaos

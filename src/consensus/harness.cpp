@@ -139,8 +139,12 @@ Fig6Result run_fig6(const Fig6Params& p) {
   cfg.seed = p.seed;
   cfg.metrics = p.metrics;
   cfg.queue = p.queue;
+  cfg.trace_capacity = p.trace_capacity;
   System sys(std::move(cfg));
   if (p.chaos != nullptr) p.chaos->arm(sys);
+  if (p.monitor != nullptr && sys.trace().enabled()) {
+    p.monitor->set_causal(&sys.causal_session());
+  }
   for (ProcIndex i = 0; i < sys.n(); ++i) {
     auto fd = std::make_unique<OHPPolling>(p.fd_opts);
     fd->attach_metrics(p.metrics, proc_labels(i));
@@ -188,6 +192,10 @@ Fig6Result run_fig6(const Fig6Params& p) {
     in.homega = homega;
     res.qos = obs::analyze_qos(in);
     obs::emit_qos(res.qos, p.metrics);
+  }
+  if (sys.trace().enabled()) {
+    res.trace_events = sys.trace().events();
+    res.trace_dropped = sys.trace().dropped();
   }
   return res;
 }
@@ -478,6 +486,9 @@ ConsensusRunResult run_fig8_full_stack(const Fig8FullStackParams& p) {
   cfg.queue = p.queue;
   System sys(std::move(cfg));
   if (p.chaos != nullptr) p.chaos->arm(sys);
+  if (p.monitor != nullptr && sys.trace().enabled()) {
+    p.monitor->set_causal(&sys.causal_session());
+  }
 
   std::vector<MajorityHOmegaConsensus*> procs(n);
   std::vector<OHPPolling*> fds(n);
@@ -555,6 +566,9 @@ ConsensusRunResult run_fig9_full_stack(const Fig9FullStackParams& p) {
   cfg.metrics = p.metrics;
   System sys(std::move(cfg));
   if (p.chaos != nullptr) p.chaos->arm(sys);
+  if (p.monitor != nullptr && sys.trace().enabled()) {
+    p.monitor->set_causal(&sys.causal_session());
+  }
 
   // Adapters owned per node; kept alive alongside the system.
   std::vector<std::unique_ptr<ApToOhp>> ap_ohp(n);

@@ -91,6 +91,9 @@ struct Fig6Params {
   // Event-queue back end (determinism cross-checks swap in the reference
   // heap; results are bit-identical either way).
   QueueKind queue = QueueKind::kCalendar;
+  // > 0: record the structured event log (with causal lineage) into the
+  // result, as in Fig8FullStackParams.
+  std::size_t trace_capacity = 0;
 };
 
 struct Fig6Result {
@@ -103,6 +106,10 @@ struct Fig6Result {
   std::uint64_t broadcasts = 0;
   std::uint64_t copies_delivered = 0;
   obs::QosReport qos;  // populated when collect_qos was set
+  // Retained event log + ring evictions, when trace_capacity > 0 (see
+  // ConsensusRunResult for the consensus-stack equivalents).
+  std::vector<TraceEvent> trace_events;
+  std::uint64_t trace_dropped = 0;
 };
 
 Fig6Result run_fig6(const Fig6Params& p);

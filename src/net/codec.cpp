@@ -45,14 +45,21 @@ std::vector<const BodyCodec*> CodecRegistry::all() const {
 namespace {
 
 std::vector<std::uint8_t> finish_frame(std::uint8_t tag, ProcIndex sender_index, Id sender_id,
-                                       const std::vector<std::uint8_t>& body) {
+                                       const std::vector<std::uint8_t>& body,
+                                       const Message* traced = nullptr) {
   WireWriter w;
   w.u8(kWireMagic0);
   w.u8(kWireMagic1);
-  w.u8(kWireVersion);
+  const bool tracing = traced != nullptr && traced->meta_causal_id != 0;
+  w.u8(tracing ? static_cast<std::uint8_t>(kWireVersion | kWireTracedFlag) : kWireVersion);
   w.u8(tag);
   w.varint(sender_index);
   w.varint(sender_id);
+  if (tracing) {
+    w.varint(traced->meta_causal_id);
+    w.varint(traced->meta_causal_parent);
+    w.varint(traced->meta_causal_clock);
+  }
   w.varint(body.size());
   w.bytes(body.data(), body.size());
   const std::uint32_t sum = fnv1a(w.data().data(), w.size());
@@ -68,7 +75,7 @@ std::vector<std::uint8_t> encode_frame(const CodecRegistry& reg, const Message& 
   if (c == nullptr) throw CodecError("no codec registered for type " + m.type);
   WireWriter body;
   c->encode(m.body, body);
-  return finish_frame(c->tag, sender_index, sender_id, body.data());
+  return finish_frame(c->tag, sender_index, sender_id, body.data(), &m);
 }
 
 std::vector<std::uint8_t> encode_control_frame(std::uint8_t tag, ProcIndex sender_index,
@@ -78,7 +85,8 @@ std::vector<std::uint8_t> encode_control_frame(std::uint8_t tag, ProcIndex sende
 }
 
 std::optional<std::uint8_t> peek_tag(const std::uint8_t* data, std::size_t len) {
-  if (len < 4 || data[0] != kWireMagic0 || data[1] != kWireMagic1 || data[2] != kWireVersion) {
+  if (len < 4 || data[0] != kWireMagic0 || data[1] != kWireMagic1 ||
+      (data[2] & kWireVersionMask) != kWireVersion) {
     return std::nullopt;
   }
   return data[3];
@@ -87,9 +95,10 @@ std::optional<std::uint8_t> peek_tag(const std::uint8_t* data, std::size_t len) 
 Message decode_frame(const CodecRegistry& reg, const std::uint8_t* data, std::size_t len) {
   if (len < 4 + 4) throw CodecError("frame shorter than header + checksum");
   if (data[0] != kWireMagic0 || data[1] != kWireMagic1) throw CodecError("bad frame magic");
-  if (data[2] != kWireVersion) {
+  if ((data[2] & kWireVersionMask) != kWireVersion) {
     throw CodecError("unsupported frame version " + std::to_string(data[2]));
   }
+  const bool tracing = (data[2] & kWireTracedFlag) != 0;
   const std::uint32_t want = fnv1a(data, len - 4);
   WireReader tail(data + len - 4, 4);
   if (tail.u32_fixed() != want) throw CodecError("checksum mismatch");
@@ -100,6 +109,15 @@ Message decode_frame(const CodecRegistry& reg, const std::uint8_t* data, std::si
   const std::uint64_t sender_id = r.varint();
   (void)sender_id;  // the id rides for wire-level debugging; bodies carry
                     // whatever identity the algorithm needs, per the model
+  std::uint64_t causal_id = 0;
+  std::uint64_t causal_parent = 0;
+  std::uint64_t causal_clock = 0;
+  if (tracing) {
+    causal_id = r.varint();
+    causal_parent = r.varint();
+    causal_clock = r.varint();
+    if (causal_id == 0) throw CodecError("traced frame with zero lineage id");
+  }
   const std::uint64_t body_len = r.varint();
   if (body_len != r.remaining()) throw CodecError("body length disagrees with frame length");
   if (tag >= kCtrlTagFirst) {
@@ -117,6 +135,9 @@ Message decode_frame(const CodecRegistry& reg, const std::uint8_t* data, std::si
   m.type = c->type;
   m.body = std::move(value);
   m.meta_sender = static_cast<ProcIndex>(sender_index);
+  m.meta_causal_id = causal_id;
+  m.meta_causal_parent = causal_parent;
+  m.meta_causal_clock = causal_clock;
   return m;
 }
 

@@ -4,16 +4,25 @@
 //
 //   offset 0   u8      magic 'H'
 //          1   u8      magic 'S'
-//          2   u8      version (1)
+//          2   u8      version (1), OR'd with kWireTracedFlag (0x80) when
+//                      the optional trace-context extension is present
 //          3   u8      body type tag (see codecs_builtin.cpp; >= 0xF0 are
 //                      transport-control frames that never reach a Process)
 //          4   varint  sender node index (instrumentation -> meta_sender;
 //                      protocol code never reads it, matching the model's
 //                      "the receiver cannot identify the link")
 //          ..  varint  sender identifier (the homonymous id/label)
+//          [traced frames only — the causal context, obs/causal.h:]
+//          ..  varint  lineage id of this send
+//          ..  varint  lineage id of the causing event
+//          ..  varint  Lamport clock at the send
+//          [end of extension]
 //          ..  varint  body length in bytes
 //          ..  bytes   body (encoded by the tag's registered codec)
 //          ..  u32le   FNV-1a checksum of every preceding byte
+//
+// Frames sent with tracing off carry a bare version byte and are
+// byte-identical to pre-extension v1 frames (the golden fixtures pin this).
 //
 // A datagram coalesces frames (send batching):
 //
@@ -48,6 +57,11 @@ inline constexpr std::uint8_t kWireMagic0 = 'H';
 inline constexpr std::uint8_t kWireMagic1 = 'S';
 inline constexpr std::uint8_t kBatchMagic1 = 'B';
 inline constexpr std::uint8_t kWireVersion = 1;
+// Version-byte flag marking the optional causal trace-context extension
+// (3 varints between the sender-id varint and the body-length varint). A
+// frame is traced iff the Message carried a nonzero meta_causal_id.
+inline constexpr std::uint8_t kWireTracedFlag = 0x80;
+inline constexpr std::uint8_t kWireVersionMask = 0x7F;
 
 // Transport-control tags (handled by the substrate, never dispatched to a
 // Process; their "body" is codec-free).
@@ -83,11 +97,13 @@ class CodecRegistry {
 const CodecRegistry& builtin_codecs();
 
 // One frame. Throws CodecError when the type has no registered codec.
+// When m.meta_causal_id != 0 the frame carries the trace-context extension.
 std::vector<std::uint8_t> encode_frame(const CodecRegistry& reg, const Message& m,
                                        ProcIndex sender_index, Id sender_id);
 
 // Inverse. Validates magic, version, tag, length, and checksum; fills
-// meta_sender from the header. Throws CodecError on any malformation.
+// meta_sender from the header and meta_causal_* from the trace-context
+// extension when present. Throws CodecError on any malformation.
 Message decode_frame(const CodecRegistry& reg, const std::uint8_t* data, std::size_t len);
 
 // A control frame (tag >= kCtrlTagFirst) with an empty body.
@@ -101,6 +117,8 @@ std::optional<std::uint8_t> peek_tag(const std::uint8_t* data, std::size_t len);
 // nullopt when the type is unregistered. This is what the sim/rt substrates
 // use to estimate byte costs comparably with the UDP substrate. Computed by
 // a counting encoder — nothing is materialized, nothing allocates.
+// Deliberately the UNTRACED frame size (the causal extension is excluded)
+// so byte accounting stays identical with tracing on or off.
 std::optional<std::size_t> encoded_frame_size(const CodecRegistry& reg, const Message& m,
                                               ProcIndex sender_index, Id sender_id);
 

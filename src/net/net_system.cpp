@@ -25,7 +25,10 @@ class NetSystem::Node {
   // every possible delivery timestamp) BEFORE the thread spins up, so
   // frames that arrived during the peer barrier dispatch after it.
   void start(Clock::time_point front) {
-    enqueue(front, Task{[](Process& p, Env& e) { p.on_start(e); }});
+    enqueue(front, Task{[this](Process& p, Env& e) {
+      sys_.note_start();
+      p.on_start(e);
+    }});
     thread_ = std::jthread([this](std::stop_token st) { run(st); });
   }
 
@@ -45,6 +48,7 @@ class NetSystem::Node {
 
   bool deliver(Clock::time_point at, std::shared_ptr<const Message> m) {
     return enqueue(at, Task{[this, m = std::move(m)](Process& p, Env& e) {
+      sys_.note_causal_delivery(*m);
       p.on_message(e, *m);
       sys_.note_delivered();
     }});
@@ -87,8 +91,14 @@ class NetSystem::Node {
     void broadcast(Message m) override { node_.sys_.broadcast_from_self(m); }
     TimerId set_timer(SimTime delay) override {
       const TimerId id = node_.next_timer_++;
+      // Arming happens on the node thread, so this reads the lineage of the
+      // event the handler is currently dispatching.
+      const std::uint64_t armed_parent = node_.sys_.causal_.parent;
       node_.enqueue(Clock::now() + std::chrono::milliseconds(delay),
-                    Task{[id](Process& p, Env& e) { p.on_timer(e, id); }});
+                    Task{[this, id, armed_parent](Process& p, Env& e) {
+                      node_.sys_.note_timer_fire(armed_parent);
+                      p.on_timer(e, id);
+                    }});
       return id;
     }
     [[nodiscard]] SimTime local_now() const override { return node_.sys_.now_ms(); }
@@ -155,8 +165,13 @@ NetSystem::NetSystem(NetConfig cfg)
       flush_interval_ms_(cfg.flush_interval_ms),
       max_batch_bytes_(cfg.max_batch_bytes),
       epoch_(Clock::now()),
+      trace_(cfg.trace_capacity),
       rng_(cfg.seed),
       metrics_(cfg.metrics) {
+  epoch_wall_us_ = std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::system_clock::now().time_since_epoch())
+                       .count();
+  causal_.base = obs::causal_node_base(self_);
   if (peers_.empty()) throw std::invalid_argument("NetSystem: need at least one peer");
   if (self_ >= peers_.size()) throw std::invalid_argument("NetSystem: self out of range");
   if (flush_interval_ms_ < 0) throw std::invalid_argument("NetSystem: bad flush interval");
@@ -258,11 +273,47 @@ void NetSystem::note_delivered() {
   obs::inc(m_copies_delivered_);
 }
 
+void NetSystem::note_start() {
+  if (!trace_.enabled()) return;
+  const std::uint64_t sid = causal_.fresh();
+  causal_.parent = sid;
+  std::lock_guard lk(trace_mu_);
+  trace_.record(now_ms(), TraceEvent::Kind::kStart, self_, {}, sid, 0);
+}
+
+void NetSystem::note_timer_fire(std::uint64_t armed_parent) {
+  if (!trace_.enabled()) return;
+  const std::uint64_t tid = causal_.fresh();
+  causal_.parent = tid;
+  causal_.tick();
+  std::lock_guard lk(trace_mu_);
+  trace_.record(now_ms(), TraceEvent::Kind::kTimer, self_, {}, tid, armed_parent);
+}
+
+void NetSystem::note_causal_delivery(const Message& m) {
+  if (!trace_.enabled()) return;
+  causal_.parent = m.meta_causal_id;
+  causal_.merge(m.meta_causal_clock);
+  std::lock_guard lk(trace_mu_);
+  trace_.record(now_ms(), TraceEvent::Kind::kDeliver, self_, m.type, m.meta_causal_id,
+                m.meta_causal_parent);
+}
+
 void NetSystem::broadcast_from_self(const Message& m) {
   if (node_->crashed()) return;
   Message stamped = m;
   stamped.meta_sender = self_;
   stamped.meta_sent_at = now_ms();
+  if (trace_.enabled()) {
+    // Stamp BEFORE encode_frame so the lineage crosses the socket in the
+    // trace-context frame extension.
+    stamped.meta_causal_parent = causal_.parent;
+    stamped.meta_causal_id = causal_.fresh();
+    stamped.meta_causal_clock = causal_.tick();
+    std::lock_guard lk(trace_mu_);
+    trace_.record(stamped.meta_sent_at, TraceEvent::Kind::kBroadcast, self_, stamped.type,
+                  stamped.meta_causal_id, stamped.meta_causal_parent);
+  }
   std::vector<std::uint8_t> frame;
   try {
     frame = encode_frame(builtin_codecs(), stamped, self_, peers_[self_].id);
@@ -487,6 +538,21 @@ bool NetSystem::wait_for(const std::function<bool()>& pred, std::chrono::millise
 NetNetworkStats NetSystem::net_stats() {
   std::lock_guard lk(stats_mu_);
   return stats_;
+}
+
+std::vector<TraceEvent> NetSystem::drain_trace(std::uint64_t& cursor) {
+  std::lock_guard lk(trace_mu_);
+  return trace_.drain_since(cursor);
+}
+
+std::vector<TraceEvent> NetSystem::trace_events() {
+  std::lock_guard lk(trace_mu_);
+  return trace_.events();
+}
+
+std::uint64_t NetSystem::trace_dropped() {
+  std::lock_guard lk(trace_mu_);
+  return trace_.dropped();
 }
 
 void NetSystem::stop() {

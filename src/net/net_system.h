@@ -38,8 +38,10 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "net/udp.h"
+#include "obs/causal.h"
 #include "obs/metrics.h"
 #include "sim/process.h"
+#include "sim/tracelog.h"
 
 namespace hds::net {
 
@@ -63,6 +65,11 @@ struct NetConfig {
   // recvfrom poll timeout; bounds shutdown latency, not delivery latency.
   int recv_timeout_ms = 50;
   obs::MetricsRegistry* metrics = nullptr;
+  // > 0 enables the structured event log + causal stamping: every local
+  // broadcast mints a lineage id (node index folded into the high bits so
+  // ids are cluster-unique) that crosses the socket via the v1 codec's
+  // trace-context extension. 0 keeps frames byte-identical to plain v1.
+  std::size_t trace_capacity = 0;
 };
 
 // Counter parity with NetworkStats / RtNetworkStats, plus the transport
@@ -144,6 +151,18 @@ class NetSystem {
 
   [[nodiscard]] NetNetworkStats net_stats();
 
+  // ---- causal tracing / telemetry surface (all thread-safe) ----
+  [[nodiscard]] bool trace_enabled() const { return trace_.enabled(); }
+  // Events recorded since the caller's cursor (start at 0), for incremental
+  // telemetry streaming; advances the cursor.
+  std::vector<TraceEvent> drain_trace(std::uint64_t& cursor);
+  [[nodiscard]] std::vector<TraceEvent> trace_events();
+  [[nodiscard]] std::uint64_t trace_dropped();
+  // Wall-clock instant (µs since the Unix epoch) at which this node's local
+  // millisecond clock (now_ms() == 0, the trace timestamps) started. The
+  // cluster launcher uses it to rebase per-node traces onto one timeline.
+  [[nodiscard]] std::int64_t epoch_wall_us() const { return epoch_wall_us_; }
+
   // Stops and joins all three threads; closes the socket. Idempotent.
   void stop();
 
@@ -161,6 +180,11 @@ class NetSystem {
 
   void post_task(std::function<void(Process&)> task);
   void note_delivered();
+  // Causal hooks, called on the node thread only (the only dispatch
+  // context): see causal_ below.
+  void note_start();
+  void note_timer_fire(std::uint64_t armed_parent);
+  void note_causal_delivery(const Message& m);
   void broadcast_from_self(const Message& m);
   void flush_batch(ProcIndex to);
   void enqueue_send(std::chrono::steady_clock::time_point at, ProcIndex to,
@@ -181,6 +205,14 @@ class NetSystem {
   SimTime flush_interval_ms_;
   std::size_t max_batch_bytes_;
   std::chrono::steady_clock::time_point epoch_;
+  std::int64_t epoch_wall_us_ = 0;
+
+  // Causal state is written only by the node thread (broadcast, delivery,
+  // timer and start dispatch all happen there); the trace ring is written by
+  // the node thread and drained by telemetry callers under trace_mu_.
+  obs::CausalSession causal_;
+  mutable std::mutex trace_mu_;
+  TraceLog trace_{0};
 
   UdpSocket sock_;
 

@@ -1,0 +1,104 @@
+#include "obs/causal.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace hds::obs {
+
+namespace {
+
+bool is_creator(const TraceEvent& e) {
+  using K = TraceEvent::Kind;
+  return e.kind == K::kStart || e.kind == K::kBroadcast || e.kind == K::kTimer;
+}
+
+}  // namespace
+
+std::string causal_id_str(std::uint64_t id) {
+  std::ostringstream os;
+  os << causal_node_of(id) << ":" << causal_seq_of(id);
+  return os.str();
+}
+
+std::vector<TraceEvent> causal_chain(const std::vector<TraceEvent>& events, std::uint64_t leaf_id,
+                                     std::size_t max_links) {
+  // Map each minted id to its creator event. Later records win so a ring
+  // that wrapped mid-run still resolves the ids it retained.
+  std::unordered_map<std::uint64_t, const TraceEvent*> creators;
+  creators.reserve(events.size());
+  for (const TraceEvent& e : events) {
+    if (e.causal_id != 0 && is_creator(e)) creators[e.causal_id] = &e;
+  }
+
+  std::vector<TraceEvent> chain;
+  std::unordered_set<std::uint64_t> seen;
+  std::uint64_t id = leaf_id;
+  std::size_t links = 0;
+  while (id != 0 && links < max_links && seen.insert(id).second) {
+    const auto it = creators.find(id);
+    if (it == creators.end()) break;  // evicted from the ring: truncated chain
+    const TraceEvent& e = *it->second;
+    // A run of consecutive same-process timer re-arms (a guard poll spinning
+    // on an unmet condition) counts as one link: the interesting ancestry is
+    // on the far side of the spin, and the formatter collapses the run to a
+    // single line anyway. The seen-set still bounds the walk by the log.
+    const bool continues_spin = !chain.empty() && e.kind == TraceEvent::Kind::kTimer &&
+                                chain.back().kind == TraceEvent::Kind::kTimer &&
+                                chain.back().proc == e.proc;
+    if (!continues_spin) ++links;
+    chain.push_back(e);
+    id = e.causal_parent;
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+std::uint64_t causal_chain_target(const std::vector<TraceEvent>& events) {
+  using K = TraceEvent::Kind;
+  // Prefer the last monitor violation; its causal_id is the lineage of the
+  // event that tripped the rule.
+  for (auto it = events.rbegin(); it != events.rend(); ++it) {
+    if (it->kind == K::kMonitorViolation && it->causal_id != 0) return it->causal_id;
+  }
+  // Otherwise the last delivery: the newest message the system actually
+  // consumed, i.e. the frontier it was last making (or failing to make)
+  // progress on. Preferred over the last timer because a wedged run's tail
+  // is all guard-poll re-arms, which carry no message ancestry.
+  for (auto it = events.rbegin(); it != events.rend(); ++it) {
+    if (it->kind == K::kDeliver && it->causal_id != 0) return it->causal_id;
+  }
+  for (auto it = events.rbegin(); it != events.rend(); ++it) {
+    if (it->kind == K::kTimer && it->causal_id != 0) return it->causal_id;
+  }
+  return 0;
+}
+
+std::string format_causal_chain(const std::vector<TraceEvent>& chain) {
+  std::ostringstream os;
+  std::size_t i = 0;
+  while (i < chain.size()) {
+    const TraceEvent& e = chain[i];
+    // Collapse a run of consecutive timer re-arms on one process (a guard
+    // poll spinning on an unmet condition) into a single line.
+    std::size_t run = 1;
+    if (e.kind == TraceEvent::Kind::kTimer) {
+      while (i + run < chain.size() && chain[i + run].kind == TraceEvent::Kind::kTimer &&
+             chain[i + run].proc == e.proc) {
+        ++run;
+      }
+    }
+    const TraceEvent& last = chain[i + run - 1];
+    os << "t" << last.at << " p" << last.proc << " " << TraceEvent::kind_name(last.kind);
+    if (!last.msg_type.empty()) os << " " << last.msg_type;
+    if (run > 1) os << " x" << run << " (t" << e.at << "..t" << last.at << ")";
+    os << " id=" << causal_id_str(last.causal_id);
+    if (run == 1 && e.causal_parent != 0) os << " <- " << causal_id_str(e.causal_parent);
+    os << "\n";
+    i += run;
+  }
+  return os.str();
+}
+
+}  // namespace hds::obs

@@ -61,11 +61,14 @@ void OnlineMonitor::emit(SimTime at, MonitorEvent::Severity sev, ProcIndex p, co
         .inc();
   }
   if (cfg_.trace != nullptr) {
+    // The mirrored event carries the lineage of whatever the dispatch loop
+    // was delivering when the rule fired (0 when no causal session is wired).
+    const std::uint64_t lineage = cfg_.causal != nullptr ? cfg_.causal->parent : 0;
     cfg_.trace->record(at,
                        sev == MonitorEvent::Severity::kViolation
                            ? TraceEvent::Kind::kMonitorViolation
                            : TraceEvent::Kind::kMonitorWarn,
-                       p, rule + std::string(": ") + detail);
+                       p, rule + std::string(": ") + detail, lineage);
   }
   if (events_.size() >= kMaxEvents) {
     ++dropped_;

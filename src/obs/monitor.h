@@ -43,6 +43,7 @@
 #include "common/types.h"
 #include "fd/ground_truth.h"
 #include "fd/output_hooks.h"
+#include "obs/causal.h"
 #include "obs/metrics.h"
 #include "sim/tracelog.h"
 
@@ -70,6 +71,12 @@ struct MonitorConfig {
   std::size_t quorum_margin_warn = 1;
   TraceLog* trace = nullptr;          // optional mirror; null disables
   MetricsRegistry* metrics = nullptr;  // optional counters; null disables
+  // Optional causal session of the dispatch loop driving the listeners.
+  // When set, mirrored monitor events carry the lineage id of the event
+  // being dispatched when the rule fired, so causal_chain() can explain a
+  // violation by its message ancestry. Single-threaded dispatch only (the
+  // simulator loop); leave null when listeners run on rt threads.
+  const CausalSession* causal = nullptr;
 };
 
 class OnlineMonitor {
@@ -79,6 +86,12 @@ class OnlineMonitor {
   // Stable per-process listener to hand to set_output_listener(); valid for
   // the monitor's lifetime. i must be < gt.n().
   [[nodiscard]] FdOutputListener* listener(ProcIndex i);
+
+  // Late-binds MonitorConfig::causal. The monitor is typically constructed
+  // before the System whose dispatch session it should observe; the harness
+  // calls this right after the System exists (and only when its trace is
+  // on). Call before the run starts — not synchronized against listeners.
+  void set_causal(const CausalSession* c) { cfg_.causal = c; }
 
   [[nodiscard]] std::vector<MonitorEvent> events() const;
   [[nodiscard]] std::size_t violation_count() const;

@@ -1,0 +1,256 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "obs/causal.h"
+
+namespace hds::obs {
+
+namespace {
+
+// All kinds, for the name -> enum direction (kind_name covers the other).
+constexpr TraceEvent::Kind kAllKinds[] = {
+    TraceEvent::Kind::kStart,     TraceEvent::Kind::kBroadcast,
+    TraceEvent::Kind::kDeliver,   TraceEvent::Kind::kLost,
+    TraceEvent::Kind::kLostDying, TraceEvent::Kind::kDuplicate,
+    TraceEvent::Kind::kToDead,    TraceEvent::Kind::kTimer,
+    TraceEvent::Kind::kCrash,     TraceEvent::Kind::kMonitorWarn,
+    TraceEvent::Kind::kMonitorViolation,
+};
+
+TraceEvent::Kind kind_from_name(const std::string& name) {
+  for (const TraceEvent::Kind k : kAllKinds) {
+    if (name == TraceEvent::kind_name(k)) return k;
+  }
+  throw std::runtime_error("telemetry: unknown event kind \"" + name + "\"");
+}
+
+// Lineage ids cross the telemetry channel as "node:seq" strings — a u64 can
+// exceed the 2^53 range JSON numbers represent exactly.
+std::uint64_t causal_id_parse(const std::string& s) {
+  const std::size_t colon = s.find(':');
+  if (colon == std::string::npos) throw std::runtime_error("telemetry: bad lineage id " + s);
+  const std::uint64_t node = std::stoull(s.substr(0, colon));
+  const std::uint64_t seq = std::stoull(s.substr(colon + 1));
+  return causal_node_base(node) | seq;
+}
+
+Json event_to_json(const TraceEvent& e) {
+  Json j = Json::object();
+  j["at"] = e.at;
+  j["k"] = TraceEvent::kind_name(e.kind);
+  j["p"] = e.proc;
+  if (!e.msg_type.empty()) j["t"] = e.msg_type;
+  if (e.causal_id != 0) {
+    j["c"] = causal_id_str(e.causal_id);
+    if (e.causal_parent != 0) j["pa"] = causal_id_str(e.causal_parent);
+  }
+  return j;
+}
+
+TraceEvent event_from_json(const Json& j) {
+  TraceEvent e;
+  e.at = static_cast<SimTime>(j.number_or("at", 0));
+  const Json* k = j.find("k");
+  if (k == nullptr || !k->is_string()) throw std::runtime_error("telemetry: event missing kind");
+  e.kind = kind_from_name(k->str());
+  e.proc = static_cast<ProcIndex>(j.number_or("p", 0));
+  e.msg_type = j.string_or("t", {});
+  const std::string c = j.string_or("c", {});
+  if (!c.empty()) e.causal_id = causal_id_parse(c);
+  const std::string pa = j.string_or("pa", {});
+  if (!pa.empty()) e.causal_parent = causal_id_parse(pa);
+  return e;
+}
+
+}  // namespace
+
+Json telemetry_delta_to_json(const TelemetryDelta& d) {
+  Json j = Json::object();
+  j["schema"] = kTelemetrySchema;
+  j["node"] = d.node;
+  j["id"] = d.id;
+  j["seq"] = d.seq;
+  j["final"] = d.final_flush;
+  j["epoch_wall_us"] = d.epoch_wall_us;
+  j["hello_done_ms"] = d.hello_done_ms;
+  j["dropped"] = d.dropped;
+  Json evs = Json::array();
+  for (const TraceEvent& e : d.events) evs.push_back(event_to_json(e));
+  j["events"] = std::move(evs);
+  // The metrics snapshot is already JSON text; it rides as a string so the
+  // delta codec needs no knowledge of the metrics schema.
+  if (!d.metrics_json.empty()) j["metrics"] = d.metrics_json;
+  return j;
+}
+
+TelemetryDelta telemetry_delta_from_json(const Json& j) {
+  if (j.string_or("schema", {}) != kTelemetrySchema) {
+    throw std::runtime_error("telemetry: not an " + std::string(kTelemetrySchema) + " datagram");
+  }
+  TelemetryDelta d;
+  d.node = static_cast<ProcIndex>(j.number_or("node", 0));
+  d.id = static_cast<Id>(j.number_or("id", 0));
+  d.seq = static_cast<std::uint64_t>(j.number_or("seq", 0));
+  const Json* fin = j.find("final");
+  d.final_flush = fin != nullptr && fin->is_bool() && fin->boolean();
+  d.epoch_wall_us = static_cast<std::int64_t>(j.number_or("epoch_wall_us", 0));
+  d.hello_done_ms = static_cast<SimTime>(j.number_or("hello_done_ms", -1));
+  d.dropped = static_cast<std::uint64_t>(j.number_or("dropped", 0));
+  if (const Json* evs = j.find("events"); evs != nullptr && evs->is_array()) {
+    d.events.reserve(evs->items().size());
+    for (const Json& e : evs->items()) d.events.push_back(event_from_json(e));
+  }
+  d.metrics_json = j.string_or("metrics", {});
+  return d;
+}
+
+std::vector<TelemetryDelta> chunk_telemetry_delta(const TelemetryDelta& d,
+                                                  std::size_t max_events) {
+  if (max_events == 0) max_events = 1;
+  std::vector<TelemetryDelta> out;
+  std::size_t off = 0;
+  std::uint64_t seq = d.seq;
+  do {
+    TelemetryDelta c = d;
+    c.seq = seq++;
+    const std::size_t take = std::min(max_events, d.events.size() - off);
+    c.events.assign(d.events.begin() + static_cast<std::ptrdiff_t>(off),
+                    d.events.begin() + static_cast<std::ptrdiff_t>(off + take));
+    off += take;
+    const bool last = off >= d.events.size();
+    c.final_flush = last && d.final_flush;
+    if (!last) c.metrics_json.clear();
+    out.push_back(std::move(c));
+  } while (off < d.events.size());
+  return out;
+}
+
+void TelemetryMerger::ingest(const TelemetryDelta& d) {
+  PerNode& n = nodes_[d.node];
+  if (n.deltas == 0 || d.id != 0) n.id = d.id;
+  if (d.epoch_wall_us != 0) n.epoch_wall_us = d.epoch_wall_us;
+  if (d.hello_done_ms >= 0) n.hello_done_ms = d.hello_done_ms;
+  n.dropped = std::max(n.dropped, d.dropped);
+  n.max_seq = std::max(n.max_seq, d.seq);
+  if (d.final_flush) n.got_final = true;
+  if (!d.metrics_json.empty()) n.metrics_json = d.metrics_json;
+  n.events.insert(n.events.end(), d.events.begin(), d.events.end());
+  ++n.deltas;
+}
+
+bool TelemetryMerger::node_final(ProcIndex node) const {
+  const auto it = nodes_.find(node);
+  return it != nodes_.end() && it->second.got_final;
+}
+
+std::vector<NodeTrace> TelemetryMerger::node_traces() const {
+  std::vector<NodeTrace> out;
+  out.reserve(nodes_.size());
+  for (const auto& [node, pn] : nodes_) {
+    NodeTrace nt;
+    nt.node = node;
+    nt.id = pn.id;
+    nt.epoch_wall_us = pn.epoch_wall_us;
+    nt.dropped = pn.dropped;
+    nt.events = pn.events;
+    out.push_back(std::move(nt));
+  }
+  return out;
+}
+
+ClusterQos TelemetryMerger::cluster_qos() const {
+  ClusterQos q;
+  // Aligned send instants per lineage id, across every node's stream.
+  std::int64_t min_epoch = 0;
+  bool have_epoch = false;
+  for (const auto& [node, pn] : nodes_) {
+    (void)node;
+    if (!have_epoch || pn.epoch_wall_us < min_epoch) min_epoch = pn.epoch_wall_us;
+    have_epoch = true;
+  }
+  std::unordered_map<std::uint64_t, std::int64_t> send_us;
+  for (const auto& [node, pn] : nodes_) {
+    (void)node;
+    const std::int64_t off = pn.epoch_wall_us - min_epoch;
+    for (const TraceEvent& e : pn.events) {
+      if (e.kind == TraceEvent::Kind::kBroadcast && e.causal_id != 0) {
+        send_us.emplace(e.causal_id, off + static_cast<std::int64_t>(e.at) * 1000);
+      }
+    }
+  }
+  q.broadcasts = send_us.size();
+  std::vector<double> lat_ms;
+  for (const auto& [node, pn] : nodes_) {
+    (void)node;
+    const std::int64_t off = pn.epoch_wall_us - min_epoch;
+    for (const TraceEvent& e : pn.events) {
+      if (e.kind != TraceEvent::Kind::kDeliver || e.causal_id == 0) continue;
+      const auto it = send_us.find(e.causal_id);
+      if (it == send_us.end()) continue;
+      ++q.deliveries_matched;
+      const std::int64_t recv = off + static_cast<std::int64_t>(e.at) * 1000;
+      // Clamp: wall-clock alignment across processes can skew a local
+      // loopback delivery slightly before its send.
+      lat_ms.push_back(std::max<std::int64_t>(0, recv - it->second) / 1000.0);
+    }
+  }
+  if (!lat_ms.empty()) {
+    std::sort(lat_ms.begin(), lat_ms.end());
+    double sum = 0;
+    for (const double v : lat_ms) sum += v;
+    q.latency_ms_mean = sum / static_cast<double>(lat_ms.size());
+    const auto at_quantile = [&](double f) {
+      const auto idx = static_cast<std::size_t>(f * static_cast<double>(lat_ms.size() - 1));
+      return lat_ms[idx];
+    };
+    q.latency_ms_p50 = at_quantile(0.5);
+    q.latency_ms_p99 = at_quantile(0.99);
+    q.latency_ms_max = lat_ms.back();
+  }
+  return q;
+}
+
+Json TelemetryMerger::summary() const {
+  Json j = Json::object();
+  j["schema"] = kTelemetrySchema;
+  Json nodes = Json::object();
+  for (const auto& [node, pn] : nodes_) {
+    Json nj = Json::object();
+    nj["id"] = pn.id;
+    nj["deltas"] = pn.deltas;
+    // Sequence gaps: with seq numbered from 0, max_seq+1 deltas were sent
+    // up to the highest one seen. Duplicates can push the count past that,
+    // hence the clamp.
+    const std::uint64_t expected = pn.max_seq + 1;
+    nj["lost_deltas"] = expected > pn.deltas ? expected - pn.deltas : 0;
+    nj["trace_dropped"] = pn.dropped;
+    nj["final"] = pn.got_final;
+    nj["hello_done_ms"] = pn.hello_done_ms;
+    nj["epoch_wall_us"] = pn.epoch_wall_us;
+    nj["events"] = pn.events.size();
+    if (!pn.metrics_json.empty()) {
+      try {
+        nj["metrics"] = Json::parse(pn.metrics_json);
+      } catch (const JsonParseError&) {
+        nj["metrics"] = pn.metrics_json;
+      }
+    }
+    nodes[std::to_string(node)] = std::move(nj);
+  }
+  j["nodes"] = std::move(nodes);
+  const ClusterQos q = cluster_qos();
+  Json qj = Json::object();
+  qj["broadcasts"] = q.broadcasts;
+  qj["deliveries_matched"] = q.deliveries_matched;
+  qj["latency_ms_mean"] = q.latency_ms_mean;
+  qj["latency_ms_p50"] = q.latency_ms_p50;
+  qj["latency_ms_p99"] = q.latency_ms_p99;
+  qj["latency_ms_max"] = q.latency_ms_max;
+  j["cluster_qos"] = std::move(qj);
+  return j;
+}
+
+}  // namespace hds::obs

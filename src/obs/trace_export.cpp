@@ -1,7 +1,10 @@
 #include "obs/trace_export.h"
 
+#include <algorithm>
 #include <ostream>
 #include <sstream>
+
+#include "obs/causal.h"
 
 namespace hds::obs {
 
@@ -40,6 +43,64 @@ std::string event_name(const TraceEvent& e) {
   return name;
 }
 
+void causal_str_to(std::ostream& os, std::uint64_t id) {
+  os << causal_node_of(id) << ':' << causal_seq_of(id);
+}
+
+// One trace record at (pid, tid, ts µs). Plain events stay instants; events
+// carrying a lineage id become 1µs duration anchors (flow arrows need an
+// enclosing slice to terminate on) with flow companions: a broadcast opens
+// the arrow under its lineage id, a delivery closes it — across pids too,
+// which is what draws send->recv arrows between process lanes in a merged
+// cluster trace.
+void write_event_at(std::ostream& os, const TraceEvent& e, std::uint64_t pid, std::uint64_t tid,
+                    std::int64_t ts) {
+  os << "{\"name\":\"";
+  json_escape_to(os, event_name(e));
+  os << "\",\"cat\":\"" << TraceEvent::kind_name(e.kind);
+  if (e.causal_id == 0) {
+    os << "\",\"ph\":\"i\",\"s\":\"t\"";
+  } else {
+    os << "\",\"ph\":\"X\",\"dur\":1";
+  }
+  os << ",\"ts\":" << ts << ",\"pid\":" << pid << ",\"tid\":" << tid;
+  if (!e.msg_type.empty() || e.causal_id != 0) {
+    os << ",\"args\":{";
+    bool comma = false;
+    if (!e.msg_type.empty()) {
+      os << "\"type\":\"";
+      json_escape_to(os, e.msg_type);
+      os << '"';
+      comma = true;
+    }
+    if (e.causal_id != 0) {
+      if (comma) os << ',';
+      os << "\"causal\":\"";
+      causal_str_to(os, e.causal_id);
+      os << '"';
+      if (e.causal_parent != 0) {
+        os << ",\"parent\":\"";
+        causal_str_to(os, e.causal_parent);
+        os << '"';
+      }
+    }
+    os << '}';
+  }
+  os << '}';
+  // Lineage ids can exceed 2^53 (node index in the high bits), so flow ids
+  // go out as strings — the trace importers hash them.
+  if (e.causal_id != 0 && e.kind == TraceEvent::Kind::kBroadcast) {
+    os << ",\n{\"name\":\"msg\",\"cat\":\"causal\",\"ph\":\"s\",\"id\":\"";
+    causal_str_to(os, e.causal_id);
+    os << "\",\"ts\":" << ts << ",\"pid\":" << pid << ",\"tid\":" << tid << '}';
+  }
+  if (e.causal_id != 0 && e.kind == TraceEvent::Kind::kDeliver) {
+    os << ",\n{\"name\":\"msg\",\"cat\":\"causal\",\"ph\":\"f\",\"bp\":\"e\",\"id\":\"";
+    causal_str_to(os, e.causal_id);
+    os << "\",\"ts\":" << ts << ",\"pid\":" << pid << ",\"tid\":" << tid << '}';
+  }
+}
+
 }  // namespace
 
 void write_chrome_trace(const std::vector<TraceEvent>& events, const TraceExportMeta& meta,
@@ -57,16 +118,7 @@ void write_chrome_trace(const std::vector<TraceEvent>& events, const TraceExport
   for (const TraceEvent& e : events) {
     if (!first) os << ",\n";
     first = false;
-    os << "{\"name\":\"";
-    json_escape_to(os, event_name(e));
-    os << "\",\"cat\":\"" << TraceEvent::kind_name(e.kind) << "\",\"ph\":\"i\",\"s\":\"t\""
-       << ",\"ts\":" << e.at << ",\"pid\":0,\"tid\":" << e.proc;
-    if (!e.msg_type.empty()) {
-      os << ",\"args\":{\"type\":\"";
-      json_escape_to(os, e.msg_type);
-      os << "\"}";
-    }
-    os << '}';
+    write_event_at(os, e, 0, e.proc, static_cast<std::int64_t>(e.at));
   }
   os << "\n],\n\"displayTimeUnit\":\"ms\",\n\"otherData\":{\"event_count\":" << events.size()
      << ",\"dropped_events\":" << meta.dropped << ",\"label\":\"";
@@ -90,6 +142,16 @@ void write_trace_jsonl(const std::vector<TraceEvent>& events, const TraceExportM
       json_escape_to(os, e.msg_type);
       os << '"';
     }
+    if (e.causal_id != 0) {
+      os << ",\"causal\":\"";
+      causal_str_to(os, e.causal_id);
+      os << '"';
+      if (e.causal_parent != 0) {
+        os << ",\"parent\":\"";
+        causal_str_to(os, e.causal_parent);
+        os << '"';
+      }
+    }
     os << "}\n";
   }
 }
@@ -103,6 +165,57 @@ std::string chrome_trace_json(const std::vector<TraceEvent>& events, const Trace
 std::string trace_jsonl(const std::vector<TraceEvent>& events, const TraceExportMeta& meta) {
   std::ostringstream os;
   write_trace_jsonl(events, meta, os);
+  return os.str();
+}
+
+void write_merged_chrome_trace(const std::vector<NodeTrace>& nodes, const std::string& label,
+                               std::ostream& os) {
+  // Clock alignment: the earliest node epoch becomes t = 0 of the merged
+  // timeline; every node's local milliseconds are offset by how much later
+  // its clock started.
+  std::int64_t min_epoch = 0;
+  if (!nodes.empty()) {
+    min_epoch = nodes.front().epoch_wall_us;
+    for (const NodeTrace& nt : nodes) min_epoch = std::min(min_epoch, nt.epoch_wall_us);
+  }
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  std::size_t event_count = 0;
+  std::uint64_t dropped = 0;
+  for (const NodeTrace& nt : nodes) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << nt.node
+       << ",\"tid\":0,\"args\":{\"name\":\"node " << nt.node << " id=" << nt.id << "\"}}";
+    os << ",\n{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":" << nt.node
+       << ",\"tid\":0,\"args\":{\"sort_index\":" << nt.node << "}}";
+  }
+  for (const NodeTrace& nt : nodes) {
+    const std::int64_t offset_us = nt.epoch_wall_us - min_epoch;
+    for (const TraceEvent& e : nt.events) {
+      os << ",\n";
+      write_event_at(os, e, nt.node, e.proc,
+                     offset_us + static_cast<std::int64_t>(e.at) * 1000);
+      ++event_count;
+    }
+    dropped += nt.dropped;
+  }
+  os << "\n],\n\"displayTimeUnit\":\"ms\",\n\"otherData\":{\"event_count\":" << event_count
+     << ",\"dropped_events\":" << dropped << ",\"node_count\":" << nodes.size()
+     << ",\"dropped_by_node\":[";
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i != 0) os << ',';
+    os << nodes[i].dropped;
+  }
+  os << "],\"label\":\"";
+  json_escape_to(os, label);
+  os << "\"}}\n";
+}
+
+std::string merged_chrome_trace_json(const std::vector<NodeTrace>& nodes,
+                                     const std::string& label) {
+  std::ostringstream os;
+  write_merged_chrome_trace(nodes, label, os);
   return os.str();
 }
 

@@ -15,14 +15,23 @@ using Clock = std::chrono::steady_clock;
 // One node: its process, mailbox (time-ordered), and dispatch thread.
 class RtSystem::Node {
  public:
-  Node(RtSystem& sys, ProcIndex idx) : sys_(sys), idx_(idx), env_(*this) {}
+  Node(RtSystem& sys, ProcIndex idx) : sys_(sys), idx_(idx), env_(*this) {
+    causal_.base = obs::causal_node_base(idx);
+  }
 
   void install(std::unique_ptr<Process> p) { proc_ = std::move(p); }
 
   void start() {
     thread_ = std::jthread([this](std::stop_token st) { run(st); });
     // Deliver on_start through the mailbox so it runs on the node thread.
-    enqueue(Clock::now(), Task{[](Process& p, Env& e) { p.on_start(e); }});
+    enqueue(Clock::now(), Task{[this](Process& p, Env& e) {
+      if (sys_.causal_tracing_) {
+        // Each start is a lineage root; everything the process does from
+        // here chains back to it.
+        causal_.parent = causal_.fresh();
+      }
+      p.on_start(e);
+    }});
   }
 
   void crash() {
@@ -44,6 +53,12 @@ class RtSystem::Node {
   // thread — the same discipline as every other touch of the node's state.
   bool deliver(Clock::time_point at, std::shared_ptr<const Message> m) {
     return enqueue(at, Task{[this, m = std::move(m)](Process& p, Env& e) {
+      if (sys_.causal_tracing_) {
+        // Everything the handler sends is caused by this delivery; Lamport
+        // receive rule on the carried clock.
+        causal_.parent = m->meta_causal_id;
+        causal_.merge(m->meta_causal_clock);
+      }
       p.on_message(e, *m);
       delivered_.fetch_add(1, std::memory_order_relaxed);
       bytes_received_.fetch_add(m->meta_wire_bytes, std::memory_order_relaxed);
@@ -64,6 +79,9 @@ class RtSystem::Node {
   void post(std::function<void(Process&)> fn) {
     enqueue(Clock::now(), Task{[fn = std::move(fn)](Process& p, Env&) { fn(p); }});
   }
+
+  // Only valid on this node's own thread (broadcast stamping).
+  [[nodiscard]] obs::CausalSession& causal() { return causal_; }
 
   void request_stop() {
     thread_.request_stop();
@@ -97,7 +115,15 @@ class RtSystem::Node {
     TimerId set_timer(SimTime delay) override {
       const TimerId id = node_.next_timer_++;
       node_.enqueue(Clock::now() + std::chrono::milliseconds(delay),
-                    Task{[id](Process& p, Env& e) { p.on_timer(e, id); }});
+                    Task{[id](Process& p, Env& e) {
+                      Node& node = static_cast<NodeEnv&>(e).node_;
+                      if (node.sys_.causal_tracing_) {
+                        // A timer fire opens a fresh lineage on its node.
+                        node.causal_.parent = node.causal_.fresh();
+                        node.causal_.tick();
+                      }
+                      p.on_timer(e, id);
+                    }});
       return id;
     }
     [[nodiscard]] SimTime local_now() const override { return node_.sys_.now_ms(); }
@@ -142,6 +168,9 @@ class RtSystem::Node {
   RtSystem& sys_;
   ProcIndex idx_;
   NodeEnv env_;
+  // Dispatch-context lineage (obs/causal.h); touched only by this node's
+  // thread, and only when causal_tracing is on.
+  obs::CausalSession causal_;
   std::unique_ptr<Process> proc_;
   std::atomic<std::uint64_t> delivered_{0};
   std::atomic<std::uint64_t> bytes_received_{0};
@@ -158,6 +187,7 @@ RtSystem::RtSystem(RtConfig cfg)
     : ids_(std::move(cfg.ids)),
       min_delay_ms_(cfg.min_delay_ms),
       max_delay_ms_(cfg.max_delay_ms),
+      causal_tracing_(cfg.causal_tracing),
       rng_(cfg.seed),
       epoch_(Clock::now()),
       metrics_(cfg.metrics) {
@@ -209,6 +239,14 @@ void RtSystem::broadcast_from(ProcIndex from, const Message& m) {
   Message stamped = m;
   stamped.meta_sender = from;
   stamped.meta_sent_at = now_ms();
+  if (causal_tracing_) {
+    // Runs on the sending node's thread (Env::broadcast is the only
+    // caller), so its session needs no lock.
+    obs::CausalSession& c = nodes_[from]->causal();
+    stamped.meta_causal_parent = c.parent;
+    stamped.meta_causal_id = c.fresh();
+    stamped.meta_causal_clock = c.tick();
+  }
   stamped.meta_wire_bytes =
       net::encoded_frame_size(net::builtin_codecs(), m, from, ids_.at(from)).value_or(0);
   auto shared = std::make_shared<const Message>(std::move(stamped));

@@ -23,6 +23,7 @@
 #include "common/link_fault.h"
 #include "common/rng.h"
 #include "common/types.h"
+#include "obs/causal.h"
 #include "obs/metrics.h"
 #include "sim/process.h"
 
@@ -37,6 +38,11 @@ struct RtConfig {
   SimTime max_delay_ms = 2;
   // Observability sink; null disables metric collection.
   obs::MetricsRegistry* metrics = nullptr;
+  // Stamps meta_causal_* on every broadcast (lineage id, parent, Lamport
+  // clock) and maintains the receive/timer causal context per node. Each
+  // node owns its session (node index in the id's high bits keeps ids
+  // unique without a shared counter), touched only by that node's thread.
+  bool causal_tracing = false;
 };
 
 // Counter parity with the sim substrate's NetworkStats, for the thread
@@ -124,6 +130,7 @@ class RtSystem {
 
   std::vector<Id> ids_;
   SimTime min_delay_ms_, max_delay_ms_;
+  bool causal_tracing_ = false;
   std::mutex rng_mu_;
   Rng rng_;
   std::chrono::steady_clock::time_point epoch_;

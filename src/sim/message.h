@@ -11,6 +11,7 @@
 #pragma once
 
 #include <any>
+#include <cstdint>
 #include <string>
 
 #include "common/types.h"
@@ -27,7 +28,17 @@ struct Message {
   // Estimated v1 wire-frame size of this message (net/codec.h); 0 when the
   // type has no registered codec. Filled in by the substrate so sim/rt/net
   // report comparable byte costs. Instrumentation only, like meta_sender.
+  // Deliberately excludes the optional causal-context frame extension so
+  // byte accounting is identical with tracing on or off.
   std::size_t meta_wire_bytes = 0;
+
+  // Causal-tracing context (obs/causal.h), stamped by the substrate at the
+  // send site when tracing is enabled; all-zero otherwise. Crosses process
+  // boundaries via the v1 codec's optional trace-context frame extension.
+  // Instrumentation only, like meta_sender.
+  std::uint64_t meta_causal_id = 0;      // lineage id minted for this send
+  std::uint64_t meta_causal_parent = 0;  // lineage id of the causing event
+  std::uint64_t meta_causal_clock = 0;   // Lamport clock at the send
 
   template <typename T>
   [[nodiscard]] const T* as() const {

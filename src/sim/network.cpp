@@ -76,16 +76,27 @@ void Network::broadcast(ProcIndex from, Message m, double dying_delivery_prob) {
   m.meta_sender = from;
   m.meta_sent_at = sched_.now();
   if (byte_meter_) m.meta_wire_bytes = byte_meter_(m, from);
+  if (causal_ != nullptr) {
+    m.meta_causal_parent = causal_->parent;
+    m.meta_causal_id = causal_->fresh();
+    m.meta_causal_clock = causal_->tick();
+  }
   auto shared = std::make_shared<const Message>(std::move(m));
   const SimTime sent = sched_.now();
-  if (trace_ != nullptr) trace_->record(sent, TraceEvent::Kind::kBroadcast, from, shared->type);
+  if (trace_ != nullptr) {
+    trace_->record(sent, TraceEvent::Kind::kBroadcast, from, shared->type,
+                   shared->meta_causal_id, shared->meta_causal_parent);
+  }
   fanout_used_ = 0;
   for (ProcIndex to = 0; to < n_; ++to) {
     ++stats_.copies_sent;
     if (dying_delivery_prob < 1.0 && !rng_.chance(dying_delivery_prob)) {
       ++stats_.copies_lost_dying_sender;
       obs::inc(m_copies_lost_dying_);
-      if (trace_ != nullptr) trace_->record(sent, TraceEvent::Kind::kLostDying, to, shared->type);
+      if (trace_ != nullptr) {
+        trace_->record(sent, TraceEvent::Kind::kLostDying, to, shared->type,
+                       shared->meta_causal_id, shared->meta_causal_parent);
+      }
       continue;
     }
     CopyVerdict verdict;
@@ -93,7 +104,10 @@ void Network::broadcast(ProcIndex from, Message m, double dying_delivery_prob) {
     if (verdict.drop) {
       ++stats_.copies_lost_link;
       obs::inc(m_copies_lost_link_);
-      if (trace_ != nullptr) trace_->record(sent, TraceEvent::Kind::kLost, to, shared->type);
+      if (trace_ != nullptr) {
+        trace_->record(sent, TraceEvent::Kind::kLost, to, shared->type,
+                       shared->meta_causal_id, shared->meta_causal_parent);
+      }
       continue;
     }
     stats_.bytes_sent += shared->meta_wire_bytes;
@@ -102,7 +116,10 @@ void Network::broadcast(ProcIndex from, Message m, double dying_delivery_prob) {
     if (!when) {
       ++stats_.copies_lost_link;
       obs::inc(m_copies_lost_link_);
-      if (trace_ != nullptr) trace_->record(sent, TraceEvent::Kind::kLost, to, shared->type);
+      if (trace_ != nullptr) {
+        trace_->record(sent, TraceEvent::Kind::kLost, to, shared->type,
+                       shared->meta_causal_id, shared->meta_causal_parent);
+      }
       continue;
     }
     const SimTime arrive = *when + verdict.extra_delay;
@@ -112,7 +129,10 @@ void Network::broadcast(ProcIndex from, Message m, double dying_delivery_prob) {
       stats_.bytes_sent += shared->meta_wire_bytes;
       obs::inc(m_copies_duplicated_);
       obs::inc(m_bytes_sent_, shared->meta_wire_bytes);
-      if (trace_ != nullptr) trace_->record(sent, TraceEvent::Kind::kDuplicate, to, shared->type);
+      if (trace_ != nullptr) {
+        trace_->record(sent, TraceEvent::Kind::kDuplicate, to, shared->type,
+                       shared->meta_causal_id, shared->meta_causal_parent);
+      }
       const SimTime trail =
           verdict.duplicate_spread > 0 ? rng_.uniform(1, verdict.duplicate_spread) : 1;
       add_to_fanout(arrive + trail, to);

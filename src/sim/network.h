@@ -23,6 +23,7 @@
 
 #include "common/link_fault.h"
 #include "common/rng.h"
+#include "obs/causal.h"
 #include "obs/metrics.h"
 #include "sim/message.h"
 #include "sim/scheduler.h"
@@ -93,6 +94,12 @@ class Network {
   using ByteMeter = std::function<std::size_t(const Message& m, ProcIndex from)>;
   void set_byte_meter(ByteMeter bm) { byte_meter_ = std::move(bm); }
 
+  // Causal-tracing session owned by the System (null = tracing off). When
+  // set, every broadcast mints a lineage id, stamps the current dispatch
+  // parent, and advances the Lamport clock — without consuming rng_ or
+  // changing any schedule, so runs are identical with tracing on or off.
+  void set_causal(obs::CausalSession* c) { causal_ = c; }
+
   // Synchronizes the string-keyed by-type view from the interned slots; the
   // result stays valid until the next broadcast of a brand-new type.
   [[nodiscard]] const NetworkStats& stats();
@@ -138,6 +145,7 @@ class Network {
   TraceLog* trace_;
   obs::MetricsRegistry* metrics_;
   LinkInterposer* interposer_ = nullptr;
+  obs::CausalSession* causal_ = nullptr;
   ByteMeter byte_meter_;
   NetworkStats stats_;
 

@@ -25,9 +25,18 @@ class System::NodeEnv final : public Env {
   TimerId set_timer(SimTime delay) override {
     if (delay < 0) throw std::invalid_argument("set_timer: negative delay");
     TimerId id = next_timer_++;
-    sys_.sched_.after(delay, [this, id] {
+    // The arming event's lineage, captured so the fire can point back at it.
+    // Always 0 with tracing off; the extra u64 still fits Action's inline
+    // capture budget, so the hot path allocates nothing either way.
+    const std::uint64_t tparent = sys_.causal_.parent;
+    sys_.sched_.after(delay, [this, id, tparent] {
       if (!sys_.is_alive(idx_)) return;
-      sys_.trace_.record(sys_.now(), TraceEvent::Kind::kTimer, idx_);
+      if (sys_.trace_.enabled()) {
+        const std::uint64_t tid = sys_.causal_.fresh();
+        sys_.causal_.parent = tid;
+        sys_.causal_.tick();
+        sys_.trace_.record(sys_.now(), TraceEvent::Kind::kTimer, idx_, {}, tid, tparent);
+      }
       obs::inc(sys_.m_timer_fires_);
       sys_.procs_.at(idx_)->on_timer(*this, id);
     });
@@ -66,6 +75,9 @@ System::System(SystemConfig cfg)
       sched_, *timing_, rng_, ids_.size(),
       [this](ProcIndex to, const std::shared_ptr<const Message>& m) { deliver(to, m); },
       trace_.enabled() ? &trace_ : nullptr, metrics_);
+  // Causal stamping rides the trace switch: with tracing off the session is
+  // never touched and every meta_causal_* field stays 0.
+  net_->set_causal(trace_.enabled() ? &causal_ : nullptr);
   // Byte accounting: estimate each broadcast's frame size with the v1 wire
   // codec, so sim runs report costs comparable with the socket substrate.
   // The per-sender envelope and the per-type codec lookup are memoized; only
@@ -99,7 +111,13 @@ void System::start() {
   for (ProcIndex i = 0; i < procs_.size(); ++i) {
     sched_.at(0, [this, i] {
       if (!is_alive(i)) return;
-      trace_.record(0, TraceEvent::Kind::kStart, i);
+      if (trace_.enabled()) {
+        // Each start is a lineage root: everything the process does from
+        // here chains back to this id.
+        const std::uint64_t sid = causal_.fresh();
+        causal_.parent = sid;
+        trace_.record(0, TraceEvent::Kind::kStart, i, {}, sid, 0);
+      }
       procs_[i]->on_start(*envs_[i]);
     });
     if (trace_.enabled() && crashes_[i]) {
@@ -137,7 +155,9 @@ void System::inject_crash(ProcIndex i, const std::string& why) {
   auto& plan = crashes_.at(i);
   if (plan && plan->at <= t) return;  // already down, or going down this instant
   plan = CrashPlan{t, false};
-  trace_.record(t, TraceEvent::Kind::kCrash, i, why);
+  // An injected crash happens inside some dispatch; its parent is whatever
+  // event the effector was reacting to.
+  trace_.record(t, TraceEvent::Kind::kCrash, i, why, 0, causal_.parent);
 }
 
 bool System::run_all(std::uint64_t max_events) {
@@ -148,11 +168,19 @@ bool System::run_all(std::uint64_t max_events) {
 void System::deliver(ProcIndex to, const std::shared_ptr<const Message>& m) {
   if (!is_alive(to)) {
     net_->note_copy_to_dead();
-    trace_.record(now(), TraceEvent::Kind::kToDead, to, m->type);
+    trace_.record(now(), TraceEvent::Kind::kToDead, to, m->type, m->meta_causal_id,
+                  m->meta_causal_parent);
     return;
   }
   net_->note_delivered(now() - m->meta_sent_at, m->meta_wire_bytes);
-  trace_.record(now(), TraceEvent::Kind::kDeliver, to, m->type);
+  if (trace_.enabled()) {
+    // Everything the handler sends is caused by this delivery; Lamport
+    // receive rule on the carried clock.
+    causal_.parent = m->meta_causal_id;
+    causal_.merge(m->meta_causal_clock);
+    trace_.record(now(), TraceEvent::Kind::kDeliver, to, m->type, m->meta_causal_id,
+                  m->meta_causal_parent);
+  }
   procs_.at(to)->on_message(*envs_.at(to), *m);
 }
 

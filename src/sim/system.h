@@ -102,6 +102,10 @@ class System {
   [[nodiscard]] const NetworkStats& net_stats() const { return net_->stats(); }
   [[nodiscard]] const TraceLog& trace() const { return trace_; }
   [[nodiscard]] obs::MetricsRegistry* metrics() const { return metrics_; }
+  // Dispatch-loop causal state (obs/causal.h); only advanced while the
+  // trace is enabled. Monitors wire it into MonitorConfig::causal so
+  // mirrored violations carry the lineage of the event that tripped them.
+  [[nodiscard]] const obs::CausalSession& causal_session() const { return causal_; }
 
  private:
   class NodeEnv;
@@ -127,6 +131,7 @@ class System {
   std::vector<MeterCacheEntry> meter_cache_;
   std::size_t meter_last_ = SIZE_MAX;  // fast path: same-type broadcast runs
   TraceLog trace_{0};
+  obs::CausalSession causal_;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Counter* m_timer_fires_ = nullptr;
   std::unique_ptr<TimingModel> timing_;

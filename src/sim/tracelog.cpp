@@ -32,13 +32,14 @@ const char* TraceEvent::kind_name(Kind k) {
   return "?";
 }
 
-void TraceLog::record(SimTime at, TraceEvent::Kind kind, ProcIndex proc, std::string msg_type) {
+void TraceLog::record(SimTime at, TraceEvent::Kind kind, ProcIndex proc, std::string msg_type,
+                      std::uint64_t causal_id, std::uint64_t causal_parent) {
   if (!enabled()) return;
   if (ring_.size() < capacity_) {
-    ring_.push_back(TraceEvent{at, kind, proc, std::move(msg_type)});
+    ring_.push_back(TraceEvent{at, kind, proc, std::move(msg_type), causal_id, causal_parent});
     return;
   }
-  ring_[next_] = TraceEvent{at, kind, proc, std::move(msg_type)};
+  ring_[next_] = TraceEvent{at, kind, proc, std::move(msg_type), causal_id, causal_parent};
   next_ = (next_ + 1) % capacity_;
   ++dropped_;
 }
@@ -47,6 +48,25 @@ std::vector<TraceEvent> TraceLog::events() const {
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
   for_each([&out](const TraceEvent& e) { out.push_back(e); });
+  return out;
+}
+
+std::vector<TraceEvent> TraceLog::drain_since(std::uint64_t& cursor) const {
+  const std::uint64_t total = recorded();
+  std::vector<TraceEvent> out;
+  if (cursor >= total) {
+    cursor = total;
+    return out;
+  }
+  // The ring retains events [dropped_, total); anything older than the
+  // cursor but already evicted is unrecoverable (counted in dropped()).
+  const std::uint64_t first = cursor > dropped_ ? cursor : dropped_;
+  out.reserve(static_cast<std::size_t>(total - first));
+  std::uint64_t seq = dropped_;
+  for_each([&](const TraceEvent& e) {
+    if (seq++ >= first) out.push_back(e);
+  });
+  cursor = total;
   return out;
 }
 
@@ -88,6 +108,13 @@ std::string TraceLog::dump(std::size_t max_lines) const {
     }
     os << 't' << e.at << " p" << e.proc << ' ' << TraceEvent::kind_name(e.kind);
     if (!e.msg_type.empty()) os << ' ' << e.msg_type;
+    if (e.causal_id != 0) {
+      // Lineage as node:seq (the obs/causal.h id layout), plus the parent.
+      os << " ~" << (e.causal_id >> 48) << ':' << (e.causal_id & 0xFFFFFFFFFFFFull);
+      if (e.causal_parent != 0) {
+        os << "<-" << (e.causal_parent >> 48) << ':' << (e.causal_parent & 0xFFFFFFFFFFFFull);
+      }
+    }
     os << '\n';
   });
   return os.str();

@@ -43,6 +43,12 @@ struct TraceEvent {
   ProcIndex proc = 0;        // the acting/receiving process
   std::string msg_type;      // empty for non-message events
 
+  // Causal-tracing lineage (obs/causal.h): the id minted by (kStart /
+  // kBroadcast / kTimer) or carried by (kDeliver and monitor events) this
+  // event, and the id of its causing event. 0 = unstamped.
+  std::uint64_t causal_id = 0;
+  std::uint64_t causal_parent = 0;
+
   [[nodiscard]] static const char* kind_name(Kind k);
 };
 
@@ -60,10 +66,17 @@ class TraceLog {
   [[nodiscard]] std::uint64_t recorded() const { return dropped_ + ring_.size(); }
   [[nodiscard]] std::size_t size() const { return ring_.size(); }
 
-  void record(SimTime at, TraceEvent::Kind kind, ProcIndex proc, std::string msg_type = {});
+  void record(SimTime at, TraceEvent::Kind kind, ProcIndex proc, std::string msg_type = {},
+              std::uint64_t causal_id = 0, std::uint64_t causal_parent = 0);
 
   // Retained events in chronological order (materialized from the ring).
   [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  // Events recorded since the last drain_since() call, for incremental
+  // telemetry streaming. `cursor` is caller state (start at 0); on return
+  // it holds the new recorded() watermark. Events that were evicted before
+  // being drained are simply absent — dropped() accounts for them.
+  [[nodiscard]] std::vector<TraceEvent> drain_since(std::uint64_t& cursor) const;
 
   [[nodiscard]] std::vector<TraceEvent> by_proc(ProcIndex p) const;
   [[nodiscard]] std::vector<TraceEvent> by_type(const std::string& msg_type) const;

@@ -251,6 +251,88 @@ TEST(Codec, WrongVersionAndTrailingBytesAreRejected) {
   EXPECT_THROW(decode_frame(builtin_codecs(), trailing.data(), trailing.size()), CodecError);
 }
 
+// ------------------------------------------- trace-context extension
+
+TEST(Codec, TracedFrameRoundTripsCausalContextAndUntracedStaysBare) {
+  Message m = make_message(OHPPolling::kPollType, PollingMsg{7, 42});
+  // Node index folded into the high 16 bits; values chosen to need
+  // multi-byte varints.
+  m.meta_causal_id = (std::uint64_t{3} << 48) | 170739;
+  m.meta_causal_parent = (std::uint64_t{1} << 48) | 5;
+  m.meta_causal_clock = 99'999;
+  const auto traced = encode_frame(builtin_codecs(), m, 2, 42);
+  EXPECT_EQ(traced[2], kWireVersion | kWireTracedFlag);
+  const Message back = decode_frame(builtin_codecs(), traced.data(), traced.size());
+  EXPECT_EQ(back.meta_causal_id, m.meta_causal_id);
+  EXPECT_EQ(back.meta_causal_parent, m.meta_causal_parent);
+  EXPECT_EQ(back.meta_causal_clock, m.meta_causal_clock);
+  EXPECT_EQ(back.meta_sender, 2u);
+  EXPECT_TRUE(bodies_equal(OHPPolling::kPollType, m.body, back.body));
+
+  // The same message without a lineage id encodes the bare v1 frame: no
+  // flag, no extension bytes, zeroed meta on decode.
+  const Message plain = make_message(OHPPolling::kPollType, PollingMsg{7, 42});
+  const auto bare = encode_frame(builtin_codecs(), plain, 2, 42);
+  EXPECT_EQ(bare[2], kWireVersion);
+  EXPECT_LT(bare.size(), traced.size());
+  const Message pback = decode_frame(builtin_codecs(), bare.data(), bare.size());
+  EXPECT_EQ(pback.meta_causal_id, 0u);
+  EXPECT_EQ(pback.meta_causal_clock, 0u);
+
+  // Byte metering deliberately ignores the extension so counters stay
+  // identical with tracing on or off.
+  const auto metered = encoded_frame_size(builtin_codecs(), m, 2, 42);
+  ASSERT_TRUE(metered.has_value());
+  EXPECT_EQ(*metered, bare.size());
+}
+
+TEST(Codec, SeededFuzzRoundTripsTracedFramesOfEveryBodyType) {
+  Rng rng(20260809);
+  for (const BodyCodec* c : builtin_codecs().all()) {
+    for (int iter = 0; iter < 50; ++iter) {
+      Message m = random_body(c->type, rng);
+      m.meta_causal_id = (static_cast<std::uint64_t>(rng.index(64)) << 48) |
+                         (1 + static_cast<std::uint64_t>(rng.uniform(0, 1 << 20)));
+      if (rng.chance(0.7)) {
+        m.meta_causal_parent = (static_cast<std::uint64_t>(rng.index(64)) << 48) |
+                               static_cast<std::uint64_t>(rng.uniform(0, 1 << 20));
+      }
+      m.meta_causal_clock = static_cast<std::uint64_t>(rng.uniform(0, 1 << 30));
+      const auto frame = encode_frame(builtin_codecs(), m, 1, 9);
+      const Message back = decode_frame(builtin_codecs(), frame.data(), frame.size());
+      EXPECT_EQ(back.meta_causal_id, m.meta_causal_id) << c->type << " iter " << iter;
+      EXPECT_EQ(back.meta_causal_parent, m.meta_causal_parent);
+      EXPECT_EQ(back.meta_causal_clock, m.meta_causal_clock);
+      EXPECT_TRUE(bodies_equal(c->type, m.body, back.body)) << c->type << " iter " << iter;
+    }
+  }
+}
+
+std::vector<std::uint8_t> sample_traced_frame() {
+  Message m = make_message(OHPPolling::kPollType, PollingMsg{7, 42});
+  m.meta_causal_id = (std::uint64_t{2} << 48) | 9;
+  m.meta_causal_parent = (std::uint64_t{2} << 48) | 4;
+  m.meta_causal_clock = 77;
+  return encode_frame(builtin_codecs(), m, 2, 42);
+}
+
+TEST(Codec, EveryTruncationOfATracedFrameIsRejected) {
+  const auto frame = sample_traced_frame();
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    EXPECT_THROW(decode_frame(builtin_codecs(), frame.data(), len), CodecError) << "len=" << len;
+  }
+}
+
+TEST(Codec, EverySingleByteCorruptionOfATracedFrameIsRejected) {
+  const auto frame = sample_traced_frame();
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    auto bad = frame;
+    bad[i] ^= 0x5A;
+    EXPECT_THROW(decode_frame(builtin_codecs(), bad.data(), bad.size()), CodecError)
+        << "byte " << i;
+  }
+}
+
 // ------------------------------------------------------- batch envelope
 
 TEST(Batch, RoundTripsMultipleFrames) {

@@ -140,7 +140,7 @@ struct RunFingerprint {
   NetworkStats stats;
 };
 
-RunFingerprint run_pinger_system(QueueKind kind) {
+RunFingerprint run_pinger_system(QueueKind kind, std::size_t trace_capacity = 1 << 16) {
   obs::MetricsRegistry reg;
   SystemConfig cfg;
   cfg.ids = {1, 2, 2, 3, 3, 3};
@@ -149,7 +149,7 @@ RunFingerprint run_pinger_system(QueueKind kind) {
   cfg.crashes[5] = CrashPlan{25, false};
   cfg.timing = std::make_unique<AsyncTiming>(1, 5);
   cfg.seed = 424242;
-  cfg.trace_capacity = 1 << 16;
+  cfg.trace_capacity = trace_capacity;
   cfg.metrics = &reg;
   cfg.queue = kind;
   System sys(std::move(cfg));
@@ -182,6 +182,49 @@ TEST(GoldenTrace, SystemRunIsByteIdenticalAcrossQueueBackends) {
   EXPECT_EQ(cal.stats.broadcasts_by_type, heap.stats.broadcasts_by_type);
   ASSERT_GT(cal.stats.copies_delivered, 0u);
   ASSERT_GT(cal.stats.bytes_sent, 0u);  // the memoized byte meter metered
+}
+
+TEST(GoldenTrace, CausalTracingOnOffLeavesScheduleMetricsAndStatsIdentical) {
+  // Causal stamping must be pure instrumentation: it never touches the RNG,
+  // the queue, or the byte meter, so every metric series and every network
+  // counter is byte-identical with the trace ring on or off.
+  const RunFingerprint on = run_pinger_system(QueueKind::kCalendar, 1 << 16);
+  const RunFingerprint off = run_pinger_system(QueueKind::kCalendar, 0);
+  EXPECT_FALSE(on.trace.empty());
+  EXPECT_TRUE(off.trace.empty());
+  EXPECT_EQ(on.metrics, off.metrics);
+  EXPECT_EQ(on.stats.broadcasts, off.stats.broadcasts);
+  EXPECT_EQ(on.stats.copies_sent, off.stats.copies_sent);
+  EXPECT_EQ(on.stats.copies_delivered, off.stats.copies_delivered);
+  EXPECT_EQ(on.stats.copies_lost_link, off.stats.copies_lost_link);
+  EXPECT_EQ(on.stats.copies_lost_dying_sender, off.stats.copies_lost_dying_sender);
+  EXPECT_EQ(on.stats.copies_to_dead, off.stats.copies_to_dead);
+  EXPECT_EQ(on.stats.bytes_sent, off.stats.bytes_sent);
+  EXPECT_EQ(on.stats.bytes_received, off.stats.bytes_received);
+  EXPECT_EQ(on.stats.latency_sum, off.stats.latency_sum);
+  EXPECT_EQ(on.stats.broadcasts_by_type, off.stats.broadcasts_by_type);
+}
+
+TEST(GoldenTrace, Fig6QosJsonIsIdenticalWithTracingOnOrOff) {
+  // The full-stack equivalent of the pin above: detector QoS — detection
+  // times, mistake intervals, leader settling — must not move when a run is
+  // recorded.
+  const auto fingerprint = [](std::size_t trace_capacity) {
+    Fig6Params p;
+    p.ids = ids_homonymous(6, 3, 5);
+    p.crashes = crashes_last_k(6, 2, /*at=*/300, /*stagger=*/40);
+    p.net.gst = 500;
+    p.net.delta = 3;
+    p.net.pre_gst_loss = 0.2;
+    p.net.pre_gst_max_delay = 6;
+    p.seed = 5;
+    p.run_for = 2000;
+    p.collect_qos = true;
+    p.trace_capacity = trace_capacity;
+    const Fig6Result r = run_fig6(p);
+    return obs::qos_json(r.qos).dump(2);
+  };
+  EXPECT_EQ(fingerprint(0), fingerprint(1 << 16));
 }
 
 TEST(GoldenTrace, MemoizedByteMeterMatchesFullCodecComputation) {

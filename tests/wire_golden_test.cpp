@@ -107,6 +107,32 @@ TEST(WireGolden, FixturesStillDecodeToTheSampleValues) {
   }
 }
 
+TEST(WireGolden, TraceContextExtensionLayoutIsFrozen) {
+  // The optional causal extension (version byte OR kWireTracedFlag, then
+  // lineage id / parent / Lamport clock varints between the sender id and
+  // the body length). One fixture pins its layout; the per-type fixtures
+  // above pin that untraced frames carry none of it.
+  Message m = sample_messages().at(OHPPolling::kPollType);
+  m.meta_causal_id = (std::uint64_t{2} << 48) | 9;
+  m.meta_causal_parent = (std::uint64_t{2} << 48) | 4;
+  m.meta_causal_clock = 77;
+  const auto frame = encode_frame(builtin_codecs(), m, /*sender_index=*/2, /*sender_id=*/7);
+  ASSERT_EQ(frame[2], kWireVersion | kWireTracedFlag);
+  const std::string path = std::string(HDS_WIRE_DIR) + "/ext_trace_context.bin";
+  if (std::getenv("HDS_REGEN_WIRE") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(frame.data()),
+              static_cast<std::streamsize>(frame.size()));
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    return;
+  }
+  EXPECT_EQ(frame, read_bin(path)) << "traced frame diverges from the committed fixture";
+  const Message back = decode_frame(builtin_codecs(), frame.data(), frame.size());
+  EXPECT_EQ(back.meta_causal_id, m.meta_causal_id);
+  EXPECT_EQ(back.meta_causal_parent, m.meta_causal_parent);
+  EXPECT_EQ(back.meta_causal_clock, m.meta_causal_clock);
+}
+
 TEST(WireGolden, ControlFrameLayoutIsFrozen) {
   // Control frames never cross versions (they only exist inside one
   // cluster), but the HELLO bytes are still pinned so a layout slip shows

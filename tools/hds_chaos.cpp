@@ -13,7 +13,12 @@
 //                     shrink it (expect <= 3 clauses), write the repro to
 //                     PATH and verify it replays. Exit 0 on success.
 //   --replay FILE...  re-run committed repro files; exit 0 iff every one
-//                     reproduces its recorded violation tags exactly.
+//                     reproduces its recorded violation tags exactly. Each
+//                     replay runs with the causal trace ring on and prints
+//                     the message ancestry (obs::causal_chain) of the
+//                     violation — or, for a wedged run, of the last
+//                     delivery/timer frontier the system was spinning on.
+//                     --trace-capacity N sizes the ring (0 disables chains).
 //
 // Determinism: cases are generated from --seed-base and run on their own
 // embedded seeds; the simulator is a pure function of the case, so CI can
@@ -26,6 +31,7 @@
 #include "chaos/shrink.h"
 #include "common/rng.h"
 #include "exp/runner.h"
+#include "obs/causal.h"
 #include "obs/json.h"
 
 namespace {
@@ -42,7 +48,7 @@ void usage(std::ostream& os) {
         "Rng::derived(seed-base, k), so the explored set and any reported\n"
         "finding are identical for every -j\n"
         "       hds_chaos --demo-violation PATH\n"
-        "       hds_chaos --replay FILE [FILE...]\n"
+        "       hds_chaos --replay [--trace-capacity N] FILE [FILE...]\n"
         "exit status: 0 clean, 1 violation found / replay mismatch, 2 usage error\n";
 }
 
@@ -138,18 +144,43 @@ int run_demo(const std::string& out_path) {
   return 0;
 }
 
-int run_replay(const std::vector<std::string>& files) {
+// The causal explanation of a replayed violation: walk the lineage graph
+// back from the monitor violation (or, absent one, from the last
+// delivery/timer event — for a wedged run that is the quorum wait the
+// system was spinning on) and print the message ancestry, indented under
+// the replay line.
+void print_causal_chain(const hds::chaos::ChaosOutcome& out, std::ostream& os) {
+  const std::uint64_t target = hds::obs::causal_chain_target(out.trace_events);
+  if (target == 0) return;
+  const std::vector<hds::TraceEvent> chain = hds::obs::causal_chain(out.trace_events, target);
+  if (chain.empty()) return;
+  os << "  causal chain (" << chain.size() << " link(s)";
+  if (out.trace_dropped > 0) os << ", ring dropped " << out.trace_dropped;
+  os << "):\n";
+  std::string text = hds::obs::format_causal_chain(chain);
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    os << "    " << text.substr(start, end - start) << "\n";
+    start = end + 1;
+  }
+}
+
+int run_replay(const std::vector<std::string>& files, std::size_t trace_capacity) {
   int status = 0;
   for (const std::string& path : files) {
     try {
       const hds::chaos::Repro r =
           hds::chaos::parse_repro(hds::obs::load_json_file(path));
-      const hds::chaos::ReplayResult rep = hds::chaos::replay_repro(r);
+      const hds::chaos::ReplayResult rep = hds::chaos::replay_repro(r, trace_capacity);
       if (rep.match) {
         std::cout << "replay OK  " << path << " (tags: " << join(r.tags, ", ") << ")\n";
+        print_causal_chain(rep.outcome, std::cout);
       } else {
         std::cerr << "replay MISMATCH " << path << ": expected tags [" << join(r.tags, ", ")
                   << "], got [" << join(rep.outcome.violation_tags(), ", ") << "]\n";
+        print_causal_chain(rep.outcome, std::cerr);
         status = 1;
       }
     } catch (const std::exception& e) {
@@ -172,6 +203,7 @@ int main(int argc, char** argv) {
   std::string demo_path;
   std::vector<std::string> replay_files;
   bool replay_mode = false;
+  std::size_t trace_capacity = std::size_t{1} << 16;
 
   try {
     for (std::size_t i = 0; i < args.size(); ++i) {
@@ -195,6 +227,8 @@ int main(int argc, char** argv) {
         demo_path = next();
       } else if (flag == "--replay") {
         replay_mode = true;
+      } else if (flag == "--trace-capacity") {
+        trace_capacity = std::stoul(next());
       } else if (flag == "--help" || flag == "-h") {
         usage(std::cout);
         return 0;
@@ -206,7 +240,7 @@ int main(int argc, char** argv) {
     }
     if (replay_mode) {
       if (replay_files.empty()) throw std::invalid_argument("--replay needs files");
-      return run_replay(replay_files);
+      return run_replay(replay_files, trace_capacity);
     }
     if (!demo_path.empty()) return run_demo(demo_path);
     if (fuzz > 0) return run_fuzz(fuzz, stack_sel, seed_base, out_path, jobs);

@@ -3,13 +3,26 @@
 //
 //   hds_cluster --node PATH/hds_node --stack fig8 --n 3 [--t 1] [--seed S]
 //               [--dir OUT] [--timeout-ms 60000] [--no-batching]
-//               [--metrics] [--homonymous]
+//               [--metrics] [--homonymous] [--no-trace]
+//               [--trace-capacity N] [--telemetry-interval-ms MS]
 //
 // Steps: probe-bind N ephemeral UDP ports (closed again just before the
 // spawn — the hds_node barrier tolerates the tiny rebind window), write one
 // hds-node-config-v1 JSON per slot into --dir, fork/exec the daemons with
 // stdout/stderr captured to files, wait with a deadline (SIGKILL on
 // overrun), then parse each node's result line.
+//
+// Telemetry plane (default on; --no-trace disables): the launcher binds an
+// admin UDP port, every node streams hds-telemetry-v1 deltas to it, and a
+// TelemetryMerger rebases the per-node traces onto one wall-clock timeline.
+// Outputs land in --dir: trace_merged.json (Chrome trace, one pid per node,
+// flow arrows send->recv across lanes) and a "telemetry" block in the
+// summary (per-node delta/drop accounting + cluster QoS latency).
+//
+// Fail fast: a node exiting nonzero while peers are still running (e.g. it
+// died before the HELLO barrier, which would wedge everyone else until the
+// full deadline) starts a short grace timer; survivors are then killed, the
+// run is marked failed, and whatever telemetry arrived is still reported.
 //
 // Verification per stack: fig8/fig9 — every node decided, all values agree
 // (uniform agreement) and each is some node's proposal (validity);
@@ -23,12 +36,15 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <thread>
@@ -36,6 +52,8 @@
 
 #include "net/udp.h"
 #include "obs/json.h"
+#include "obs/telemetry.h"
+#include "obs/trace_export.h"
 
 namespace {
 
@@ -52,12 +70,18 @@ struct Options {
   bool batching = true;
   bool metrics = false;
   bool homonymous = false;  // give two nodes the same identifier
+  bool trace = true;        // causal tracing + telemetry plane
+  std::size_t trace_capacity = 1 << 16;
+  std::int64_t telemetry_interval_ms = 200;
+  std::int64_t fail_fast_grace_ms = 2000;
 };
 
 void usage(std::ostream& os) {
   os << "usage: hds_cluster --node PATH --stack fig6|fig7|fig8|fig9 --n N\n"
         "                   [--t T] [--seed S] [--dir OUT] [--timeout-ms MS]\n"
-        "                   [--no-batching] [--metrics] [--homonymous]\n";
+        "                   [--no-batching] [--metrics] [--homonymous]\n"
+        "                   [--no-trace] [--trace-capacity N]\n"
+        "                   [--telemetry-interval-ms MS]\n";
 }
 
 bool parse_args(int argc, char** argv, Options& o) {
@@ -98,6 +122,16 @@ bool parse_args(int argc, char** argv, Options& o) {
       o.metrics = true;
     } else if (a == "--homonymous") {
       o.homonymous = true;
+    } else if (a == "--no-trace") {
+      o.trace = false;
+    } else if (a == "--trace-capacity") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.trace_capacity = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (a == "--telemetry-interval-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.telemetry_interval_ms = std::strtoll(v, nullptr, 10);
     } else {
       return false;
     }
@@ -118,7 +152,8 @@ std::vector<std::uint64_t> make_ids(const Options& o) {
 }
 
 Json node_config(const Options& o, const std::vector<std::uint64_t>& ids,
-                 const std::vector<std::uint16_t>& ports, std::size_t self) {
+                 const std::vector<std::uint16_t>& ports, std::size_t self,
+                 std::uint16_t admin_port) {
   Json cfg = Json::object();
   cfg["schema"] = "hds-node-config-v1";
   cfg["self"] = self;
@@ -139,6 +174,12 @@ Json node_config(const Options& o, const std::vector<std::uint64_t>& ids,
   cfg["max_time_ms"] = o.timeout_ms;
   cfg["barrier_timeout_ms"] = o.timeout_ms;
   if (o.metrics) cfg["metrics_json"] = o.dir + "/node" + std::to_string(self) + "_metrics.json";
+  if (o.trace) {
+    cfg["trace_capacity"] = o.trace_capacity;
+    cfg["admin_host"] = "127.0.0.1";
+    cfg["admin_port"] = admin_port;
+    cfg["telemetry_interval_ms"] = o.telemetry_interval_ms;
+  }
   return cfg;
 }
 
@@ -188,6 +229,36 @@ int run(const Options& o) {
     }
   }
 
+  // Telemetry plane: bind the admin socket before any node spawns so the
+  // very first delta (the epoch announcement right after a node's barrier)
+  // has somewhere to land.
+  hds::net::UdpSocket admin;
+  hds::obs::TelemetryMerger merger;
+  std::mutex merger_mu;
+  std::atomic<bool> tele_stop{false};
+  std::uint64_t tele_datagrams = 0;
+  std::uint64_t tele_malformed = 0;
+  std::thread listener;
+  if (o.trace) {
+    admin.open(hds::net::UdpEndpoint{"127.0.0.1", 0}, 50);
+    listener = std::thread([&] {
+      std::vector<std::uint8_t> buf;
+      while (!tele_stop.load(std::memory_order_relaxed)) {
+        const auto len = admin.recv(buf);
+        if (!len.has_value()) continue;
+        try {
+          const Json j = Json::parse(std::string(buf.begin(), buf.begin() + *len));
+          const hds::obs::TelemetryDelta d = hds::obs::telemetry_delta_from_json(j);
+          std::lock_guard lk(merger_mu);
+          merger.ingest(d);
+          ++tele_datagrams;
+        } catch (const std::exception&) {
+          ++tele_malformed;
+        }
+      }
+    });
+  }
+
   const std::vector<std::uint64_t> ids = make_ids(o);
   std::vector<pid_t> pids(o.n, -1);
   std::vector<std::string> out_paths(o.n), err_paths(o.n);
@@ -196,22 +267,32 @@ int run(const Options& o) {
     const std::string cfg_path = base + ".json";
     out_paths[i] = base + ".out";
     err_paths[i] = base + ".err";
-    hds::obs::write_text_file(cfg_path, node_config(o, ids, ports, i).dump(2) + "\n");
+    hds::obs::write_text_file(cfg_path,
+                              node_config(o, ids, ports, i, admin.local_port()).dump(2) + "\n");
     pids[i] = spawn_node(o.node_bin, cfg_path, out_paths[i], err_paths[i]);
     if (pids[i] < 0) {
       std::cerr << "hds_cluster: fork failed for node " << i << "\n";
       for (std::size_t k = 0; k < i; ++k) kill(pids[k], SIGKILL);
+      tele_stop.store(true, std::memory_order_relaxed);
+      if (listener.joinable()) listener.join();
       return 1;
     }
   }
   std::cerr << "hds_cluster: spawned " << o.n << " node(s), stack=" << o.stack << "\n";
 
   // Wait for everyone, with a deadline covering barrier + run + linger.
+  // Fail fast: one node exiting nonzero (config error, immediate crash,
+  // barrier timeout) leaves the survivors blocked on it — the HELLO barrier
+  // and the quorum waits both need every slot — so after a short grace the
+  // survivors are killed instead of burning the whole deadline.
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(o.timeout_ms) + std::chrono::seconds(10);
   std::vector<int> exit_codes(o.n, -1);
   std::size_t live = o.n;
   bool timed_out = false;
+  bool failed_fast = false;
+  std::size_t first_failed_node = 0;
+  std::optional<std::chrono::steady_clock::time_point> first_failure;
   while (live > 0) {
     for (std::size_t i = 0; i < o.n; ++i) {
       if (exit_codes[i] != -1) continue;
@@ -220,11 +301,22 @@ int run(const Options& o) {
       if (r == pids[i]) {
         exit_codes[i] = WIFEXITED(status) ? WEXITSTATUS(status) : 128 + WTERMSIG(status);
         --live;
+        if (exit_codes[i] != 0 && !first_failure.has_value()) {
+          first_failure = std::chrono::steady_clock::now();
+          first_failed_node = i;
+          std::cerr << "hds_cluster: node " << i << " exited " << exit_codes[i]
+                    << "; killing survivors in " << o.fail_fast_grace_ms << "ms\n";
+        }
       }
     }
     if (live == 0) break;
-    if (std::chrono::steady_clock::now() > deadline) {
-      timed_out = true;
+    const auto now = std::chrono::steady_clock::now();
+    const bool grace_over =
+        first_failure.has_value() &&
+        now > *first_failure + std::chrono::milliseconds(o.fail_fast_grace_ms);
+    if (grace_over || now > deadline) {
+      timed_out = !grace_over;
+      failed_fast = grace_over;
       for (std::size_t i = 0; i < o.n; ++i) {
         if (exit_codes[i] == -1) {
           kill(pids[i], SIGKILL);
@@ -301,6 +393,26 @@ int run(const Options& o) {
     }
   }
   if (timed_out) verdict = "deadline exceeded";
+  if (failed_fast) {
+    verdict = "node " + std::to_string(first_failed_node) + " exited " +
+              std::to_string(exit_codes[first_failed_node]) + "; survivors killed";
+  }
+
+  // Drain the telemetry plane: final-flush datagrams may still be in
+  // flight right after the last child exits.
+  std::vector<hds::obs::NodeTrace> node_traces;
+  Json telemetry;
+  if (o.trace) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    tele_stop.store(true, std::memory_order_relaxed);
+    listener.join();
+    admin.close();
+    std::lock_guard lk(merger_mu);
+    node_traces = merger.node_traces();
+    telemetry = merger.summary();
+    telemetry["datagrams"] = tele_datagrams;
+    telemetry["malformed"] = tele_malformed;
+  }
 
   Json summary = Json::object();
   summary["schema"] = "hds-cluster-result-v1";
@@ -309,6 +421,17 @@ int run(const Options& o) {
   summary["ok"] = ok;
   summary["verdict"] = ok ? "ok" : verdict;
   summary["nodes"] = nodes;
+  if (o.trace) {
+    const std::string trace_path = o.dir + "/trace_merged.json";
+    const std::string label = "hds_cluster " + o.stack + " n=" + std::to_string(o.n) +
+                              " seed=" + std::to_string(o.seed);
+    hds::obs::write_text_file(trace_path,
+                              hds::obs::merged_chrome_trace_json(node_traces, label));
+    summary["telemetry"] = telemetry;
+    summary["trace_merged"] = trace_path;
+    std::cerr << "hds_cluster: merged trace (" << node_traces.size() << " node lanes) -> "
+              << trace_path << "\n";
+  }
   std::cout << summary.dump() << "\n";
   hds::obs::write_text_file(o.dir + "/summary.json", summary.dump(2) + "\n");
   if (ok) {

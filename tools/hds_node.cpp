@@ -25,13 +25,21 @@
 //                                      // laggard peers still hear us
 //     "batching": true,
 //     "flush_interval_ms": 1,
-//     "metrics_json": "node0_metrics.json"   // optional registry dump
+//     "metrics_json": "node0_metrics.json",  // optional registry dump
+//     "trace_capacity": 65536,         // > 0 enables causal tracing
+//     "admin_host": "127.0.0.1",       // launcher telemetry sink; with
+//     "admin_port": 9200,              // trace_capacity > 0 the node streams
+//                                      // hds-telemetry-v1 deltas there
+//     "telemetry_interval_ms": 200     // delta cadence
 //   }
 //
 // On success the last stdout line is a one-line result JSON
 // (schema hds-node-result-v1); the cluster launcher parses it.
 // Exit: 0 result produced, 1 run failed (no decision / barrier timeout),
-// 2 usage or config error.
+// 2 usage or config error. A barrier timeout still flushes a final
+// telemetry delta so the launcher gets partial accounting from a wedged
+// slot.
+#include <atomic>
 #include <chrono>
 #include <iostream>
 #include <memory>
@@ -44,8 +52,10 @@
 #include "fd/impl/hsigma_sync.h"
 #include "fd/impl/ohp_polling.h"
 #include "net/net_system.h"
+#include "net/udp.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "sim/stacked_process.h"
 
 namespace {
@@ -66,6 +76,9 @@ struct NodeOptions {
   hds::SimTime barrier_timeout_ms = 15000;
   hds::SimTime linger_ms = 300;
   std::string metrics_json;
+  std::string admin_host = "127.0.0.1";
+  std::uint16_t admin_port = 0;  // 0 = no telemetry uplink
+  hds::SimTime telemetry_interval_ms = 200;
 };
 
 NodeOptions parse_config(const Json& cfg) {
@@ -102,6 +115,11 @@ NodeOptions parse_config(const Json& cfg) {
       static_cast<hds::SimTime>(cfg.number_or("barrier_timeout_ms", 15000));
   o.linger_ms = static_cast<hds::SimTime>(cfg.number_or("linger_ms", 300));
   o.metrics_json = cfg.string_or("metrics_json", "");
+  o.net.trace_capacity = static_cast<std::size_t>(cfg.number_or("trace_capacity", 0));
+  o.admin_host = cfg.string_or("admin_host", "127.0.0.1");
+  o.admin_port = static_cast<std::uint16_t>(cfg.number_or("admin_port", 0));
+  o.telemetry_interval_ms =
+      static_cast<hds::SimTime>(cfg.number_or("telemetry_interval_ms", 200));
   return o;
 }
 
@@ -162,14 +180,71 @@ int run(const NodeOptions& o) {
   if (cons9 != nullptr) cons9->attach_metrics(metrics_ptr);
   sys.set_process(std::move(stack));
 
+  // Telemetry uplink: with tracing on and an admin endpoint configured, the
+  // node streams hds-telemetry-v1 deltas (trace events recorded since the
+  // previous delta, plus ring-drop accounting) to the launcher over its own
+  // UDP socket — fire-and-forget, like the data plane.
+  const bool telemetry_on = o.admin_port != 0 && sys.trace_enabled();
+  const hds::net::UdpEndpoint admin_ep{o.admin_host, o.admin_port};
+  hds::net::UdpSocket admin_sock;
+  if (telemetry_on) admin_sock.open(hds::net::UdpEndpoint{"127.0.0.1", 0});
+  std::uint64_t tele_seq = 0;
+  std::uint64_t trace_cursor = 0;
+  hds::SimTime hello_done_ms = -1;
+  const auto send_delta = [&](std::vector<hds::TraceEvent> evs, bool final_flush,
+                              std::string metrics_snapshot) {
+    hds::obs::TelemetryDelta d;
+    d.node = self;
+    d.id = sys.id_of(self);
+    d.seq = tele_seq;
+    d.final_flush = final_flush;
+    d.epoch_wall_us = sys.epoch_wall_us();
+    d.hello_done_ms = hello_done_ms;
+    d.dropped = sys.trace_dropped();
+    d.events = std::move(evs);
+    d.metrics_json = std::move(metrics_snapshot);
+    for (const hds::obs::TelemetryDelta& c : hds::obs::chunk_telemetry_delta(d)) {
+      const std::string text = hds::obs::telemetry_delta_to_json(c).dump();
+      admin_sock.send_to(admin_ep, reinterpret_cast<const std::uint8_t*>(text.data()),
+                         text.size());
+      ++tele_seq;
+    }
+  };
+
   std::cerr << "hds_node[" << self << "]: bound " << o.net.peers[self].ep.host << ":"
             << sys.local_port() << ", awaiting " << (n - 1) << " peer(s)\n";
+  // Pre-barrier announcement: even if this slot is later killed while the
+  // barrier is still forming, the launcher has its epoch and identity.
+  if (telemetry_on) send_delta({}, false, {});
   if (!sys.await_peers(std::chrono::milliseconds(o.barrier_timeout_ms))) {
     std::cerr << "hds_node[" << self << "]: peer barrier timed out\n";
+    // Partial telemetry: the launcher still learns this slot's epoch and
+    // whatever the trace captured before the barrier wedged.
+    if (telemetry_on) send_delta(sys.drain_trace(trace_cursor), true, metrics.to_json());
     return 1;
   }
+  const auto wall_us = [] {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+  };
+  hello_done_ms = (wall_us() - sys.epoch_wall_us()) / 1000;
   const auto t0 = std::chrono::steady_clock::now();
   sys.start();
+
+  std::atomic<bool> tele_stop{false};
+  std::thread tele_thread;
+  if (telemetry_on) {
+    // Epoch/barrier announcement, then periodic deltas from a dedicated
+    // thread until the run winds down.
+    send_delta({}, false, {});
+    tele_thread = std::thread([&] {
+      while (!tele_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(o.telemetry_interval_ms));
+        send_delta(sys.drain_trace(trace_cursor), false, {});
+      }
+    });
+  }
 
   Json result = Json::object();
   result["schema"] = "hds-node-result-v1";
@@ -290,8 +365,14 @@ int run(const NodeOptions& o) {
   result["elapsed_ms"] = std::chrono::duration_cast<std::chrono::milliseconds>(
                              std::chrono::steady_clock::now() - t0)
                              .count();
+  if (telemetry_on) {
+    tele_stop.store(true, std::memory_order_relaxed);
+    tele_thread.join();
+    send_delta(sys.drain_trace(trace_cursor), true, metrics.to_json());
+  }
   sys.stop();
   result["stats"] = stats_json(sys.net_stats());
+  if (sys.trace_enabled()) result["trace_dropped"] = sys.trace_dropped();
 
   if (!o.metrics_json.empty()) {
     hds::obs::write_text_file(o.metrics_json, metrics.to_json());

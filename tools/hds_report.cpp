@@ -171,6 +171,11 @@ struct SweepResult {
   std::size_t monitor_warnings = 0;
   std::map<std::string, std::size_t> monitor_by_rule;
   std::string metrics_json;  // full registry snapshot of this sweep point
+  // Causal trace accounting of the consensus-stack run (ring retention vs
+  // TraceLog::dropped() evictions). Informational: kept out of the
+  // baseline-compared metric map.
+  std::size_t trace_events = 0;
+  std::uint64_t trace_dropped = 0;
 };
 
 SweepResult run_sweep_point(const Options& o, std::size_t ell) {
@@ -258,6 +263,7 @@ SweepResult run_sweep_point(const Options& o, std::size_t ell) {
       p.seed = o.seed;
       p.metrics = &reg;
       p.collect_qos = true;
+      p.trace_capacity = std::size_t{1} << 14;
       r = hds::run_fig8_full_stack(p);
     } else {
       hds::Fig9FullStackParams p;
@@ -267,9 +273,12 @@ SweepResult run_sweep_point(const Options& o, std::size_t ell) {
       p.seed = o.seed;
       p.metrics = &reg;
       p.collect_qos = true;
+      p.trace_capacity = std::size_t{1} << 14;
       r = hds::run_fig9_full_stack(p);
     }
     out.stack_qos = hds::obs::qos_json(r.qos);
+    out.trace_events = r.trace_events.size();
+    out.trace_dropped = r.trace_dropped;
     out.metrics["cons_decided"] = r.all_correct_decided ? 1 : 0;
     out.metrics["cons_last_decision_time"] = static_cast<double>(r.last_decision_time);
     out.metrics["cons_max_round"] = static_cast<double>(r.max_round);
@@ -382,6 +391,10 @@ Json report_json(const Options& o, const std::vector<SweepResult>& sweeps,
     for (const auto& [rule, c2] : s.monitor_by_rule) by_rule[rule] = Json(c2);
     mon["by_rule"] = std::move(by_rule);
     c["monitor"] = std::move(mon);
+    Json tr = Json::object();
+    tr["events"] = Json(s.trace_events);
+    tr["dropped"] = Json(s.trace_dropped);
+    c["trace"] = std::move(tr);
     cfgs.push_back(std::move(c));
   }
   out["configs"] = std::move(cfgs);
@@ -431,7 +444,8 @@ std::string markdown_report(const Options& o, const std::vector<SweepResult>& sw
       }
       md << ")";
     }
-    md << "\n\n";
+    md << "\n\nTrace: " << s.trace_events << " event(s) retained, " << s.trace_dropped
+       << " evicted from the ring\n\n";
   }
 
   md << "## Regressions\n\n";
