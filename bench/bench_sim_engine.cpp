@@ -17,6 +17,7 @@
 #include <new>
 
 #include "bench_util.h"
+#include "obs/profiler.h"
 #include "sim/scheduler.h"
 #include "sim/system.h"
 
@@ -213,6 +214,44 @@ void BM_System_FloodTraceOverhead(benchmark::State& state) {
                           static_cast<std::int64_t>(delivered));
 }
 BENCHMARK(BM_System_FloodTraceOverhead)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// In-process profiler overhead: the same flood with the scoped timers off
+// vs on. Off is the gated series — a disabled scope is one relaxed load and
+// must stay within noise of the plain flood; the on series prices full
+// per-event path accounting (two steady_clock reads per scope).
+void BM_System_FloodProfilerOverhead(benchmark::State& state) {
+  const bool profiled = state.range(0) != 0;
+  const std::size_t n = 16;
+  std::uint64_t delivered = 0;
+  std::uint64_t run_allocs = 0;
+  if (profiled) obs::Profiler::instance().enable();
+  for (auto _ : state) {
+    SystemConfig cfg;
+    for (std::size_t i = 0; i < n; ++i) cfg.ids.push_back(i + 1);
+    cfg.timing = std::make_unique<AsyncTiming>(1, 4);
+    cfg.seed = 1;
+    System sys(std::move(cfg));
+    for (ProcIndex i = 0; i < n; ++i) sys.set_process(i, std::make_unique<Flooder>(2));
+    sys.start();
+    const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+    sys.run_until(200);
+    run_allocs = g_allocs.load(std::memory_order_relaxed) - a0;
+    delivered = sys.net_stats().copies_delivered;
+  }
+  if (profiled) {
+    state.counters["prof_paths"] =
+        static_cast<double>(obs::Profiler::instance().snapshot().size());
+    obs::Profiler::instance().disable();
+    obs::Profiler::instance().reset();
+  }
+  state.counters["copies_delivered"] = static_cast<double>(delivered);
+  state.counters["allocs_per_copy"] =
+      delivered == 0 ? 0.0 : static_cast<double>(run_allocs) / static_cast<double>(delivered);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(delivered));
+}
+BENCHMARK(BM_System_FloodProfilerOverhead)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -118,11 +118,23 @@ std::vector<SimTime> crash_instants(const std::vector<std::optional<SyncCrashPla
 }
 
 // Composes the observer chain for process i: the monitor's listener (if
-// any), wrapped by the injector's trigger evaluation (if the plan has
-// trigger clauses). Null when neither is present.
+// any), teed with the streaming window-QoS listener (if any), wrapped by
+// the injector's trigger evaluation (if the plan has trigger clauses). Tees
+// created along the way land in `tees`, which must outlive the run. Null
+// when no observer is present.
 FdOutputListener* chained_listener(ProcIndex i, obs::OnlineMonitor* monitor,
-                                   chaos::FaultInjector* chaos) {
+                                   obs::WindowQos* window_qos, chaos::FaultInjector* chaos,
+                                   std::vector<std::unique_ptr<FdOutputTee>>& tees) {
   FdOutputListener* l = monitor != nullptr ? monitor->listener(i) : nullptr;
+  if (window_qos != nullptr) {
+    FdOutputListener* w = window_qos->listener(i);
+    if (l == nullptr) {
+      l = w;
+    } else {
+      tees.push_back(std::make_unique<FdOutputTee>(l, w));
+      l = tees.back().get();
+    }
+  }
   if (chaos != nullptr) l = chaos->trigger_listener(i, l);
   return l;
 }
@@ -132,6 +144,7 @@ FdOutputListener* chained_listener(ProcIndex i, obs::OnlineMonitor* monitor,
 // ------------------------------------------------------------- FD runs
 
 Fig6Result run_fig6(const Fig6Params& p) {
+  std::vector<std::unique_ptr<FdOutputTee>> tees;  // outlives the system
   SystemConfig cfg;
   cfg.ids = p.ids;
   cfg.timing = std::make_unique<PartialSyncTiming>(p.net);
@@ -148,13 +161,14 @@ Fig6Result run_fig6(const Fig6Params& p) {
   for (ProcIndex i = 0; i < sys.n(); ++i) {
     auto fd = std::make_unique<OHPPolling>(p.fd_opts);
     fd->attach_metrics(p.metrics, proc_labels(i));
-    if (FdOutputListener* l = chained_listener(i, p.monitor, p.chaos)) {
+    if (FdOutputListener* l = chained_listener(i, p.monitor, p.window_qos, p.chaos, tees)) {
       fd->set_output_listener(l);
     }
     sys.set_process(i, std::move(fd));
   }
   sys.start();
   sys.run_until(p.run_for);
+  if (p.window_qos != nullptr) (void)p.window_qos->stats();  // refresh the gauges
 
   const GroundTruth gt = GroundTruth::from(sys);
   std::vector<const Trajectory<Multiset<Id>>*> trusted;
@@ -201,6 +215,7 @@ Fig6Result run_fig6(const Fig6Params& p) {
 }
 
 Fig7Result run_fig7(const Fig7Params& p) {
+  std::vector<std::unique_ptr<FdOutputTee>> tees;  // outlives the system
   SyncConfig cfg;
   cfg.ids = p.ids;
   cfg.crashes = p.crashes;
@@ -209,10 +224,13 @@ Fig7Result run_fig7(const Fig7Params& p) {
   for (ProcIndex i = 0; i < sys.n(); ++i) {
     auto fd = std::make_unique<HSigmaSyncProcess>(sys.id_of(i));
     fd->attach_metrics(p.metrics, proc_labels(i));
-    if (p.monitor != nullptr) fd->set_output_listener(p.monitor->listener(i));
+    if (FdOutputListener* l = chained_listener(i, p.monitor, p.window_qos, nullptr, tees)) {
+      fd->set_output_listener(l);
+    }
     sys.set_process(i, std::move(fd));
   }
   sys.run_steps(p.steps);
+  if (p.window_qos != nullptr) (void)p.window_qos->stats();  // refresh the gauges
 
   const GroundTruth gt = GroundTruth::from(sys);
   std::vector<const Trajectory<HSigmaSnapshot>*> snaps;
@@ -476,6 +494,7 @@ ConsensusRunResult run_fig8_full_stack(const Fig8FullStackParams& p) {
   const std::size_t n = p.ids.size();
   const std::vector<Value> proposals = ensure_proposals(p.proposals, n);
 
+  std::vector<std::unique_ptr<FdOutputTee>> tees;  // outlives the system
   SystemConfig cfg;
   cfg.ids = p.ids;
   cfg.timing = std::make_unique<PartialSyncTiming>(p.net);
@@ -496,7 +515,7 @@ ConsensusRunResult run_fig8_full_stack(const Fig8FullStackParams& p) {
     auto stack = std::make_unique<StackedProcess>();
     auto* fd = stack->add(std::make_unique<OHPPolling>());
     fd->attach_metrics(p.metrics, proc_labels(i));
-    if (FdOutputListener* l = chained_listener(i, p.monitor, p.chaos)) {
+    if (FdOutputListener* l = chained_listener(i, p.monitor, p.window_qos, p.chaos, tees)) {
       fd->set_output_listener(l);
     }
     fds[i] = fd;
@@ -520,6 +539,7 @@ ConsensusRunResult run_fig8_full_stack(const Fig8FullStackParams& p) {
       },
       p.max_time);
 
+  if (p.window_qos != nullptr) (void)p.window_qos->stats();  // refresh the gauges
   std::vector<DecisionRecord> decisions(n);
   Round max_round = 0;
   for (ProcIndex i = 0; i < n; ++i) {
@@ -556,6 +576,7 @@ ConsensusRunResult run_fig9_full_stack(const Fig9FullStackParams& p) {
   const std::size_t n = p.ids.size();
   const std::vector<Value> proposals = ensure_proposals(p.proposals, n);
 
+  std::vector<std::unique_ptr<FdOutputTee>> tees;  // outlives the system
   SystemConfig cfg;
   cfg.ids = p.ids;
   // A synchronous system: every copy delivered within the known bound.
@@ -596,7 +617,7 @@ ConsensusRunResult run_fig9_full_stack(const Fig9FullStackParams& p) {
       auto* hsig = stack->add(std::make_unique<HSigmaComponent>(p.delta + 1));
       ohp->attach_metrics(p.metrics, proc_labels(i));
       hsig->attach_metrics(p.metrics, proc_labels(i));
-      if (FdOutputListener* l = chained_listener(i, p.monitor, p.chaos)) {
+      if (FdOutputListener* l = chained_listener(i, p.monitor, p.window_qos, p.chaos, tees)) {
         ohp->set_output_listener(l);
         hsig->set_output_listener(l);
       }
@@ -621,6 +642,7 @@ ConsensusRunResult run_fig9_full_stack(const Fig9FullStackParams& p) {
         return true;
       },
       p.max_time);
+  if (p.window_qos != nullptr) (void)p.window_qos->stats();  // refresh the gauges
 
   std::vector<DecisionRecord> decisions(n);
   Round max_round = 0;

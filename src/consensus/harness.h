@@ -25,6 +25,7 @@
 #include "obs/metrics.h"
 #include "obs/monitor.h"
 #include "obs/qos.h"
+#include "obs/window_qos.h"
 #include "sim/sync_system.h"
 #include "sim/system.h"
 #include "sim/timing.h"
@@ -85,6 +86,9 @@ struct Fig6Params {
   // Online property monitor; its per-process listeners are attached to every
   // detector before the run starts. Null disables.
   obs::OnlineMonitor* monitor = nullptr;
+  // Streaming window-QoS estimator; teed into the same listener chain as the
+  // monitor and refreshed (gauges included) when the run ends. Null disables.
+  obs::WindowQos* window_qos = nullptr;
   // Fault-injection adversary; armed on the system before start and chained
   // in front of the monitor listeners. Null disables.
   chaos::FaultInjector* chaos = nullptr;
@@ -122,6 +126,7 @@ struct Fig7Params {
   obs::MetricsRegistry* metrics = nullptr;  // per-process series; null disables
   bool collect_qos = false;                 // as in Fig6Params
   obs::OnlineMonitor* monitor = nullptr;    // as in Fig6Params
+  obs::WindowQos* window_qos = nullptr;     // as in Fig6Params
 };
 
 struct Fig7Result {
@@ -215,6 +220,7 @@ struct Fig8FullStackParams {
   obs::MetricsRegistry* metrics = nullptr;
   bool collect_qos = false;               // as in Fig6Params
   obs::OnlineMonitor* monitor = nullptr;  // as in Fig6Params
+  obs::WindowQos* window_qos = nullptr;   // as in Fig6Params
   chaos::FaultInjector* chaos = nullptr;  // as in Fig6Params
   QueueKind queue = QueueKind::kCalendar;  // as in Fig6Params
 };
@@ -237,6 +243,7 @@ struct Fig9FullStackParams {
   // change events of their own).
   bool collect_qos = false;
   obs::OnlineMonitor* monitor = nullptr;
+  obs::WindowQos* window_qos = nullptr;   // as in Fig6Params
   chaos::FaultInjector* chaos = nullptr;  // as in Fig6Params
   // Evaluate the perpetual HΣ checks (safety + monotonicity) over the
   // HSigmaComponent traces into result.hsigma_safety_check. Off by default;

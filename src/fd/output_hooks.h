@@ -36,4 +36,34 @@ class FdOutputListener {
   virtual void on_sigma_change(SimTime /*at*/, const Multiset<Id>& /*trusted*/) {}
 };
 
+// Fans one change-site out to two listeners (either may be null), first `a`
+// then `b` — how the monitor and the streaming QoS estimator share the
+// single listener slot an FD implementation exposes. Composes: tee of tees
+// for wider fan-out.
+class FdOutputTee final : public FdOutputListener {
+ public:
+  FdOutputTee(FdOutputListener* a, FdOutputListener* b) : a_(a), b_(b) {}
+
+  void on_trusted_change(SimTime at, const Multiset<Id>& m) override {
+    if (a_ != nullptr) a_->on_trusted_change(at, m);
+    if (b_ != nullptr) b_->on_trusted_change(at, m);
+  }
+  void on_homega_change(SimTime at, const HOmegaOut& out) override {
+    if (a_ != nullptr) a_->on_homega_change(at, out);
+    if (b_ != nullptr) b_->on_homega_change(at, out);
+  }
+  void on_hsigma_change(SimTime at, const HSigmaSnapshot& snap) override {
+    if (a_ != nullptr) a_->on_hsigma_change(at, snap);
+    if (b_ != nullptr) b_->on_hsigma_change(at, snap);
+  }
+  void on_sigma_change(SimTime at, const Multiset<Id>& m) override {
+    if (a_ != nullptr) a_->on_sigma_change(at, m);
+    if (b_ != nullptr) b_->on_sigma_change(at, m);
+  }
+
+ private:
+  FdOutputListener* a_;
+  FdOutputListener* b_;
+};
+
 }  // namespace hds

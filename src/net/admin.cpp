@@ -1,0 +1,133 @@
+#include "net/admin.h"
+
+#include <chrono>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "obs/profiler.h"
+
+namespace hds::net {
+
+using obs::Json;
+
+std::vector<std::string> admin_response_datagrams(std::uint64_t req, const std::string& payload) {
+  const std::size_t chunks =
+      payload.empty() ? 1 : (payload.size() + kAdminChunkBytes - 1) / kAdminChunkBytes;
+  std::vector<std::string> out;
+  out.reserve(chunks);
+  for (std::size_t i = 0; i < chunks; ++i) {
+    Json env = Json::object();
+    env["schema"] = kAdminSchema;
+    env["req"] = req;
+    env["chunk"] = i;
+    env["chunks"] = chunks;
+    env["body"] = payload.substr(i * kAdminChunkBytes, kAdminChunkBytes);
+    out.push_back(env.dump());
+  }
+  return out;
+}
+
+void AdminServer::start(const UdpEndpoint& bind, Handler handler) {
+  if (running()) return;
+  handler_ = std::move(handler);
+  sock_.open(bind, /*recv_timeout_ms=*/100);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve(); });
+}
+
+void AdminServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  if (thread_.joinable()) thread_.join();
+  sock_.close();
+}
+
+void AdminServer::serve() {
+  std::vector<std::uint8_t> buf;
+  UdpEndpoint peer;
+  while (running_.load(std::memory_order_acquire)) {
+    const auto len = sock_.recv_from(buf, peer);
+    if (!len.has_value() || *len == 0) continue;
+    HDS_PROF_SCOPE(obs::ProfSubsystem::kAdmin);
+    std::uint64_t req = 0;
+    std::vector<std::string> replies;
+    try {
+      const Json j = Json::parse(std::string(buf.begin(), buf.end()));
+      if (j.string_or("schema", "") != kAdminSchema) continue;  // not ours: drop
+      req = static_cast<std::uint64_t>(j.number_or("req", 0));
+      const Json* verb = j.find("verb");
+      if (verb == nullptr || !verb->is_string()) throw std::runtime_error("missing verb");
+      replies = admin_response_datagrams(req, handler_(verb->str(), j));
+    } catch (const std::exception& e) {
+      Json err = Json::object();
+      err["schema"] = kAdminSchema;
+      err["req"] = req;
+      err["error"] = std::string(e.what());
+      replies = {err.dump()};
+    }
+    for (const std::string& r : replies) {
+      (void)sock_.send_to(peer, reinterpret_cast<const std::uint8_t*>(r.data()), r.size());
+    }
+  }
+}
+
+AdminClient::AdminClient() { sock_.open(UdpEndpoint{"127.0.0.1", 0}, /*recv_timeout_ms=*/50); }
+
+std::optional<std::string> AdminClient::request(const UdpEndpoint& ep, const std::string& verb,
+                                                int timeout_ms, int retry_ms) {
+  last_error_.clear();
+  const std::uint64_t req = next_req_++;
+  Json q = Json::object();
+  q["schema"] = kAdminSchema;
+  q["verb"] = verb;
+  q["req"] = req;
+  const std::string wire = q.dump();
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  auto next_send = std::chrono::steady_clock::time_point::min();
+
+  std::map<std::size_t, std::string> got;
+  std::size_t chunks = 0;
+  std::vector<std::uint8_t> buf;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (std::chrono::steady_clock::now() >= next_send) {
+      (void)sock_.send_to(ep, reinterpret_cast<const std::uint8_t*>(wire.data()), wire.size());
+      next_send = std::chrono::steady_clock::now() + std::chrono::milliseconds(retry_ms);
+    }
+    const auto len = sock_.recv(buf);
+    if (!len.has_value() || *len == 0) continue;
+    Json j;
+    try {
+      j = Json::parse(std::string(buf.begin(), buf.end()));
+    } catch (const obs::JsonParseError&) {
+      continue;
+    }
+    if (j.string_or("schema", "") != kAdminSchema) continue;
+    if (static_cast<std::uint64_t>(j.number_or("req", 0)) != req) continue;  // stale
+    if (const Json* err = j.find("error"); err != nullptr && err->is_string()) {
+      last_error_ = err->str();
+      return std::nullopt;
+    }
+    const Json* body = j.find("body");
+    if (body == nullptr || !body->is_string()) continue;
+    const auto chunk = static_cast<std::size_t>(j.number_or("chunk", 0));
+    const auto total = static_cast<std::size_t>(j.number_or("chunks", 1));
+    if (total == 0 || chunk >= total) continue;
+    if (chunks == 0) chunks = total;
+    if (total != chunks) continue;  // response from a different incarnation
+    got[chunk] = body->str();
+    if (got.size() == chunks) {
+      std::string payload;
+      for (const auto& [i, part] : got) {
+        (void)i;
+        payload += part;
+      }
+      return payload;
+    }
+  }
+  last_error_ = "timeout waiting for " + verb + " from " + ep.host + ":" + std::to_string(ep.port);
+  return std::nullopt;
+}
+
+}  // namespace hds::net

@@ -1,0 +1,91 @@
+// hds-admin-v1: the request/response side of a node's admin UDP channel.
+//
+// The telemetry plane (obs/telemetry.h) is fire-and-forget push from node to
+// launcher; this is the pull direction — an operator (hds_top, a curl-ish
+// script, the CI smoke) asks a node a question and gets an answer:
+//
+//   request  {"schema":"hds-admin-v1","verb":"STATS"|"STATUS","req":<id>}
+//   response {"schema":"hds-admin-v1","req":<id>,"chunk":i,"chunks":n,
+//             "body":"<payload slice>"}            (one datagram per chunk)
+//   error    {"schema":"hds-admin-v1","req":<id>,"error":"<message>"}
+//
+// The payload is plain text reassembled from the body slices in chunk order
+// — Prometheus exposition for STATS, a JSON document for STATUS; the
+// envelope does not care. Requests are idempotent reads, so the client's
+// only recovery is re-asking: it retransmits the same request id until the
+// response completes or the deadline passes, and a duplicate or stale
+// response datagram is filtered by that id.
+//
+// The server owns one socket and one thread; verbs dispatch to a
+// caller-supplied handler. Handlers run on the admin thread, never on a
+// node's data path — the health plane stays an observer here too.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "net/udp.h"
+#include "obs/json.h"
+
+namespace hds::net {
+
+inline constexpr const char* kAdminSchema = "hds-admin-v1";
+// Body slice per response datagram, before JSON escaping. Escaping at worst
+// doubles it; with the envelope that still sits well inside the 64 KiB
+// datagram cap.
+inline constexpr std::size_t kAdminChunkBytes = 24000;
+
+// Splits `payload` into response envelopes for `req`. Always at least one
+// chunk (an empty payload is a valid answer).
+[[nodiscard]] std::vector<std::string> admin_response_datagrams(std::uint64_t req,
+                                                               const std::string& payload);
+
+class AdminServer {
+ public:
+  // Returns the payload for a verb; throw to produce an error response.
+  using Handler = std::function<std::string(const std::string& verb, const obs::Json& request)>;
+
+  AdminServer() = default;
+  ~AdminServer() { stop(); }
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  // Binds (port 0 = ephemeral) and starts the service thread.
+  void start(const UdpEndpoint& bind, Handler handler);
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_.load(std::memory_order_acquire); }
+  [[nodiscard]] std::uint16_t port() const { return sock_.local_port(); }
+
+ private:
+  void serve();
+
+  UdpSocket sock_;
+  Handler handler_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+};
+
+class AdminClient {
+ public:
+  AdminClient();
+
+  // Sends `verb` to `ep` and reassembles the chunked response. nullopt on
+  // timeout or an error response (see last_error()). Retransmits the request
+  // every `retry_ms` until `timeout_ms` expires.
+  [[nodiscard]] std::optional<std::string> request(const UdpEndpoint& ep, const std::string& verb,
+                                                   int timeout_ms = 2000, int retry_ms = 250);
+
+  [[nodiscard]] const std::string& last_error() const { return last_error_; }
+
+ private:
+  UdpSocket sock_;
+  std::uint64_t next_req_ = 1;
+  std::string last_error_;
+};
+
+}  // namespace hds::net

@@ -1,5 +1,7 @@
 #include "net/net_system.h"
 
+#include "obs/profiler.h"
+
 #include <algorithm>
 #include <queue>
 #include <stdexcept>
@@ -27,6 +29,7 @@ class NetSystem::Node {
   void start(Clock::time_point front) {
     enqueue(front, Task{[this](Process& p, Env& e) {
       sys_.note_start();
+      HDS_PROF_SCOPE(obs::ProfSubsystem::kFdStep);
       p.on_start(e);
     }});
     thread_ = std::jthread([this](std::stop_token st) { run(st); });
@@ -49,6 +52,7 @@ class NetSystem::Node {
   bool deliver(Clock::time_point at, std::shared_ptr<const Message> m) {
     return enqueue(at, Task{[this, m = std::move(m)](Process& p, Env& e) {
       sys_.note_causal_delivery(*m);
+      HDS_PROF_SCOPE(obs::ProfSubsystem::kFdStep);
       p.on_message(e, *m);
       sys_.note_delivered();
     }});
@@ -97,6 +101,7 @@ class NetSystem::Node {
       node_.enqueue(Clock::now() + std::chrono::milliseconds(delay),
                     Task{[this, id, armed_parent](Process& p, Env& e) {
                       node_.sys_.note_timer_fire(armed_parent);
+                      HDS_PROF_SCOPE(obs::ProfSubsystem::kFdStep);
                       p.on_timer(e, id);
                     }});
       return id;
@@ -275,6 +280,7 @@ void NetSystem::note_delivered() {
 
 void NetSystem::note_start() {
   if (!trace_.enabled()) return;
+  HDS_PROF_SCOPE(obs::ProfSubsystem::kTraceStamp);
   const std::uint64_t sid = causal_.fresh();
   causal_.parent = sid;
   std::lock_guard lk(trace_mu_);
@@ -283,6 +289,7 @@ void NetSystem::note_start() {
 
 void NetSystem::note_timer_fire(std::uint64_t armed_parent) {
   if (!trace_.enabled()) return;
+  HDS_PROF_SCOPE(obs::ProfSubsystem::kTraceStamp);
   const std::uint64_t tid = causal_.fresh();
   causal_.parent = tid;
   causal_.tick();
@@ -292,6 +299,7 @@ void NetSystem::note_timer_fire(std::uint64_t armed_parent) {
 
 void NetSystem::note_causal_delivery(const Message& m) {
   if (!trace_.enabled()) return;
+  HDS_PROF_SCOPE(obs::ProfSubsystem::kTraceStamp);
   causal_.parent = m.meta_causal_id;
   causal_.merge(m.meta_causal_clock);
   std::lock_guard lk(trace_mu_);
@@ -316,6 +324,7 @@ void NetSystem::broadcast_from_self(const Message& m) {
   }
   std::vector<std::uint8_t> frame;
   try {
+    HDS_PROF_SCOPE(obs::ProfSubsystem::kCodecEncode);
     frame = encode_frame(builtin_codecs(), stamped, self_, peers_[self_].id);
   } catch (const CodecError&) {
     // A body with no registered codec cannot cross a socket; count every
@@ -386,7 +395,10 @@ void NetSystem::send_control(std::uint8_t tag, ProcIndex to) {
     std::lock_guard lk(ep_mu_);
     ep = peers_.at(to).ep;
   }
-  const bool ok = sock_.send_to(ep, datagram.data(), datagram.size());
+  const bool ok = [&] {
+    HDS_PROF_SCOPE(obs::ProfSubsystem::kUdpSend);
+    return sock_.send_to(ep, datagram.data(), datagram.size());
+  }();
   std::lock_guard lk(stats_mu_);
   if (ok) {
     ++stats_.packets_sent;
@@ -450,7 +462,10 @@ void NetSystem::flush_batch(ProcIndex to) {
     std::lock_guard lk(ep_mu_);
     ep = peers_.at(to).ep;
   }
-  const bool ok = sock_.send_to(ep, datagram.data(), datagram.size());
+  const bool ok = [&] {
+    HDS_PROF_SCOPE(obs::ProfSubsystem::kUdpSend);
+    return sock_.send_to(ep, datagram.data(), datagram.size());
+  }();
   std::lock_guard lk(stats_mu_);
   if (ok) {
     ++stats_.packets_sent;
@@ -470,6 +485,7 @@ void NetSystem::recv_loop() {
   while (!stop_flag_.load(std::memory_order_relaxed)) {
     const auto n = sock_.recv(buf);
     if (!n) continue;  // poll timeout; re-check the stop flag
+    HDS_PROF_SCOPE(obs::ProfSubsystem::kUdpRecv);
     {
       std::lock_guard lk(stats_mu_);
       ++stats_.packets_received;
@@ -490,6 +506,7 @@ void NetSystem::recv_loop() {
 void NetSystem::handle_frame(const std::uint8_t* data, std::size_t len) {
   Message m;
   try {
+    HDS_PROF_SCOPE(obs::ProfSubsystem::kCodecDecode);
     m = decode_frame(builtin_codecs(), data, len);
   } catch (const CodecError&) {
     std::lock_guard lk(stats_mu_);

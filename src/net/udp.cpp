@@ -83,4 +83,19 @@ std::optional<std::size_t> UdpSocket::recv(std::vector<std::uint8_t>& buf) {
   return static_cast<std::size_t>(n);
 }
 
+std::optional<std::size_t> UdpSocket::recv_from(std::vector<std::uint8_t>& buf, UdpEndpoint& from) {
+  if (fd_ < 0) return std::nullopt;
+  buf.resize(64 * 1024);
+  sockaddr_in peer{};
+  socklen_t peer_len = sizeof(peer);
+  const ssize_t n =
+      ::recvfrom(fd_, buf.data(), buf.size(), 0, reinterpret_cast<sockaddr*>(&peer), &peer_len);
+  if (n < 0) return std::nullopt;
+  buf.resize(static_cast<std::size_t>(n));
+  char host[INET_ADDRSTRLEN] = {};
+  if (inet_ntop(AF_INET, &peer.sin_addr, host, sizeof(host)) != nullptr) from.host = host;
+  from.port = ntohs(peer.sin_port);
+  return static_cast<std::size_t>(n);
+}
+
 }  // namespace hds::net

@@ -41,6 +41,10 @@ class UdpSocket {
   // to the received length (max 64 KiB).
   std::optional<std::size_t> recv(std::vector<std::uint8_t>& buf);
 
+  // Same, also reporting the sender — for request/response services (the
+  // admin channel) that must address a reply.
+  std::optional<std::size_t> recv_from(std::vector<std::uint8_t>& buf, UdpEndpoint& from);
+
  private:
   int fd_ = -1;
   std::uint16_t local_port_ = 0;

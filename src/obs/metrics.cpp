@@ -163,6 +163,32 @@ std::size_t MetricsRegistry::series_count() const {
   return counters_.size() + gauges_.size() + histograms_.size();
 }
 
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lk(mu_);
+  MetricsSnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [key, c] : counters_) {
+    out.counters.push_back({key.first, key.second, c->value()});
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [key, g] : gauges_) {
+    out.gauges.push_back({key.first, key.second, g->value()});
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [key, h] : histograms_) {
+    MetricsSnapshot::HistogramSample s;
+    s.name = key.first;
+    s.labels = key.second;
+    s.bounds = h->bounds();
+    s.bucket_counts.resize(s.bounds.size() + 1);
+    for (std::size_t i = 0; i < s.bucket_counts.size(); ++i) s.bucket_counts[i] = h->bucket_count(i);
+    s.count = h->count();
+    s.sum = h->sum();
+    out.histograms.push_back(std::move(s));
+  }
+  return out;
+}
+
 namespace {
 
 void json_escape_to(std::ostream& os, const std::string& s) {

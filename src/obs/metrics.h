@@ -116,6 +116,40 @@ struct HistogramSummary {
 
 HistogramSummary summarize(const Histogram& h);
 
+// Point-in-time copy of every series in a registry, decoupled from the
+// registry's locks and lifetime — the input to the Prometheus renderer and
+// anything else that walks all series (instrument reads are relaxed, so one
+// snapshot is as consistent as any concurrent reader can be).
+struct MetricsSnapshot {
+  struct CounterSample {
+    std::string name;
+    Labels labels;
+    std::uint64_t value = 0;
+    friend bool operator==(const CounterSample&, const CounterSample&) = default;
+  };
+  struct GaugeSample {
+    std::string name;
+    Labels labels;
+    std::int64_t value = 0;
+    friend bool operator==(const GaugeSample&, const GaugeSample&) = default;
+  };
+  struct HistogramSample {
+    std::string name;
+    Labels labels;
+    std::vector<std::int64_t> bounds;
+    std::vector<std::uint64_t> bucket_counts;  // bounds.size() + 1, last = overflow
+    std::uint64_t count = 0;
+    std::int64_t sum = 0;
+    friend bool operator==(const HistogramSample&, const HistogramSample&) = default;
+  };
+
+  std::vector<CounterSample> counters;      // sorted by (name, labels)
+  std::vector<GaugeSample> gauges;          // sorted by (name, labels)
+  std::vector<HistogramSample> histograms;  // sorted by (name, labels)
+
+  friend bool operator==(const MetricsSnapshot&, const MetricsSnapshot&) = default;
+};
+
 // Named, labeled instruments with stable addresses. counter()/gauge()/
 // histogram() create on first use and return the same instrument for the
 // same (name, labels) afterwards; references stay valid for the registry's
@@ -145,6 +179,8 @@ class MetricsRegistry {
   [[nodiscard]] std::uint64_t counter_total(const std::string& name) const;
 
   [[nodiscard]] std::size_t series_count() const;
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
 
   // Full snapshot as a JSON document:
   //   {"counters": [{"name", "labels", "value"}, ...],

@@ -1,5 +1,7 @@
 #include "obs/monitor.h"
 
+#include "obs/profiler.h"
+
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -78,6 +80,7 @@ void OnlineMonitor::emit(SimTime at, MonitorEvent::Severity sev, ProcIndex p, co
 }
 
 void OnlineMonitor::trusted_changed(ProcIndex p, SimTime at, const Multiset<Id>& m) {
+  HDS_PROF_SCOPE(ProfSubsystem::kMonitor);
   if (at < cfg_.watch_from) return;
   std::lock_guard lk(mu_);
   if (!correct_ids_.is_subset_of(m)) {
@@ -92,6 +95,7 @@ void OnlineMonitor::trusted_changed(ProcIndex p, SimTime at, const Multiset<Id>&
 }
 
 void OnlineMonitor::homega_changed(ProcIndex p, SimTime at, const HOmegaOut& out) {
+  HDS_PROF_SCOPE(ProfSubsystem::kMonitor);
   if (at < cfg_.watch_from) return;
   std::lock_guard lk(mu_);
   {
@@ -108,6 +112,7 @@ void OnlineMonitor::homega_changed(ProcIndex p, SimTime at, const HOmegaOut& out
 }
 
 void OnlineMonitor::hsigma_changed(ProcIndex p, SimTime at, const HSigmaSnapshot& snap) {
+  HDS_PROF_SCOPE(ProfSubsystem::kMonitor);
   // Quorum intersection is safety: judged from t = 0, not gated.
   std::lock_guard lk(mu_);
   for (const auto& [x, q] : snap.quora) {
@@ -140,6 +145,7 @@ void OnlineMonitor::hsigma_changed(ProcIndex p, SimTime at, const HSigmaSnapshot
 }
 
 void OnlineMonitor::sigma_changed(ProcIndex p, SimTime at, const Multiset<Id>& m) {
+  HDS_PROF_SCOPE(ProfSubsystem::kMonitor);
   if (at < cfg_.watch_from) return;
   std::lock_guard lk(mu_);
   if (!m.is_subset_of(correct_ids_)) {

@@ -1,0 +1,227 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+
+namespace hds::obs {
+
+namespace {
+
+// Stack paths pack into a u64 key: 4 bits per level (kCount <= 15), level 0
+// in the low nibble, a sentinel 0xF terminating shorter paths is not needed
+// because depth rides in the top byte.
+constexpr std::size_t kMaxDepth = 14;
+
+[[nodiscard]] std::uint64_t path_key(const ProfSubsystem* stack, std::size_t depth) {
+  std::uint64_t key = static_cast<std::uint64_t>(depth) << 56;
+  for (std::size_t i = 0; i < depth; ++i) {
+    key |= static_cast<std::uint64_t>(stack[i]) << (4 * i);
+  }
+  return key;
+}
+
+[[nodiscard]] std::vector<ProfSubsystem> path_unkey(std::uint64_t key) {
+  const auto depth = static_cast<std::size_t>(key >> 56);
+  std::vector<ProfSubsystem> out(depth);
+  for (std::size_t i = 0; i < depth; ++i) {
+    out[i] = static_cast<ProfSubsystem>((key >> (4 * i)) & 0xF);
+  }
+  return out;
+}
+
+[[nodiscard]] std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+struct PathAcc {
+  std::uint64_t calls = 0;
+  std::uint64_t self_ns = 0;
+  std::uint64_t total_ns = 0;
+};
+
+}  // namespace
+
+// Per-thread accumulation: a frame stack for open scopes and a path-keyed
+// table. The table is read by Profiler::snapshot() while the owning thread
+// may still be appending, so mutations and reads go through the buf mutex;
+// the lock is uncontended on the hot path (snapshotting is rare).
+struct ProfThreadBuf {
+  struct Frame {
+    ProfSubsystem subsys;
+    std::uint64_t start_ns = 0;
+    std::uint64_t child_ns = 0;
+  };
+
+  std::mutex mu;
+  Frame frames[kMaxDepth + 1];
+  std::size_t depth = 0;
+  ProfSubsystem stack[kMaxDepth];
+  std::unordered_map<std::uint64_t, PathAcc> paths;
+  bool registered = false;
+
+  ~ProfThreadBuf() { Profiler::instance().retire_buf(this); }
+};
+
+namespace {
+thread_local ProfThreadBuf t_buf;
+}  // namespace
+
+std::atomic<bool> Profiler::enabled_{false};
+
+Profiler& Profiler::instance() {
+  // Intentionally leaked: thread_local buffers retire themselves through the
+  // singleton at thread exit, which for the main thread can run after
+  // function-static destructors.
+  static Profiler* p = new Profiler();
+  return *p;
+}
+
+const char* prof_subsystem_name(ProfSubsystem s) {
+  switch (s) {
+    case ProfSubsystem::kEventQueue:
+      return "event_queue";
+    case ProfSubsystem::kFdStep:
+      return "fd_step";
+    case ProfSubsystem::kCodecEncode:
+      return "codec_encode";
+    case ProfSubsystem::kCodecDecode:
+      return "codec_decode";
+    case ProfSubsystem::kUdpSend:
+      return "udp_send";
+    case ProfSubsystem::kUdpRecv:
+      return "udp_recv";
+    case ProfSubsystem::kMonitor:
+      return "monitor";
+    case ProfSubsystem::kTraceStamp:
+      return "trace_stamp";
+    case ProfSubsystem::kAdmin:
+      return "admin";
+    case ProfSubsystem::kCount:
+      break;
+  }
+  return "?";
+}
+
+void Profiler::scope_begin(ProfSubsystem s) {
+  ProfThreadBuf& b = t_buf;
+  if (!b.registered) {
+    b.registered = true;
+    instance().register_buf(&b);
+  }
+  std::lock_guard lk(b.mu);
+  if (b.depth >= kMaxDepth) return;  // saturate rather than corrupt the key
+  b.frames[b.depth] = ProfThreadBuf::Frame{s, now_ns(), 0};
+  b.stack[b.depth] = s;
+  ++b.depth;
+}
+
+void Profiler::scope_end() {
+  ProfThreadBuf& b = t_buf;
+  std::lock_guard lk(b.mu);
+  if (b.depth == 0) return;
+  --b.depth;
+  const ProfThreadBuf::Frame& f = b.frames[b.depth];
+  const std::uint64_t elapsed = now_ns() - f.start_ns;
+  PathAcc& acc = b.paths[path_key(b.stack, b.depth + 1)];
+  ++acc.calls;
+  acc.total_ns += elapsed;
+  acc.self_ns += elapsed > f.child_ns ? elapsed - f.child_ns : 0;
+  if (b.depth > 0) b.frames[b.depth - 1].child_ns += elapsed;
+}
+
+void Profiler::register_buf(ProfThreadBuf* b) {
+  std::lock_guard lk(mu_);
+  bufs_.push_back(b);
+}
+
+void Profiler::retire_buf(ProfThreadBuf* b) {
+  std::lock_guard lk(mu_);
+  bufs_.erase(std::remove(bufs_.begin(), bufs_.end(), b), bufs_.end());
+  std::lock_guard blk(b->mu);
+  for (const auto& [key, acc] : b->paths) {
+    ProfPath& p = retired_[key];
+    if (p.stack.empty()) p.stack = path_unkey(key);
+    p.calls += acc.calls;
+    p.self_ns += acc.self_ns;
+    p.total_ns += acc.total_ns;
+  }
+}
+
+void Profiler::reset() {
+  std::lock_guard lk(mu_);
+  retired_.clear();
+  for (ProfThreadBuf* b : bufs_) {
+    std::lock_guard blk(b->mu);
+    b->paths.clear();
+  }
+}
+
+std::vector<ProfPath> Profiler::snapshot() const {
+  std::map<std::uint64_t, ProfPath> merged;
+  {
+    std::lock_guard lk(mu_);
+    merged = retired_;
+    for (ProfThreadBuf* b : bufs_) {
+      std::lock_guard blk(b->mu);
+      for (const auto& [key, acc] : b->paths) {
+        ProfPath& p = merged[key];
+        if (p.stack.empty()) p.stack = path_unkey(key);
+        p.calls += acc.calls;
+        p.self_ns += acc.self_ns;
+        p.total_ns += acc.total_ns;
+      }
+    }
+  }
+  std::vector<ProfPath> out;
+  out.reserve(merged.size());
+  for (auto& [key, p] : merged) {
+    (void)key;
+    out.push_back(std::move(p));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ProfPath& a, const ProfPath& b) { return a.total_ns > b.total_ns; });
+  return out;
+}
+
+std::string Profiler::collapsed_stacks(const std::string& root) const {
+  std::vector<std::string> lines;
+  for (const ProfPath& p : snapshot()) {
+    std::ostringstream os;
+    os << root;
+    for (const ProfSubsystem s : p.stack) os << ';' << prof_subsystem_name(s);
+    os << ' ' << p.self_ns;
+    lines.push_back(os.str());
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+void Profiler::emit(MetricsRegistry* reg) const {
+  if (reg == nullptr) return;
+  std::uint64_t self_ns[static_cast<std::size_t>(ProfSubsystem::kCount)] = {};
+  std::uint64_t calls[static_cast<std::size_t>(ProfSubsystem::kCount)] = {};
+  for (const ProfPath& p : snapshot()) {
+    const auto leaf = static_cast<std::size_t>(p.stack.back());
+    self_ns[leaf] += p.self_ns;
+    calls[leaf] += p.calls;
+  }
+  for (std::size_t i = 0; i < static_cast<std::size_t>(ProfSubsystem::kCount); ++i) {
+    if (calls[i] == 0) continue;
+    const Labels labels{{"subsys", prof_subsystem_name(static_cast<ProfSubsystem>(i))}};
+    reg->counter("prof_self_ns_total", labels).inc(self_ns[i]);
+    reg->counter("prof_calls_total", labels).inc(calls[i]);
+  }
+}
+
+}  // namespace hds::obs

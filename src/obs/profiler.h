@@ -1,0 +1,138 @@
+// In-process profiler: scoped-timer time accounting per subsystem, with
+// thread-local accumulation and a collapsed-stack (flamegraph) exporter.
+//
+// The live health plane needs "which subsystem is eating the microseconds
+// right now" answered without stopping the run, so the profiler is a
+// sampling-free tracer of wall time: every instrumented region opens an
+// HDS_PROF_SCOPE(subsystem) and the scope records elapsed time into a
+// thread-local buffer keyed by the *stack* of open subsystems (so time in
+// codec encode under the event-queue drain is distinguishable from codec
+// encode under the UDP sender). Buffers aggregate on demand into collapsed
+// stack lines ("hds;event_queue;codec_encode 1234") that flamegraph.pl /
+// speedscope / inferno consume directly.
+//
+// Cost discipline, in order:
+//  - compiled out entirely under -DHDS_NO_PROFILER (the macro expands to
+//    nothing);
+//  - when compiled in but disabled (the default), a scope is one relaxed
+//    atomic load and a branch — the same budget as a disabled trace ring,
+//    gated in CI by the hds_bench_compare 0.95x floor on the flood bench;
+//  - when enabled, two steady_clock reads per scope plus a thread-local
+//    hash-map bump; enabling is an observer decision, never the hot path's.
+//
+// The profiler is observer machinery in the paper's sense: it feeds nothing
+// back into a run, consumes no RNG, and never reorders events — schedules
+// are byte-identical with profiling on or off (pinned by the GoldenTrace
+// tests).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hds::obs {
+
+class MetricsRegistry;
+
+// One value per instrumented subsystem. Kept small (<= 15 real entries) so
+// a whole stack path packs into one 64-bit key.
+enum class ProfSubsystem : std::uint8_t {
+  kEventQueue = 0,  // sim event-queue drain (Scheduler::step)
+  kFdStep,          // process handler dispatch (on_start/on_message/on_timer)
+  kCodecEncode,     // v1 wire encode (byte meter / frame building)
+  kCodecDecode,     // v1 wire decode (recv path)
+  kUdpSend,         // datagram handed to the kernel
+  kUdpRecv,         // recvfrom + batch split
+  kMonitor,         // online property monitor rule evaluation
+  kTraceStamp,      // causal stamping + trace-ring appends
+  kAdmin,           // admin channel request handling
+  kCount,
+};
+
+[[nodiscard]] const char* prof_subsystem_name(ProfSubsystem s);
+
+// Aggregated view of one distinct stack path.
+struct ProfPath {
+  std::vector<ProfSubsystem> stack;  // outermost first
+  std::uint64_t calls = 0;
+  std::uint64_t self_ns = 0;   // time in this path excluding child scopes
+  std::uint64_t total_ns = 0;  // time including child scopes
+};
+
+// Process-wide profiler singleton. Threads register their buffers lazily on
+// first scope; snapshot() folds every live and retired buffer into one path
+// table. enable()/disable() flip the global gate all scopes check.
+class Profiler {
+ public:
+  static Profiler& instance();
+
+  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+  // Drops all accumulated samples (live thread buffers included).
+  void reset();
+
+  // Aggregated paths, outermost-first stacks, sorted by total_ns descending.
+  [[nodiscard]] std::vector<ProfPath> snapshot() const;
+
+  // Collapsed-stack text: one "root;sub;sub count" line per path, where the
+  // count is *self* nanoseconds (the flamegraph convention — children carry
+  // their own lines). Lines are sorted lexicographically so exports diff.
+  [[nodiscard]] std::string collapsed_stacks(const std::string& root = "hds") const;
+
+  // Projects the aggregate into prof_self_ns_total / prof_calls_total
+  // counter series labeled {subsys=<name>} (self time summed over every
+  // path ending in that subsystem). Null registry is a no-op.
+  void emit(MetricsRegistry* reg) const;
+
+  // Internal: scope begin/end on the calling thread. Public only for the
+  // ProfScope helper; call through HDS_PROF_SCOPE.
+  static void scope_begin(ProfSubsystem s);
+  static void scope_end();
+
+ private:
+  friend struct ProfThreadBuf;
+  Profiler() = default;
+
+  void register_buf(struct ProfThreadBuf* b);
+  void retire_buf(struct ProfThreadBuf* b);
+
+  static std::atomic<bool> enabled_;
+
+  mutable std::mutex mu_;
+  std::vector<struct ProfThreadBuf*> bufs_;              // live threads
+  std::map<std::uint64_t, ProfPath> retired_;            // from exited threads
+};
+
+// RAII scope. Checks the global gate once at construction: a scope that
+// begins disabled stays disabled even if the profiler flips mid-flight, so
+// begin/end always pair up.
+class ProfScope {
+ public:
+  explicit ProfScope(ProfSubsystem s) : on_(Profiler::enabled()) {
+    if (on_) Profiler::scope_begin(s);
+  }
+  ~ProfScope() {
+    if (on_) Profiler::scope_end();
+  }
+  ProfScope(const ProfScope&) = delete;
+  ProfScope& operator=(const ProfScope&) = delete;
+
+ private:
+  bool on_;
+};
+
+}  // namespace hds::obs
+
+#ifdef HDS_NO_PROFILER
+#define HDS_PROF_SCOPE(subsys)
+#else
+#define HDS_PROF_CONCAT2(a, b) a##b
+#define HDS_PROF_CONCAT(a, b) HDS_PROF_CONCAT2(a, b)
+#define HDS_PROF_SCOPE(subsys) \
+  ::hds::obs::ProfScope HDS_PROF_CONCAT(hds_prof_scope_, __LINE__) { (subsys) }
+#endif

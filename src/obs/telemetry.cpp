@@ -76,6 +76,7 @@ Json telemetry_delta_to_json(const TelemetryDelta& d) {
   j["final"] = d.final_flush;
   j["epoch_wall_us"] = d.epoch_wall_us;
   j["hello_done_ms"] = d.hello_done_ms;
+  if (d.admin_port != 0) j["admin_port"] = d.admin_port;
   j["dropped"] = d.dropped;
   Json evs = Json::array();
   for (const TraceEvent& e : d.events) evs.push_back(event_to_json(e));
@@ -98,6 +99,7 @@ TelemetryDelta telemetry_delta_from_json(const Json& j) {
   d.final_flush = fin != nullptr && fin->is_bool() && fin->boolean();
   d.epoch_wall_us = static_cast<std::int64_t>(j.number_or("epoch_wall_us", 0));
   d.hello_done_ms = static_cast<SimTime>(j.number_or("hello_done_ms", -1));
+  d.admin_port = static_cast<std::uint16_t>(j.number_or("admin_port", 0));
   d.dropped = static_cast<std::uint64_t>(j.number_or("dropped", 0));
   if (const Json* evs = j.find("events"); evs != nullptr && evs->is_array()) {
     d.events.reserve(evs->items().size());
@@ -130,20 +132,32 @@ std::vector<TelemetryDelta> chunk_telemetry_delta(const TelemetryDelta& d,
 
 void TelemetryMerger::ingest(const TelemetryDelta& d) {
   PerNode& n = nodes_[d.node];
-  if (n.deltas == 0 || d.id != 0) n.id = d.id;
+  if (n.seen_seqs.empty() || d.id != 0) n.id = d.id;
   if (d.epoch_wall_us != 0) n.epoch_wall_us = d.epoch_wall_us;
   if (d.hello_done_ms >= 0) n.hello_done_ms = d.hello_done_ms;
+  if (d.admin_port != 0) n.admin_port = d.admin_port;
   n.dropped = std::max(n.dropped, d.dropped);
   n.max_seq = std::max(n.max_seq, d.seq);
   if (d.final_flush) n.got_final = true;
   if (!d.metrics_json.empty()) n.metrics_json = d.metrics_json;
+  // A replayed sequence number means the datagram arrived twice; appending
+  // its events again would double-count them in the merged trace, and
+  // counting it as a fresh delta would hide a real loss elsewhere.
+  if (!n.seen_seqs.insert(d.seq).second) {
+    ++n.dup_deltas;
+    return;
+  }
   n.events.insert(n.events.end(), d.events.begin(), d.events.end());
-  ++n.deltas;
 }
 
 bool TelemetryMerger::node_final(ProcIndex node) const {
   const auto it = nodes_.find(node);
   return it != nodes_.end() && it->second.got_final;
+}
+
+std::uint16_t TelemetryMerger::node_admin_port(ProcIndex node) const {
+  const auto it = nodes_.find(node);
+  return it != nodes_.end() ? it->second.admin_port : 0;
 }
 
 std::vector<NodeTrace> TelemetryMerger::node_traces() const {
@@ -220,14 +234,17 @@ Json TelemetryMerger::summary() const {
   for (const auto& [node, pn] : nodes_) {
     Json nj = Json::object();
     nj["id"] = pn.id;
-    nj["deltas"] = pn.deltas;
-    // Sequence gaps: with seq numbered from 0, max_seq+1 deltas were sent
-    // up to the highest one seen. Duplicates can push the count past that,
-    // hence the clamp.
+    const auto distinct = static_cast<std::uint64_t>(pn.seen_seqs.size());
+    nj["deltas"] = distinct;
+    nj["dup_deltas"] = pn.dup_deltas;
+    // Sequence gaps: with seq numbered from 0, max_seq+1 deltas were sent up
+    // to the highest one seen. Only distinct sequence numbers count toward
+    // coverage, so replayed datagrams cannot cancel out real losses.
     const std::uint64_t expected = pn.max_seq + 1;
-    nj["lost_deltas"] = expected > pn.deltas ? expected - pn.deltas : 0;
+    nj["lost_deltas"] = expected > distinct ? expected - distinct : 0;
     nj["trace_dropped"] = pn.dropped;
     nj["final"] = pn.got_final;
+    if (pn.admin_port != 0) nj["admin_port"] = pn.admin_port;
     nj["hello_done_ms"] = pn.hello_done_ms;
     nj["epoch_wall_us"] = pn.epoch_wall_us;
     nj["events"] = pn.events.size();

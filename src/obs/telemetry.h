@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,7 @@ struct TelemetryDelta {
   bool final_flush = false;        // last delta this node will send
   std::int64_t epoch_wall_us = 0;  // wall clock (µs since Unix epoch) at local t = 0
   SimTime hello_done_ms = -1;      // local time the HELLO barrier completed; -1 unknown
+  std::uint16_t admin_port = 0;    // node's hds-admin-v1 UDP port; 0 = none announced
   std::uint64_t dropped = 0;       // trace-ring evictions so far at this node
   std::vector<TraceEvent> events;  // events recorded since the previous delta
   std::string metrics_json;        // metrics snapshot; only on the final flush
@@ -71,14 +73,21 @@ struct ClusterQos {
 
 class TelemetryMerger {
  public:
-  // Folds one delta into the per-node stream state. Out-of-order and
-  // duplicate deltas are tolerated (events append in arrival order; the
-  // merged exporter and QoS sort by aligned time where it matters).
+  // Folds one delta into the per-node stream state. Out-of-order deltas are
+  // tolerated (events append in arrival order; the merged exporter and QoS
+  // sort by aligned time where it matters). A duplicate sequence number —
+  // a replayed datagram — is counted but its events are NOT appended again,
+  // so duplicates neither double-count trace events nor mask real losses in
+  // the gap accounting.
   void ingest(const TelemetryDelta& d);
 
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] bool node_seen(ProcIndex node) const { return nodes_.count(node) != 0; }
   [[nodiscard]] bool node_final(ProcIndex node) const;
+
+  // Last admin port this node announced; 0 when none has been. The launcher
+  // uses these to publish admin_endpoints.json for hds_top.
+  [[nodiscard]] std::uint16_t node_admin_port(ProcIndex node) const;
 
   // Per-node windows for write_merged_chrome_trace, ascending node index.
   [[nodiscard]] std::vector<NodeTrace> node_traces() const;
@@ -95,10 +104,12 @@ class TelemetryMerger {
     Id id = 0;
     std::int64_t epoch_wall_us = 0;
     SimTime hello_done_ms = -1;
+    std::uint16_t admin_port = 0;
     std::uint64_t dropped = 0;
     bool got_final = false;
-    std::uint64_t deltas = 0;       // deltas ingested
-    std::uint64_t max_seq = 0;      // highest sequence number seen
+    std::set<std::uint64_t> seen_seqs;  // distinct sequence numbers ingested
+    std::uint64_t dup_deltas = 0;       // replayed datagrams (seq seen before)
+    std::uint64_t max_seq = 0;          // highest sequence number seen
     std::string metrics_json;
     std::vector<TraceEvent> events;
   };

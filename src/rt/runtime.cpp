@@ -1,5 +1,7 @@
 #include "rt/runtime.h"
 
+#include "obs/profiler.h"
+
 #include <queue>
 
 #include "net/codec.h"
@@ -161,6 +163,7 @@ class RtSystem::Node {
         queue_.pop();
       }
       // Handlers run unlocked: only this thread touches proc_.
+      HDS_PROF_SCOPE(obs::ProfSubsystem::kFdStep);
       task.run(*proc_, env_);
     }
   }

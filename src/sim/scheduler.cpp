@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/profiler.h"
+
 namespace hds {
 
 void Scheduler::at(SimTime t, Action fn) {
@@ -15,6 +17,7 @@ void Scheduler::at(SimTime t, Action fn) {
 
 bool Scheduler::step() {
   if (empty()) return false;
+  HDS_PROF_SCOPE(obs::ProfSubsystem::kEventQueue);
   SimTime t = 0;
   Action fn = kind_ == QueueKind::kCalendar ? calendar_.pop(t) : heap_.pop(t);
   now_ = t;

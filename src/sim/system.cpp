@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "net/codec.h"
+#include "obs/profiler.h"
 
 namespace hds {
 
@@ -38,6 +39,7 @@ class System::NodeEnv final : public Env {
         sys_.trace_.record(sys_.now(), TraceEvent::Kind::kTimer, idx_, {}, tid, tparent);
       }
       obs::inc(sys_.m_timer_fires_);
+      HDS_PROF_SCOPE(obs::ProfSubsystem::kFdStep);
       sys_.procs_.at(idx_)->on_timer(*this, id);
     });
     return id;
@@ -88,6 +90,7 @@ System::System(SystemConfig cfg)
     frame_overhead_by_sender_.push_back(net::frame_overhead(i, ids_[i]));
   }
   net_->set_byte_meter([this](const Message& m, ProcIndex from) -> std::size_t {
+    HDS_PROF_SCOPE(obs::ProfSubsystem::kCodecEncode);
     const net::BodyCodec* c = meter_codec_of(m.type);
     if (c == nullptr) return 0;
     const std::size_t body = net::encoded_body_size(*c, m);
@@ -118,6 +121,7 @@ void System::start() {
         causal_.parent = sid;
         trace_.record(0, TraceEvent::Kind::kStart, i, {}, sid, 0);
       }
+      HDS_PROF_SCOPE(obs::ProfSubsystem::kFdStep);
       procs_[i]->on_start(*envs_[i]);
     });
     if (trace_.enabled() && crashes_[i]) {
@@ -181,6 +185,7 @@ void System::deliver(ProcIndex to, const std::shared_ptr<const Message>& m) {
     trace_.record(now(), TraceEvent::Kind::kDeliver, to, m->type, m->meta_causal_id,
                   m->meta_causal_parent);
   }
+  HDS_PROF_SCOPE(obs::ProfSubsystem::kFdStep);
   procs_.at(to)->on_message(*envs_.at(to), *m);
 }
 

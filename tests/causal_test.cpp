@@ -262,6 +262,81 @@ TEST(Telemetry, MergerAccountsSequenceGapsAndFinals) {
   EXPECT_NE(s.find("cluster_qos"), nullptr);
 }
 
+TEST(Telemetry, MergerIgnoresDuplicateDeltasButCountsThem) {
+  // A replayed datagram (same sequence number) must not double-append its
+  // events, and — crucially — must not count as a fresh delta: before the
+  // distinct-sequence accounting, one duplicate could mask one real loss.
+  TelemetryMerger merger;
+  TelemetryDelta d;
+  d.node = 1;
+  d.seq = 0;
+  d.events = {ev(5, K::kBroadcast, 1, "POLLING", causal_node_base(1) | 1)};
+  merger.ingest(d);
+  merger.ingest(d);  // duplicate
+  d.seq = 2;         // seq 1 lost
+  d.events = {ev(8, K::kTimer, 1)};
+  merger.ingest(d);
+  merger.ingest(d);  // duplicate again
+
+  const auto traces = merger.node_traces();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].events.size(), 2u);  // one per distinct delta
+
+  const Json s = merger.summary();
+  const Json* node = s.find("nodes")->find("1");
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->number_or("deltas", 0), 2.0);
+  EXPECT_EQ(node->number_or("dup_deltas", 0), 2.0);
+  EXPECT_EQ(node->number_or("lost_deltas", 0), 1.0);
+  EXPECT_EQ(node->number_or("events", 0), 2.0);
+}
+
+TEST(Telemetry, MergerToleratesReorderedDeltas) {
+  // Arrival order 2, 0, 1: no gap once all three distinct deltas land, and
+  // final/metrics stick no matter which chunk carried them.
+  TelemetryMerger merger;
+  TelemetryDelta d;
+  d.node = 0;
+  d.seq = 2;
+  d.final_flush = true;
+  d.metrics_json = "{}";
+  merger.ingest(d);
+  d = TelemetryDelta{};
+  d.node = 0;
+  d.seq = 0;
+  merger.ingest(d);
+  d.seq = 1;
+  merger.ingest(d);
+  EXPECT_TRUE(merger.node_final(0));
+  const Json* node = merger.summary().find("nodes")->find("0");
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->number_or("deltas", 0), 3.0);
+  EXPECT_EQ(node->number_or("lost_deltas", 0), 0.0);
+  EXPECT_EQ(node->number_or("dup_deltas", 0), 0.0);
+}
+
+TEST(Telemetry, AdminPortRidesDeltasAndSurvivesZeroUpdates) {
+  TelemetryMerger merger;
+  TelemetryDelta d;
+  d.node = 3;
+  d.seq = 0;
+  d.admin_port = 9301;
+  // The announcement survives the JSON codec...
+  const TelemetryDelta decoded = telemetry_delta_from_json(telemetry_delta_to_json(d));
+  EXPECT_EQ(decoded.admin_port, 9301);
+  merger.ingest(decoded);
+  EXPECT_EQ(merger.node_admin_port(3), 9301);
+  // ...and a later delta without the field does not erase it.
+  d.seq = 1;
+  d.admin_port = 0;
+  merger.ingest(d);
+  EXPECT_EQ(merger.node_admin_port(3), 9301);
+  EXPECT_EQ(merger.node_admin_port(7), 0);  // unseen node
+  const Json* node = merger.summary().find("nodes")->find("3");
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->number_or("admin_port", 0), 9301.0);
+}
+
 // --------------------------------------------------------- merged export
 
 TEST(MergedTrace, EmitsOnePidPerNodeWithCrossProcessFlowArrows) {

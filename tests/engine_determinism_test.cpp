@@ -14,7 +14,9 @@
 #include "exp/runner.h"
 #include "fd/impl/alive_ranker.h"
 #include "net/codec.h"
+#include "obs/profiler.h"
 #include "obs/qos.h"
+#include "obs/window_qos.h"
 #include "sim/scheduler.h"
 #include "sim/system.h"
 
@@ -276,6 +278,58 @@ std::string fig6_qos_fingerprint(QueueKind kind) {
 
 TEST(GoldenTrace, Fig6QosJsonIsByteIdenticalAcrossQueueBackends) {
   EXPECT_EQ(fig6_qos_fingerprint(QueueKind::kCalendar), fig6_qos_fingerprint(QueueKind::kHeap));
+}
+
+TEST(GoldenTrace, HealthPlaneOnOffLeavesScheduleMetricsAndQosIdentical) {
+  // The live health plane — window-QoS listeners teed into every detector
+  // plus the in-process profiler timing the hot path — is pure observation:
+  // no RNG draws, no extra events, no metric the plain run would not have
+  // written. A run with the whole plane attached must fingerprint exactly
+  // like a bare one.
+  const auto fingerprint = [](bool health_plane) {
+    Fig6Params p;
+    p.ids = ids_homonymous(6, 3, 5);
+    p.crashes = crashes_last_k(6, 2, /*at=*/300, /*stagger=*/40);
+    p.net.gst = 500;
+    p.net.delta = 3;
+    p.net.pre_gst_loss = 0.2;
+    p.net.pre_gst_max_delay = 6;
+    p.seed = 5;
+    p.run_for = 2000;
+    p.collect_qos = true;
+    obs::MetricsRegistry reg;
+    p.metrics = &reg;
+    std::unique_ptr<obs::WindowQos> wq;
+    if (health_plane) {
+      obs::WindowQosConfig wc;
+      wc.gt = ground_truth_of(p.ids, p.crashes);
+      wc.crash_at.assign(6, -1);
+      for (std::size_t i = 0; i < p.crashes.size(); ++i) {
+        if (p.crashes[i].has_value()) wc.crash_at[i] = p.crashes[i]->at;
+      }
+      wc.width = 250;
+      wc.windows = 8;
+      // Deliberately NOT wired into `reg`: the qos_window_* gauges are the
+      // plane's own series; the fingerprint compares what the run itself
+      // writes, which must not change.
+      wq = std::make_unique<obs::WindowQos>(wc);
+      p.window_qos = wq.get();
+      obs::Profiler::instance().enable();
+    }
+    const Fig6Result r = run_fig6(p);
+    if (health_plane) {
+      obs::Profiler::instance().disable();
+      // The plane really was live: detector changes landed in the ring and
+      // the profiler saw the event loop.
+      EXPECT_GT(wq->stats().events, 0u);
+      EXPECT_FALSE(obs::Profiler::instance().snapshot().empty());
+      obs::Profiler::instance().reset();
+    }
+    return obs::qos_json(r.qos).dump(2) + "\n" + reg.to_json() + "\n" +
+           std::to_string(r.stabilization_time) + ":" + std::to_string(r.broadcasts) + ":" +
+           std::to_string(r.copies_delivered);
+  };
+  EXPECT_EQ(fingerprint(false), fingerprint(true));
 }
 
 // ----------------------------------------------- parallel experiment engine

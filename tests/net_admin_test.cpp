@@ -1,0 +1,109 @@
+// hds-admin-v1 request/response channel: chunking, loopback server/client,
+// error envelopes, timeout behavior.
+#include "net/admin.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json.h"
+
+namespace hds::net {
+namespace {
+
+TEST(AdminProto, EmptyPayloadStillYieldsOneChunk) {
+  const std::vector<std::string> frames = admin_response_datagrams(7, "");
+  ASSERT_EQ(frames.size(), 1u);
+  const obs::Json j = obs::Json::parse(frames[0]);
+  EXPECT_EQ(j.string_or("schema", ""), kAdminSchema);
+  EXPECT_EQ(j.number_or("req", 0), 7.0);
+  EXPECT_EQ(j.number_or("chunks", 0), 1.0);
+  EXPECT_EQ(j.string_or("body", "x"), "");
+}
+
+TEST(AdminProto, LargePayloadSplitsAndConcatenatesInChunkOrder) {
+  std::string payload;
+  for (std::size_t i = 0; payload.size() < kAdminChunkBytes * 2 + 100; ++i) {
+    payload += "line " + std::to_string(i) + "\n";
+  }
+  const std::vector<std::string> frames = admin_response_datagrams(3, payload);
+  ASSERT_EQ(frames.size(), 3u);
+  std::string rebuilt;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const obs::Json j = obs::Json::parse(frames[i]);
+    EXPECT_EQ(j.number_or("chunk", 99), static_cast<double>(i));
+    EXPECT_EQ(j.number_or("chunks", 0), 3.0);
+    rebuilt += j.string_or("body", "");
+  }
+  EXPECT_EQ(rebuilt, payload);
+}
+
+TEST(AdminLoopback, ServerAnswersAndClientReassembles) {
+  AdminServer server;
+  server.start(UdpEndpoint{"127.0.0.1", 0},
+               [](const std::string& verb, const obs::Json& req) {
+                 // Echo enough to prove both arguments arrive intact.
+                 return verb + ":" + std::to_string(static_cast<int>(req.number_or("req", -1) > 0));
+               });
+  ASSERT_TRUE(server.running());
+  ASSERT_NE(server.port(), 0);
+
+  AdminClient client;
+  const auto body = client.request(UdpEndpoint{"127.0.0.1", server.port()}, "STATUS", 3000);
+  ASSERT_TRUE(body.has_value());
+  EXPECT_EQ(*body, "STATUS:1");
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(AdminLoopback, MultiChunkPayloadRoundTrips) {
+  std::string big;
+  while (big.size() < kAdminChunkBytes * 2 + 17) big += "0123456789abcdef";
+  AdminServer server;
+  server.start(UdpEndpoint{"127.0.0.1", 0},
+               [&](const std::string&, const obs::Json&) { return big; });
+  AdminClient client;
+  const auto body = client.request(UdpEndpoint{"127.0.0.1", server.port()}, "STATS", 5000);
+  ASSERT_TRUE(body.has_value());
+  EXPECT_EQ(*body, big);
+}
+
+TEST(AdminLoopback, HandlerExceptionBecomesAnErrorResponse) {
+  AdminServer server;
+  server.start(UdpEndpoint{"127.0.0.1", 0}, [](const std::string& verb, const obs::Json&) {
+    throw std::runtime_error("unknown verb " + verb);
+    return std::string{};
+  });
+  AdminClient client;
+  const auto body = client.request(UdpEndpoint{"127.0.0.1", server.port()}, "NOPE", 3000);
+  EXPECT_FALSE(body.has_value());
+  EXPECT_NE(client.last_error().find("unknown verb NOPE"), std::string::npos);
+}
+
+TEST(AdminLoopback, SequentialRequestsReuseOneClient) {
+  AdminServer server;
+  server.start(UdpEndpoint{"127.0.0.1", 0}, [](const std::string& verb, const obs::Json&) {
+    return "ok:" + verb;
+  });
+  AdminClient client;
+  const UdpEndpoint ep{"127.0.0.1", server.port()};
+  for (int i = 0; i < 5; ++i) {
+    const auto body = client.request(ep, "V" + std::to_string(i), 3000);
+    ASSERT_TRUE(body.has_value());
+    EXPECT_EQ(*body, "ok:V" + std::to_string(i));
+  }
+}
+
+TEST(AdminLoopback, TimeoutOnSilentEndpointReturnsNullopt) {
+  // Bind a socket that never answers, so the port is taken but mute.
+  UdpSocket silent;
+  silent.open(UdpEndpoint{"127.0.0.1", 0});
+  AdminClient client;
+  const auto body =
+      client.request(UdpEndpoint{"127.0.0.1", silent.local_port()}, "STATUS", 300, 100);
+  EXPECT_FALSE(body.has_value());
+  EXPECT_FALSE(client.last_error().empty());
+}
+
+}  // namespace
+}  // namespace hds::net

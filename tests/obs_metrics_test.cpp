@@ -75,6 +75,35 @@ TEST(Histogram, QuantileClampsOverflowAndHandlesEmpty) {
   EXPECT_DOUBLE_EQ(h.quantile(0.99), 40.0);
 }
 
+TEST(Histogram, TailQuantilesOnSaturatedOverflowBucket) {
+  // The saturated-layout edge: the overflow bucket dominates, so every tail
+  // quantile that ranks into it must clamp to the last bound — never
+  // extrapolate past the layout, never NaN, never fall back to 0. Pins the
+  // behavior the window-QoS gauges and summarize() rely on when a latency
+  // series outgrows its buckets.
+  obs::Histogram h({10, 20, 40});
+  for (int i = 0; i < 10; ++i) h.observe(5);       // 1% in-range
+  for (int i = 0; i < 990; ++i) h.observe(10000);  // 99% overflow
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 40.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.999), 40.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 40.0);
+  // The p0.01 rank exactly exhausts the first bucket; the boundary rank
+  // belongs to the lower bucket (cumulative >= rank), giving its bound.
+  EXPECT_DOUBLE_EQ(h.quantile(0.01), 10.0);
+  // Out-of-range q clamps instead of reading past the bucket array.
+  EXPECT_DOUBLE_EQ(h.quantile(1.5), 40.0);
+  EXPECT_DOUBLE_EQ(h.quantile(-0.5), h.quantile(0.0));
+
+  // Fully saturated: a single overflow observation at every rank.
+  obs::Histogram all_over({10, 20, 40});
+  for (int i = 0; i < 3; ++i) all_over.observe(1 << 20);
+  const obs::HistogramSummary s = obs::summarize(all_over);
+  EXPECT_DOUBLE_EQ(s.p50, 40.0);
+  EXPECT_DOUBLE_EQ(s.p95, 40.0);
+  EXPECT_DOUBLE_EQ(s.p99, 40.0);
+  EXPECT_DOUBLE_EQ(all_over.quantile(0.0), 40.0);
+}
+
 TEST(Histogram, SummarizeDigestsCountSumAndPercentiles) {
   obs::Histogram h({10, 20, 40});
   for (int i = 0; i < 100; ++i) h.observe(5);

@@ -1,0 +1,188 @@
+// In-process profiler: scoped-timer accounting keyed by the stack of open
+// subsystems, thread-local buffers, collapsed-stack export, metrics emit.
+#include "obs/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace hds::obs {
+namespace {
+
+// The profiler is process-global; every test starts from a clean, disabled
+// slate so ordering cannot leak state between cases.
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Profiler::instance().disable();
+    Profiler::instance().reset();
+  }
+  void TearDown() override {
+    Profiler::instance().disable();
+    Profiler::instance().reset();
+  }
+};
+
+void spin_ns(std::int64_t ns) {
+  const auto until = std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+TEST_F(ProfilerTest, DisabledScopesRecordNothing) {
+  {
+    HDS_PROF_SCOPE(ProfSubsystem::kEventQueue);
+    HDS_PROF_SCOPE(ProfSubsystem::kFdStep);
+    spin_ns(1000);
+  }
+  EXPECT_TRUE(Profiler::instance().snapshot().empty());
+}
+
+TEST_F(ProfilerTest, RecordsNestedPathsWithSelfAndTotalTime) {
+  Profiler::instance().enable();
+  for (int i = 0; i < 3; ++i) {
+    HDS_PROF_SCOPE(ProfSubsystem::kEventQueue);
+    spin_ns(20000);
+    {
+      HDS_PROF_SCOPE(ProfSubsystem::kCodecEncode);
+      spin_ns(20000);
+    }
+  }
+  Profiler::instance().disable();
+  const std::vector<ProfPath> paths = Profiler::instance().snapshot();
+  ASSERT_EQ(paths.size(), 2u);
+  const ProfPath* outer = nullptr;
+  const ProfPath* inner = nullptr;
+  for (const ProfPath& p : paths) {
+    if (p.stack.size() == 1) outer = &p;
+    if (p.stack.size() == 2) inner = &p;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->stack[0], ProfSubsystem::kEventQueue);
+  EXPECT_EQ(inner->stack[0], ProfSubsystem::kEventQueue);
+  EXPECT_EQ(inner->stack[1], ProfSubsystem::kCodecEncode);
+  EXPECT_EQ(outer->calls, 3u);
+  EXPECT_EQ(inner->calls, 3u);
+  // Self time excludes the child; total includes it.
+  EXPECT_GE(outer->total_ns, outer->self_ns + inner->total_ns);
+  EXPECT_GT(inner->self_ns, 0u);
+  EXPECT_GT(outer->self_ns, 0u);
+}
+
+TEST_F(ProfilerTest, CollapsedStacksFollowTheFlamegraphConvention) {
+  Profiler::instance().enable();
+  {
+    HDS_PROF_SCOPE(ProfSubsystem::kUdpRecv);
+    spin_ns(5000);
+    {
+      HDS_PROF_SCOPE(ProfSubsystem::kCodecDecode);
+      spin_ns(5000);
+    }
+  }
+  Profiler::instance().disable();
+  const std::string text = Profiler::instance().collapsed_stacks("hds");
+  // One "root;frames count" line per path, lexicographically sorted.
+  std::istringstream in(text);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].rfind("hds;udp_recv ", 0), 0u);
+  EXPECT_EQ(lines[1].rfind("hds;udp_recv;codec_decode ", 0), 0u);
+  for (const std::string& line : lines) {
+    const std::uint64_t count = std::stoull(line.substr(line.rfind(' ') + 1));
+    EXPECT_GT(count, 0u);
+  }
+}
+
+TEST_F(ProfilerTest, ThreadBuffersRetireIntoTheSnapshot) {
+  Profiler::instance().enable();
+  std::thread worker([] {
+    HDS_PROF_SCOPE(ProfSubsystem::kMonitor);
+    spin_ns(5000);
+  });
+  worker.join();  // thread exit retires its buffer into the singleton
+  {
+    HDS_PROF_SCOPE(ProfSubsystem::kMonitor);
+    spin_ns(5000);
+  }
+  Profiler::instance().disable();
+  const std::vector<ProfPath> paths = Profiler::instance().snapshot();
+  ASSERT_EQ(paths.size(), 1u);
+  // Same path from two threads merges: retired + live.
+  EXPECT_EQ(paths[0].calls, 2u);
+}
+
+TEST_F(ProfilerTest, EmitProjectsIntoLabeledCounters) {
+  Profiler::instance().enable();
+  {
+    HDS_PROF_SCOPE(ProfSubsystem::kAdmin);
+    spin_ns(5000);
+  }
+  Profiler::instance().disable();
+  MetricsRegistry reg;
+  Profiler::instance().emit(&reg);
+  const MetricsSnapshot snap = reg.snapshot();
+  const Labels admin_labels{{"subsys", "admin"}};
+  bool saw_ns = false;
+  bool saw_calls = false;
+  for (const auto& c : snap.counters) {
+    if (c.name == "prof_self_ns_total" && c.labels == admin_labels) {
+      saw_ns = true;
+      EXPECT_GT(c.value, 0u);
+    }
+    if (c.name == "prof_calls_total" && c.labels == admin_labels) {
+      saw_calls = true;
+      EXPECT_EQ(c.value, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_ns);
+  EXPECT_TRUE(saw_calls);
+  // Null registry is a documented no-op.
+  Profiler::instance().emit(nullptr);
+}
+
+TEST_F(ProfilerTest, ResetDropsAccumulatedSamples) {
+  Profiler::instance().enable();
+  {
+    HDS_PROF_SCOPE(ProfSubsystem::kFdStep);
+    spin_ns(1000);
+  }
+  ASSERT_FALSE(Profiler::instance().snapshot().empty());
+  Profiler::instance().reset();
+  EXPECT_TRUE(Profiler::instance().snapshot().empty());
+  EXPECT_EQ(Profiler::instance().collapsed_stacks(), "");
+}
+
+TEST_F(ProfilerTest, ScopeCapturesTheGateAtConstruction) {
+  // A scope that begins disabled must stay inert even if the profiler is
+  // enabled while it is open — otherwise begin/end would unbalance.
+  {
+    HDS_PROF_SCOPE(ProfSubsystem::kEventQueue);
+    Profiler::instance().enable();
+    {
+      HDS_PROF_SCOPE(ProfSubsystem::kFdStep);
+      spin_ns(1000);
+    }
+    Profiler::instance().disable();
+  }
+  const std::vector<ProfPath> paths = Profiler::instance().snapshot();
+  ASSERT_EQ(paths.size(), 1u);
+  // The inner scope recorded at depth 0: the outer scope never registered.
+  EXPECT_EQ(paths[0].stack.size(), 1u);
+  EXPECT_EQ(paths[0].stack[0], ProfSubsystem::kFdStep);
+}
+
+TEST_F(ProfilerTest, SubsystemNamesAreStable) {
+  EXPECT_STREQ(prof_subsystem_name(ProfSubsystem::kEventQueue), "event_queue");
+  EXPECT_STREQ(prof_subsystem_name(ProfSubsystem::kCodecEncode), "codec_encode");
+  EXPECT_STREQ(prof_subsystem_name(ProfSubsystem::kTraceStamp), "trace_stamp");
+  EXPECT_STREQ(prof_subsystem_name(ProfSubsystem::kAdmin), "admin");
+}
+
+}  // namespace
+}  // namespace hds::obs

@@ -8,8 +8,10 @@
 // --min-speedup NAME=R additionally requires the current run to beat the
 // baseline by at least R× on that series (this is how CI enforces the
 // engine-overhaul throughput floor against the committed old-engine
-// baseline). Exit status: 0 clean, 1 regression / unmet floor, 2 usage or
-// unreadable input.
+// baseline). NAME may be CURRENT@BASELINE to floor a series the baseline
+// predates against an equivalent-workload reference it does contain (e.g.
+// the profiler-off flood against the tracing-off flood). Exit status:
+// 0 clean, 1 regression / unmet floor, 2 usage or unreadable input.
 #include <iomanip>
 #include <iostream>
 #include <map>
@@ -63,7 +65,8 @@ void usage(std::ostream& os) {
   os << "usage: hds_bench_compare --baseline FILE --current FILE\n"
         "                         [--max-regress R] [--min-speedup NAME=R]...\n"
         "R is a ratio: --max-regress 0.15 tolerates 15% regression;\n"
-        "--min-speedup BM_Foo=3.0 demands current >= 3x baseline on BM_Foo\n"
+        "--min-speedup BM_Foo=3.0 demands current >= 3x baseline on BM_Foo;\n"
+        "--min-speedup BM_New@BM_Old=R floors current BM_New vs baseline BM_Old\n"
         "exit: 0 clean, 1 regression or unmet speedup floor, 2 usage error\n";
 }
 
@@ -146,11 +149,21 @@ int main(int argc, char** argv) {
               << std::setprecision(3) << ratio << "x  " << verdict.str() << "\n";
   }
   for (const auto& [name, floor] : floors) {
-    const auto bi = base.find(name);
-    const auto ci = cur.find(name);
+    // CURRENT@BASELINE floors a new series against an older reference.
+    const auto at = name.find('@');
+    const std::string cur_name = at == std::string::npos ? name : name.substr(0, at);
+    const std::string base_name = at == std::string::npos ? name : name.substr(at + 1);
+    const auto bi = base.find(base_name);
+    const auto ci = cur.find(cur_name);
     if (bi == base.end() || ci == cur.end()) {
       std::cerr << "hds_bench_compare: --min-speedup target " << name
                 << " missing from baseline or current\n";
+      status = 1;
+      continue;
+    }
+    if (bi->second.higher_is_better != ci->second.higher_is_better) {
+      std::cerr << "hds_bench_compare: --min-speedup " << name
+                << " compares series with opposite metric directions\n";
       status = 1;
       continue;
     }

@@ -5,6 +5,16 @@
 //               [--dir OUT] [--timeout-ms 60000] [--no-batching]
 //               [--metrics] [--homonymous] [--no-trace]
 //               [--trace-capacity N] [--telemetry-interval-ms MS]
+//               [--no-admin] [--linger-ms MS] [--profile]
+//
+// Health plane: unless --no-admin, every node serves hds-admin-v1
+// (STATS/STATUS) on an ephemeral UDP port. Each node announces its bound
+// port through its telemetry deltas (and drops it in nodeI.admin_port);
+// once every slot has announced, the launcher publishes
+// --dir/admin_endpoints.json for hds_top. --profile turns on the in-process
+// profiler in every node and collects nodeI.folded collapsed stacks;
+// --linger-ms stretches the post-decision linger so a dashboard or the CI
+// smoke has time to poll live nodes.
 //
 // Steps: probe-bind N ephemeral UDP ports (closed again just before the
 // spawn — the hds_node barrier tolerates the tiny rebind window), write one
@@ -74,6 +84,9 @@ struct Options {
   std::size_t trace_capacity = 1 << 16;
   std::int64_t telemetry_interval_ms = 200;
   std::int64_t fail_fast_grace_ms = 2000;
+  bool node_admin = true;     // per-node hds-admin-v1 servers
+  std::int64_t linger_ms = -1;  // -1 = node default
+  bool profile = false;
 };
 
 void usage(std::ostream& os) {
@@ -81,7 +94,8 @@ void usage(std::ostream& os) {
         "                   [--t T] [--seed S] [--dir OUT] [--timeout-ms MS]\n"
         "                   [--no-batching] [--metrics] [--homonymous]\n"
         "                   [--no-trace] [--trace-capacity N]\n"
-        "                   [--telemetry-interval-ms MS]\n";
+        "                   [--telemetry-interval-ms MS] [--no-admin]\n"
+        "                   [--linger-ms MS] [--profile]\n";
 }
 
 bool parse_args(int argc, char** argv, Options& o) {
@@ -132,6 +146,14 @@ bool parse_args(int argc, char** argv, Options& o) {
       const char* v = next();
       if (v == nullptr) return false;
       o.telemetry_interval_ms = std::strtoll(v, nullptr, 10);
+    } else if (a == "--no-admin") {
+      o.node_admin = false;
+    } else if (a == "--linger-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.linger_ms = std::strtoll(v, nullptr, 10);
+    } else if (a == "--profile") {
+      o.profile = true;
     } else {
       return false;
     }
@@ -179,6 +201,15 @@ Json node_config(const Options& o, const std::vector<std::uint64_t>& ids,
     cfg["admin_host"] = "127.0.0.1";
     cfg["admin_port"] = admin_port;
     cfg["telemetry_interval_ms"] = o.telemetry_interval_ms;
+  }
+  if (o.linger_ms >= 0) cfg["linger_ms"] = o.linger_ms;
+  if (o.node_admin) {
+    cfg["admin_listen_port"] = 0;  // ephemeral; announced via telemetry
+    cfg["admin_port_file"] = o.dir + "/node" + std::to_string(self) + ".admin_port";
+  }
+  if (o.profile) {
+    cfg["profile"] = true;
+    cfg["profile_out"] = o.dir + "/node" + std::to_string(self) + ".folded";
   }
   return cfg;
 }
@@ -238,6 +269,49 @@ int run(const Options& o) {
   std::atomic<bool> tele_stop{false};
   std::uint64_t tele_datagrams = 0;
   std::uint64_t tele_malformed = 0;
+  const std::string endpoints_path = o.dir + "/admin_endpoints.json";
+  std::atomic<bool> endpoints_written{false};
+
+  // Publishes admin_endpoints.json for hds_top. Primary source is the port
+  // each node announced through its telemetry deltas; the nodeI.admin_port
+  // drop files cover --no-trace runs. Returns true when every slot's port
+  // is known (the file is written either way, flagged "complete").
+  const auto publish_endpoints = [&](bool allow_files) {
+    Json nodes = Json::object();
+    bool complete = true;
+    for (std::size_t i = 0; i < o.n; ++i) {
+      std::uint16_t port = 0;
+      {
+        std::lock_guard lk(merger_mu);
+        port = merger.node_admin_port(static_cast<hds::ProcIndex>(i));
+      }
+      if (port == 0 && allow_files) {
+        try {
+          const std::string text =
+              hds::obs::read_text_file(o.dir + "/node" + std::to_string(i) + ".admin_port");
+          port = static_cast<std::uint16_t>(std::strtoul(text.c_str(), nullptr, 10));
+        } catch (const std::exception&) {
+        }
+      }
+      if (port == 0) {
+        complete = false;
+        continue;
+      }
+      Json ep = Json::object();
+      ep["host"] = "127.0.0.1";
+      ep["port"] = port;
+      nodes[std::to_string(i)] = std::move(ep);
+    }
+    Json doc = Json::object();
+    doc["schema"] = "hds-admin-endpoints-v1";
+    doc["n"] = o.n;
+    doc["complete"] = complete;
+    doc["nodes"] = std::move(nodes);
+    hds::obs::write_text_file(endpoints_path, doc.dump(2) + "\n");
+    if (complete) endpoints_written.store(true, std::memory_order_relaxed);
+    return complete;
+  };
+
   std::thread listener;
   if (o.trace) {
     admin.open(hds::net::UdpEndpoint{"127.0.0.1", 0}, 50);
@@ -246,14 +320,25 @@ int run(const Options& o) {
       while (!tele_stop.load(std::memory_order_relaxed)) {
         const auto len = admin.recv(buf);
         if (!len.has_value()) continue;
+        bool all_announced = false;
         try {
           const Json j = Json::parse(std::string(buf.begin(), buf.begin() + *len));
           const hds::obs::TelemetryDelta d = hds::obs::telemetry_delta_from_json(j);
           std::lock_guard lk(merger_mu);
           merger.ingest(d);
           ++tele_datagrams;
+          all_announced = o.node_admin && d.admin_port != 0 &&
+                          !endpoints_written.load(std::memory_order_relaxed);
+          for (std::size_t i = 0; all_announced && i < o.n; ++i) {
+            all_announced = merger.node_admin_port(static_cast<hds::ProcIndex>(i)) != 0;
+          }
         } catch (const std::exception&) {
           ++tele_malformed;
+        }
+        // Outside the merger lock: publishing while every node is mid-run
+        // is the whole point — hds_top attaches to a live cluster.
+        if (all_announced && publish_endpoints(false)) {
+          std::cerr << "hds_cluster: all admin ports announced -> " << endpoints_path << "\n";
         }
       }
     });
@@ -421,6 +506,11 @@ int run(const Options& o) {
   summary["ok"] = ok;
   summary["verdict"] = ok ? "ok" : verdict;
   summary["nodes"] = nodes;
+  if (o.node_admin && !endpoints_written.load(std::memory_order_relaxed)) {
+    // Fallback for --no-trace (or lost announcements): the port drop files.
+    publish_endpoints(true);
+  }
+  if (o.node_admin) summary["admin_endpoints"] = endpoints_path;
   if (o.trace) {
     const std::string trace_path = o.dir + "/trace_merged.json";
     const std::string label = "hds_cluster " + o.stack + " n=" + std::to_string(o.n) +

@@ -30,7 +30,16 @@
 //     "admin_host": "127.0.0.1",       // launcher telemetry sink; with
 //     "admin_port": 9200,              // trace_capacity > 0 the node streams
 //                                      // hds-telemetry-v1 deltas there
-//     "telemetry_interval_ms": 200     // delta cadence
+//     "telemetry_interval_ms": 200,    // delta cadence
+//     "admin_listen_port": 0,          // serve hds-admin-v1 (STATS/STATUS)
+//                                      // on this port; 0 = ephemeral, bound
+//                                      // port announced via telemetry deltas;
+//                                      // key absent = no admin server
+//     "admin_port_file": "n0.port",    // optional: write the bound port here
+//     "qos_window_ms": 250,            // streaming QoS sub-window width
+//     "qos_windows": 8,                // ...and ring size
+//     "profile": false,                // in-process profiler; collapsed
+//     "profile_out": "n0.folded"       // stacks written here at exit
 //   }
 //
 // On success the last stdout line is a one-line result JSON
@@ -51,11 +60,15 @@
 #include "consensus/quorum_homega_hsigma.h"
 #include "fd/impl/hsigma_sync.h"
 #include "fd/impl/ohp_polling.h"
+#include "net/admin.h"
 #include "net/net_system.h"
 #include "net/udp.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/prom.h"
 #include "obs/telemetry.h"
+#include "obs/window_qos.h"
 #include "sim/stacked_process.h"
 
 namespace {
@@ -79,6 +92,13 @@ struct NodeOptions {
   std::string admin_host = "127.0.0.1";
   std::uint16_t admin_port = 0;  // 0 = no telemetry uplink
   hds::SimTime telemetry_interval_ms = 200;
+  bool admin_listen = false;            // serve hds-admin-v1?
+  std::uint16_t admin_listen_port = 0;  // 0 = ephemeral
+  std::string admin_port_file;
+  hds::SimTime qos_window_ms = 250;
+  std::size_t qos_windows = 8;
+  bool profile = false;
+  std::string profile_out;
 };
 
 NodeOptions parse_config(const Json& cfg) {
@@ -120,6 +140,15 @@ NodeOptions parse_config(const Json& cfg) {
   o.admin_port = static_cast<std::uint16_t>(cfg.number_or("admin_port", 0));
   o.telemetry_interval_ms =
       static_cast<hds::SimTime>(cfg.number_or("telemetry_interval_ms", 200));
+  if (const Json* ap = cfg.find("admin_listen_port")) {
+    o.admin_listen = true;
+    o.admin_listen_port = static_cast<std::uint16_t>(ap->integer());
+  }
+  o.admin_port_file = cfg.string_or("admin_port_file", "");
+  o.qos_window_ms = static_cast<hds::SimTime>(cfg.number_or("qos_window_ms", 250));
+  o.qos_windows = static_cast<std::size_t>(cfg.number_or("qos_windows", 8));
+  if (const Json* pr = cfg.find("profile")) o.profile = pr->boolean();
+  o.profile_out = cfg.string_or("profile_out", "");
   return o;
 }
 
@@ -138,8 +167,26 @@ Json stats_json(const hds::net::NetNetworkStats& s) {
 }
 
 int run(const NodeOptions& o) {
+  const auto proc_start = std::chrono::steady_clock::now();
   hds::obs::MetricsRegistry metrics;
   hds::obs::MetricsRegistry* metrics_ptr = &metrics;
+  if (o.profile) hds::obs::Profiler::instance().enable();
+
+  // Streaming QoS over the local FD output. Ground truth on a live cluster
+  // is "everyone in the config, nobody crashes": detection latency stays
+  // inert and the mistake estimator reads as raw suspicion activity, while
+  // the flap and quorum-margin windows are fully meaningful. Declared before
+  // the system so the FD components never outlive their listener.
+  hds::obs::WindowQosConfig qcfg;
+  for (const hds::net::NetPeer& peer : o.net.peers) {
+    qcfg.gt.ids.push_back(peer.id);
+    qcfg.gt.correct.push_back(true);
+  }
+  const std::vector<hds::Id> all_node_ids = qcfg.gt.ids;
+  qcfg.width = o.qos_window_ms;
+  qcfg.windows = o.qos_windows;
+  qcfg.metrics = metrics_ptr;
+  hds::obs::WindowQos wq(std::move(qcfg));
 
   hds::net::NetConfig net_cfg = o.net;
   net_cfg.metrics = metrics_ptr;
@@ -178,7 +225,90 @@ int run(const NodeOptions& o) {
   if (hsig != nullptr) hsig->attach_metrics(metrics_ptr);
   if (cons8 != nullptr) cons8->attach_metrics(metrics_ptr);
   if (cons9 != nullptr) cons9->attach_metrics(metrics_ptr);
+  if (ohp != nullptr) ohp->set_output_listener(wq.listener(self));
+  if (hsig != nullptr) hsig->set_output_listener(wq.listener(self));
   sys.set_process(std::move(stack));
+
+  // Pull-side health plane: the hds-admin-v1 STATS/STATUS service hds_top
+  // polls. STATS is the Prometheus exposition of the full registry (window
+  // QoS gauges refreshed first); STATUS is a JSON summary of FD/consensus
+  // state. Handlers run on the admin thread; anything touching protocol
+  // state goes through sys.query, which is only safe once the node thread
+  // runs — before that, STATUS says so and skips the query.
+  std::atomic<bool> node_started{false};
+  hds::net::AdminServer admin;
+  const auto admin_handler = [&](const std::string& verb,
+                                 const hds::obs::Json&) -> std::string {
+    if (verb == "STATS") {
+      (void)wq.stats();  // refresh the qos_window_* gauges
+      return hds::obs::prometheus_text(metrics.snapshot());
+    }
+    if (verb != "STATUS") throw std::runtime_error("unknown verb " + verb);
+    Json st = Json::object();
+    st["schema"] = "hds-node-status-v1";
+    st["self"] = self;
+    st["id"] = sys.id_of(self);
+    st["stack"] = o.stack;
+    const bool started = node_started.load(std::memory_order_acquire);
+    st["running"] = started;
+    st["uptime_ms"] = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::steady_clock::now() - proc_start)
+                          .count();
+    if (started && ohp != nullptr) {
+      struct FdObs {
+        hds::HOmegaOut lead;
+        hds::Multiset<hds::Id> trusted;
+        hds::Round round;
+        hds::SimTime timeout;
+      };
+      const FdObs f = sys.query([&](hds::Process&) {
+        return FdObs{ohp->h_omega(), ohp->h_trusted(), ohp->round(), ohp->timeout()};
+      });
+      st["leader"] = f.lead.leader;
+      st["multiplicity"] = f.lead.multiplicity;
+      Json tr = Json::array();
+      for (const auto& [id, count] : f.trusted.counts()) {
+        for (std::size_t k = 0; k < count; ++k) tr.push_back(id);
+      }
+      st["trusted"] = tr;
+      // Suspected = configured identity multiset minus the trusted output.
+      hds::Multiset<hds::Id> all(all_node_ids.begin(), all_node_ids.end());
+      Json susp = Json::array();
+      for (const auto& [id, count] : all.counts()) {
+        const std::size_t have = f.trusted.multiplicity(id);
+        for (std::size_t k = have; k < count; ++k) susp.push_back(id);
+      }
+      st["suspected"] = susp;
+      st["poll_round"] = f.round;
+      st["poll_timeout_ms"] = f.timeout;
+    }
+    if (started && (cons8 != nullptr || cons9 != nullptr)) {
+      const hds::DecisionRecord d = sys.query([&](hds::Process&) {
+        return cons8 != nullptr ? cons8->decision() : cons9->decision();
+      });
+      st["decided"] = d.decided;
+      if (d.decided) {
+        st["value"] = d.value;
+        st["round"] = d.round;
+      }
+    }
+    if (started && hsig != nullptr) {
+      const hds::HSigmaSnapshot snap =
+          sys.query([&](hds::Process&) { return hsig->snapshot(); });
+      st["hsigma_labels"] = snap.labels.size();
+      st["hsigma_quora"] = snap.quora.size();
+    }
+    st["qos"] = wq.json();
+    if (sys.trace_enabled()) st["trace_dropped"] = sys.trace_dropped();
+    return st.dump();
+  };
+  if (o.admin_listen) {
+    admin.start(hds::net::UdpEndpoint{"0.0.0.0", o.admin_listen_port}, admin_handler);
+    std::cerr << "hds_node[" << self << "]: admin channel on port " << admin.port() << "\n";
+    if (!o.admin_port_file.empty()) {
+      hds::obs::write_text_file(o.admin_port_file, std::to_string(admin.port()) + "\n");
+    }
+  }
 
   // Telemetry uplink: with tracing on and an admin endpoint configured, the
   // node streams hds-telemetry-v1 deltas (trace events recorded since the
@@ -200,6 +330,7 @@ int run(const NodeOptions& o) {
     d.final_flush = final_flush;
     d.epoch_wall_us = sys.epoch_wall_us();
     d.hello_done_ms = hello_done_ms;
+    d.admin_port = admin.running() ? admin.port() : 0;
     d.dropped = sys.trace_dropped();
     d.events = std::move(evs);
     d.metrics_json = std::move(metrics_snapshot);
@@ -231,6 +362,7 @@ int run(const NodeOptions& o) {
   hello_done_ms = (wall_us() - sys.epoch_wall_us()) / 1000;
   const auto t0 = std::chrono::steady_clock::now();
   sys.start();
+  node_started.store(true, std::memory_order_release);
 
   std::atomic<bool> tele_stop{false};
   std::thread tele_thread;
@@ -370,10 +502,26 @@ int run(const NodeOptions& o) {
     tele_thread.join();
     send_delta(sys.drain_trace(trace_cursor), true, metrics.to_json());
   }
+  // Admin goes down before the node thread: a STATUS mid-teardown must not
+  // post a query the stopped loop would never answer.
+  if (o.admin_listen) {
+    result["admin_port"] = admin.port();
+    admin.stop();
+  }
   sys.stop();
   result["stats"] = stats_json(sys.net_stats());
   if (sys.trace_enabled()) result["trace_dropped"] = sys.trace_dropped();
 
+  if (o.profile) {
+    // Once per run: emit() increments counters, so a second call would
+    // double-count. The registry dump below then carries the profile.
+    hds::obs::Profiler::instance().emit(metrics_ptr);
+    if (!o.profile_out.empty()) {
+      hds::obs::write_text_file(o.profile_out,
+                                hds::obs::Profiler::instance().collapsed_stacks());
+    }
+    result["profiled"] = true;
+  }
   if (!o.metrics_json.empty()) {
     hds::obs::write_text_file(o.metrics_json, metrics.to_json());
   }

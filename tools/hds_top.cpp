@@ -1,0 +1,363 @@
+// hds_top — terminal dashboard over a live hds cluster's health plane.
+//
+//   hds_top --nodes 127.0.0.1:9301,127.0.0.1:9302 [...]
+//   hds_top --cluster-dir OUT [...]
+//
+// Every refresh polls each node's hds-admin-v1 channel with STATUS and
+// renders one row per node: identity, FD output (leader/multiplicity,
+// trusted and suspected label multisets), consensus progress
+// (round/decided/value), trace-ring drops, and window-QoS sparklines
+// (events, HΩ flaps, mistake time per sub-window, oldest to newest).
+//
+// --cluster-dir reads the admin_endpoints.json an hds_cluster run publishes
+// once every node has announced its (possibly ephemeral) admin port,
+// retrying until the file appears and is complete or --wait-ms expires.
+//
+// Scripted mode, for the CI smoke and anything else that wants assertions
+// rather than a screen:
+//
+//   hds_top --cluster-dir OUT --once --json [--wait-ms 15000]
+//
+// polls until every node responds, the reported HΩ leaders agree, and —
+// when a consensus stack is running — every node reports decided, or the
+// deadline passes; then prints exactly one hds-top-snapshot-v1 JSON
+// document: per-node STATUS bodies plus the aggregate view (reporting
+// count, whether the leaders agree and on whom, whether all decided and on
+// what value).
+//
+// Exit: 0 snapshot complete (all nodes reporting, leaders agreed;
+// consensus decided if present), 1 incomplete at deadline, 2 usage error.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/admin.h"
+#include "net/udp.h"
+#include "obs/json.h"
+
+namespace {
+
+using hds::obs::Json;
+
+struct Options {
+  std::vector<hds::net::UdpEndpoint> nodes;
+  std::string cluster_dir;
+  bool once = false;
+  bool json = false;
+  std::int64_t wait_ms = 0;        // scripted: keep polling this long for a
+                                   // complete snapshot before giving up
+  std::int64_t interval_ms = 500;  // interactive refresh cadence
+  int rpc_timeout_ms = 750;
+};
+
+void usage(std::ostream& os) {
+  os << "usage: hds_top --nodes HOST:PORT[,HOST:PORT...] | --cluster-dir DIR\n"
+        "               [--once] [--json] [--wait-ms MS] [--interval-ms MS]\n"
+        "               [--rpc-timeout-ms MS]\n";
+}
+
+bool parse_endpoint(const std::string& s, hds::net::UdpEndpoint& ep) {
+  const std::size_t colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= s.size()) return false;
+  ep.host = s.substr(0, colon);
+  const unsigned long port = std::strtoul(s.c_str() + colon + 1, nullptr, 10);
+  if (port == 0 || port > 65535) return false;
+  ep.port = static_cast<std::uint16_t>(port);
+  return true;
+}
+
+bool parse_args(int argc, char** argv, Options& o) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (a == "--nodes") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      std::string cur;
+      for (const char* p = v;; ++p) {
+        if (*p == ',' || *p == '\0') {
+          hds::net::UdpEndpoint ep;
+          if (!cur.empty()) {
+            if (!parse_endpoint(cur, ep)) return false;
+            o.nodes.push_back(ep);
+          }
+          cur.clear();
+          if (*p == '\0') break;
+        } else {
+          cur += *p;
+        }
+      }
+    } else if (a == "--cluster-dir") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.cluster_dir = v;
+    } else if (a == "--once") {
+      o.once = true;
+    } else if (a == "--json") {
+      o.json = true;
+    } else if (a == "--wait-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.wait_ms = std::strtoll(v, nullptr, 10);
+    } else if (a == "--interval-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.interval_ms = std::strtoll(v, nullptr, 10);
+    } else if (a == "--rpc-timeout-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.rpc_timeout_ms = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else {
+      return false;
+    }
+  }
+  return !o.nodes.empty() || !o.cluster_dir.empty();
+}
+
+// Loads admin_endpoints.json; empty result when the file is absent, not yet
+// complete, or malformed (the launcher may still be mid-publication).
+std::vector<hds::net::UdpEndpoint> endpoints_from_dir(const std::string& dir) {
+  std::vector<hds::net::UdpEndpoint> out;
+  Json doc;
+  try {
+    doc = hds::obs::load_json_file(dir + "/admin_endpoints.json");
+  } catch (const std::exception&) {
+    return out;
+  }
+  if (doc.string_or("schema", "") != "hds-admin-endpoints-v1") return out;
+  const Json* complete = doc.find("complete");
+  if (complete == nullptr || !complete->boolean()) return out;
+  const auto n = static_cast<std::size_t>(doc.number_or("n", 0));
+  const Json* nodes = doc.find("nodes");
+  if (nodes == nullptr) return out;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Json* ep = nodes->find(std::to_string(i));
+    if (ep == nullptr) return {};
+    hds::net::UdpEndpoint e;
+    e.host = ep->string_or("host", "127.0.0.1");
+    e.port = static_cast<std::uint16_t>(ep->number_or("port", 0));
+    if (e.port == 0) return {};
+    out.push_back(e);
+  }
+  return out;
+}
+
+// One polling pass over every node. The aggregate fields are what the CI
+// smoke asserts on: reporting == n, leaders_agree, all_decided + value.
+Json take_snapshot(const std::vector<hds::net::UdpEndpoint>& nodes,
+                   hds::net::AdminClient& client, int rpc_timeout_ms) {
+  Json per_node = Json::object();
+  std::size_t reporting = 0;
+  std::set<std::int64_t> leaders;
+  std::set<std::int64_t> values;
+  bool any_consensus = false;
+  std::size_t decided_count = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const auto body = client.request(nodes[i], "STATUS", rpc_timeout_ms);
+    Json st;
+    if (!body.has_value()) {
+      st = Json::object();
+      st["error"] = client.last_error();
+    } else {
+      try {
+        st = Json::parse(*body);
+        ++reporting;
+        if (const Json* lead = st.find("leader")) leaders.insert(lead->integer());
+        if (const Json* dec = st.find("decided")) {
+          any_consensus = true;
+          if (dec->boolean()) {
+            ++decided_count;
+            values.insert(static_cast<std::int64_t>(st.number_or("value", -1)));
+          }
+        }
+      } catch (const std::exception& e) {
+        st = Json::object();
+        st["error"] = std::string("bad STATUS body: ") + e.what();
+      }
+    }
+    per_node[std::to_string(i)] = std::move(st);
+  }
+  Json s = Json::object();
+  s["schema"] = "hds-top-snapshot-v1";
+  s["n"] = nodes.size();
+  s["reporting"] = reporting;
+  s["leaders_agree"] = !leaders.empty() && leaders.size() == 1;
+  if (leaders.size() == 1) s["leader"] = *leaders.begin();
+  if (any_consensus) {
+    s["all_decided"] = reporting == nodes.size() && decided_count == reporting;
+    s["decided_count"] = decided_count;
+    if (values.size() == 1) s["value"] = *values.begin();
+  }
+  // Complete = the stable end state a scripted poll waits for: every node
+  // answering, the HΩ leaders converged (consensus can decide rounds before
+  // the detector settles, so decided alone is too early a stop), and — when
+  // a consensus stack is running — every node decided. Leaderless stacks
+  // (fig7's HΣ-only deployment) report no leader at all; an empty set is
+  // agreement, a split is not.
+  s["complete"] = reporting == nodes.size() && leaders.size() <= 1 &&
+                  (!any_consensus || decided_count == reporting);
+  s["nodes"] = std::move(per_node);
+  return s;
+}
+
+// ---------------------------------------------------------------- display
+
+// Unicode eighth-blocks scaled to the series max; "·" for an all-zero row.
+std::string sparkline(const Json* series, std::size_t max_cells = 8) {
+  static const char* kBlocks[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  if (series == nullptr || !series->is_array() || series->items().empty()) return "·";
+  const auto& items = series->items();
+  const std::size_t start = items.size() > max_cells ? items.size() - max_cells : 0;
+  double peak = 0;
+  for (std::size_t i = start; i < items.size(); ++i) {
+    peak = std::max(peak, items[i].number());
+  }
+  if (peak <= 0) return "·";
+  std::string out;
+  for (std::size_t i = start; i < items.size(); ++i) {
+    const auto level =
+        static_cast<std::size_t>(std::min(7.0, (items[i].number() / peak) * 7.0));
+    out += kBlocks[level];
+  }
+  return out;
+}
+
+std::string ids_of(const Json* arr) {
+  if (arr == nullptr || !arr->is_array() || arr->items().empty()) return "-";
+  std::string out;
+  for (const Json& v : arr->items()) {
+    if (!out.empty()) out += ",";
+    out += std::to_string(v.integer());
+  }
+  return out;
+}
+
+std::string pad(std::string s, std::size_t w) {
+  // Sparklines are multi-byte but single-column; pad by display width.
+  std::size_t cols = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if ((s[i] & 0xC0) != 0x80) ++cols;
+  }
+  while (cols++ < w) s += ' ';
+  return s;
+}
+
+void render(const Json& snap, const std::vector<hds::net::UdpEndpoint>& nodes, bool clear) {
+  std::string out;
+  if (clear) out += "\x1b[2J\x1b[H";
+  out += "hds_top — " + std::to_string(static_cast<std::int64_t>(snap.number_or("reporting", 0))) +
+         "/" + std::to_string(nodes.size()) + " reporting";
+  if (const Json* lead = snap.find("leader")) {
+    out += snap.find("leaders_agree")->boolean() ? "   HΩ leader: " : "   HΩ leader (split): ";
+    out += std::to_string(lead->integer());
+  }
+  if (const Json* ad = snap.find("all_decided")) {
+    out += ad->boolean() ? "   consensus: DECIDED" : "   consensus: in progress";
+    if (const Json* v = snap.find("value")) out += " (" + std::to_string(v->integer()) + ")";
+  }
+  out += "\n\n";
+  out += pad("node", 6) + pad("id", 4) + pad("lead", 6) + pad("round", 7) + pad("decided", 9) +
+         pad("trusted", 16) + pad("suspected", 11) + pad("drops", 7) + pad("events", 10) +
+         pad("flaps", 10) + "mistake\n";
+  const Json* per_node = snap.find("nodes");
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const Json* st = per_node != nullptr ? per_node->find(std::to_string(i)) : nullptr;
+    std::string row = pad(std::to_string(i), 6);
+    if (st == nullptr || st->find("error") != nullptr) {
+      row += "(no response)";
+      out += row + "\n";
+      continue;
+    }
+    row += pad(std::to_string(static_cast<std::int64_t>(st->number_or("id", 0))), 4);
+    const Json* lead = st->find("leader");
+    std::string lead_s = lead != nullptr ? std::to_string(lead->integer()) : "-";
+    if (const Json* m = st->find("multiplicity")) lead_s += "x" + std::to_string(m->integer());
+    row += pad(lead_s, 6);
+    const Json* dec = st->find("decided");
+    std::string round = "-";
+    if (const Json* r = st->find("round")) round = std::to_string(r->integer());
+    else if (const Json* pr = st->find("poll_round")) round = std::to_string(pr->integer());
+    row += pad(round, 7);
+    std::string dec_s = dec == nullptr ? "-" : (dec->boolean() ? "yes" : "no");
+    if (dec != nullptr && dec->boolean()) {
+      if (const Json* v = st->find("value")) dec_s += " " + std::to_string(v->integer());
+    }
+    row += pad(dec_s, 9);
+    row += pad(ids_of(st->find("trusted")), 16);
+    row += pad(ids_of(st->find("suspected")), 11);
+    row += pad(std::to_string(static_cast<std::int64_t>(st->number_or("trace_dropped", 0))), 7);
+    const Json* qos = st->find("qos");
+    row += pad(sparkline(qos != nullptr ? qos->find("events") : nullptr), 10);
+    row += pad(sparkline(qos != nullptr ? qos->find("flaps") : nullptr), 10);
+    row += sparkline(qos != nullptr ? qos->find("mistake_time") : nullptr);
+    out += row + "\n";
+  }
+  std::cout << out << std::flush;
+}
+
+int run(const Options& o) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(o.wait_ms);
+  std::vector<hds::net::UdpEndpoint> nodes = o.nodes;
+  while (nodes.empty()) {
+    nodes = endpoints_from_dir(o.cluster_dir);
+    if (!nodes.empty()) break;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      std::cerr << "hds_top: no complete admin_endpoints.json in " << o.cluster_dir << "\n";
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  hds::net::AdminClient client;
+  if (o.once) {
+    Json snap = take_snapshot(nodes, client, o.rpc_timeout_ms);
+    while (!snap.find("complete")->boolean() &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      snap = take_snapshot(nodes, client, o.rpc_timeout_ms);
+    }
+    if (o.json) {
+      std::cout << snap.dump() << "\n";
+    } else {
+      render(snap, nodes, false);
+    }
+    return snap.find("complete")->boolean() ? 0 : 1;
+  }
+
+  // Interactive: refresh until interrupted (or every node stops answering —
+  // the cluster is gone, no point repainting a dead board forever).
+  std::size_t silent_rounds = 0;
+  while (true) {
+    const Json snap = take_snapshot(nodes, client, o.rpc_timeout_ms);
+    render(snap, nodes, true);
+    silent_rounds = snap.number_or("reporting", 0) == 0 ? silent_rounds + 1 : 0;
+    if (silent_rounds >= 10) {
+      std::cerr << "hds_top: no node has answered for 10 rounds; exiting\n";
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(o.interval_ms));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  if (!parse_args(argc, argv, o)) {
+    usage(std::cerr);
+    return 2;
+  }
+  try {
+    return run(o);
+  } catch (const std::exception& e) {
+    std::cerr << "hds_top: " << e.what() << "\n";
+    return 2;
+  }
+}
