@@ -79,7 +79,11 @@ struct BurstProcess final : Process {
   std::int64_t received = 0;
 };
 
-// Arg: 0 = batching off, 1 = batching on.
+// Args: {batching off/on, ARQ reliability off/on}. The off/off and on/off
+// rows price the plain substrate; on/on prices the reliable-delivery layer
+// (sequence wrap + ack processing + retransmit timers) on a loss-free link,
+// i.e. its pure overhead. The CI gate holds BM_Net_Burst/1/0 within 5% of
+// the committed baseline: the reliability seam must cost nothing when off.
 void BM_Net_Burst(benchmark::State& state) {
   constexpr std::size_t kBurst = 256;
   std::vector<net::NetPeer> peers(2);
@@ -92,6 +96,7 @@ void BM_Net_Burst(benchmark::State& state) {
     cfg.peers = peers;
     cfg.seed = 1 + i;
     cfg.batching = state.range(0) == 1;
+    cfg.reliability.enabled = state.range(1) == 1;
     if (i == 0) cfg.metrics = hds::bench::metrics_sink();
     sys.push_back(std::make_unique<net::NetSystem>(std::move(cfg)));
   }
@@ -137,8 +142,18 @@ void BM_Net_Burst(benchmark::State& state) {
         static_cast<double>(st.copies_sent) / static_cast<double>(st.packets_sent);
   }
   state.counters["decode_errors"] = static_cast<double>(st.decode_errors);
+  if (state.range(1) == 1) {
+    const net::RelStats rs = sys[0]->rel_stats();
+    state.counters["rel_retransmits"] = static_cast<double>(rs.retransmits);
+    state.counters["rel_acks_sent"] = static_cast<double>(rs.acks_sent);
+    state.counters["rel_dup_frames"] = static_cast<double>(rs.dup_frames);
+  }
 }
-BENCHMARK(BM_Net_Burst)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Net_Burst)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

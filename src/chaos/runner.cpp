@@ -7,6 +7,7 @@
 
 #include "chaos/injector.h"
 #include "consensus/harness.h"
+#include "net/reliable.h"
 #include "obs/monitor.h"
 
 namespace hds::chaos {
@@ -39,6 +40,7 @@ obs::Json ChaosCase::to_json() const {
   j["run_for"] = run_for;
   j["max_time"] = max_time;
   j["seed"] = seed;
+  if (reliable) j["reliable"] = true;
   j["plan"] = plan.to_json();
   return j;
 }
@@ -57,6 +59,7 @@ ChaosCase ChaosCase::from_json(const obs::Json& j) {
   c.run_for = static_cast<SimTime>(j.number_or("run_for", 5000));
   c.max_time = static_cast<SimTime>(j.number_or("max_time", 60'000));
   c.seed = static_cast<std::uint64_t>(j.number_or("seed", 1));
+  if (const obs::Json* rel = j.find("reliable")) c.reliable = rel->boolean();
   if (const obs::Json* plan = j.find("plan")) c.plan = FaultPlan::from_json(*plan);
   return c;
 }
@@ -80,15 +83,19 @@ namespace {
 //  eventual checks have a convergence tail; at least 2 processes survive.
 //
 //  fig8 (HPS[t < n/2]): total crashes within the algorithm's t; link
-//  clauses may only *delay* or *reorder*, and must heal by GST. No
-//  duplication: the homonymous consensus layers count messages (processes
-//  cannot tell senders apart), so duplication is outside the model. No
-//  loss/partition either: Fig. 8 is an HAS algorithm (reliable links) —
-//  its quorum waits never retransmit, so adversarial pre-GST loss can
-//  permanently wedge a round once more than t processes miss a phase
-//  quorum (see tests/repros/fig8_loss_wedge.json, a fuzzer finding kept
-//  as a regression artifact). Such clauses here are *findings*, not an
-//  admissible adversary.
+//  clauses may only *delay* or *reorder*, and must heal by GST. With
+//  `reliable` off, no duplication (the homonymous consensus layers count
+//  messages — processes cannot tell senders apart, so duplication is
+//  outside the model) and no loss/partition either: Fig. 8 is an HAS
+//  algorithm (reliable links) — its quorum waits never retransmit, so
+//  adversarial pre-GST loss can permanently wedge a round once more than t
+//  processes miss a phase quorum (tests/repros/fig8_loss_wedge.json, a
+//  fuzzer finding long kept as a known-wedge artifact). With `reliable` on
+//  the case runs behind the ARQ emulator, which retransmits through loss
+//  and suppresses duplicates — restoring the HAS assumption — so kLoss and
+//  kDuplicate clauses (healing by GST as ever) join the envelope and the
+//  wedge repro flips to "decides". Partitions stay out: a total cut is not
+//  loss the ARQ layer is meant to beat, it is a different model.
 //
 //  fig9 (synchronous): no link clauses at all (every copy must arrive
 //  within the known bound delta); crashes are otherwise free — the stack
@@ -118,8 +125,8 @@ bool admissible_fig8(const ChaosCase& c) {
   const SimTime lfe = c.plan.link_faults_end();
   if (lfe < 0 || lfe > c.gst) return false;
   for (const FaultClause& cl : c.plan.clauses) {
-    if (cl.kind == ClauseKind::kDuplicate || cl.kind == ClauseKind::kLoss ||
-        cl.kind == ClauseKind::kPartition) {
+    if (cl.kind == ClauseKind::kPartition) return false;
+    if (!c.reliable && (cl.kind == ClauseKind::kDuplicate || cl.kind == ClauseKind::kLoss)) {
       return false;
     }
     if (cl.kind == ClauseKind::kCrashAt && (cl.at < 1 || cl.at > c.max_time / 4 || cl.proc >= c.n)) {
@@ -233,7 +240,17 @@ ChaosOutcome run_chaos_case(const ChaosCase& c, std::size_t trace_capacity) {
       p.net = hps_net(c, /*lossy=*/false);
       p.seed = c.seed;
       p.max_time = c.max_time;
-      p.chaos = &inj;
+      // Reliable mode: the ARQ emulator sits between the substrate and the
+      // injector, re-judging dropped copies at backed-off future instants
+      // (retransmission) and suppressing injected duplicates — the sim
+      // mirror of net/reliable.h. It draws no randomness of its own, so
+      // replay determinism is untouched.
+      std::optional<net::ReliableLinkEmulator> rel;
+      p.chaos = &inj;  // crash effectors + trigger listeners always live here
+      if (c.reliable) {
+        rel.emplace(inj);
+        p.link_interposer = &*rel;  // emulator owns the link seam, wraps inj
+      }
       p.trace_capacity = trace_capacity;
       ConsensusRunResult res = run_fig8_full_stack(p);
       if (!res.check) out.violations.push_back("consensus: " + res.check.detail);
@@ -339,6 +356,13 @@ ChaosCase random_admissible_case(Rng& rng, StackKind stack) {
       link_pool = {ClauseKind::kDelay, ClauseKind::kReorder};
       if (stack == StackKind::kFig6) {
         link_pool.push_back(ClauseKind::kPartition);
+        link_pool.push_back(ClauseKind::kLoss);
+        link_pool.push_back(ClauseKind::kDuplicate);
+      } else if (stack == StackKind::kFig8 && rng.chance(0.5)) {
+        // Half the fig8 sweep runs behind the ARQ emulator, where loss and
+        // duplication join the envelope (admissible_fig8 admits them only
+        // when c.reliable is set).
+        c.reliable = true;
         link_pool.push_back(ClauseKind::kLoss);
         link_pool.push_back(ClauseKind::kDuplicate);
       }

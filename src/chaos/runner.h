@@ -50,6 +50,14 @@ struct ChaosCase {
   SimTime run_for = 5000;     // fig6 horizon
   SimTime max_time = 60'000;  // consensus horizon
   std::uint64_t seed = 1;
+  // Fig. 8 only: run the case behind the reliable-delivery emulator
+  // (net::ReliableLinkEmulator wraps the fault injector), mirroring a real
+  // deployment with the ARQ layer on. Widens the admissible envelope to
+  // include pre-GST loss and duplication clauses — the emulator retransmits
+  // through loss and suppresses duplicates, restoring the reliable-link
+  // (HAS) assumption Fig. 8 needs. Serialized only when true, so existing
+  // repro files and their byte-exact fixtures are untouched.
+  bool reliable = false;
   FaultPlan plan;
 
   [[nodiscard]] obs::Json to_json() const;

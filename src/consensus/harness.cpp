@@ -505,6 +505,9 @@ ConsensusRunResult run_fig8_full_stack(const Fig8FullStackParams& p) {
   cfg.queue = p.queue;
   System sys(std::move(cfg));
   if (p.chaos != nullptr) p.chaos->arm(sys);
+  // arm() installed the injector as the interposer; an explicit override
+  // (typically a reliability emulator wrapping that same injector) wins.
+  if (p.link_interposer != nullptr) sys.set_interposer(p.link_interposer);
   if (p.monitor != nullptr && sys.trace().enabled()) {
     p.monitor->set_causal(&sys.causal_session());
   }

@@ -222,6 +222,11 @@ struct Fig8FullStackParams {
   obs::OnlineMonitor* monitor = nullptr;  // as in Fig6Params
   obs::WindowQos* window_qos = nullptr;   // as in Fig6Params
   chaos::FaultInjector* chaos = nullptr;  // as in Fig6Params
+  // Installed as the substrate's link interposer AFTER chaos->arm(sys) (which
+  // installs the injector itself). Lets a wrapper — e.g. the chaos runner's
+  // net::ReliableLinkEmulator around the injector — own the link seam while
+  // `chaos` keeps its other roles (crash effectors, trigger listeners).
+  LinkInterposer* link_interposer = nullptr;
   QueueKind queue = QueueKind::kCalendar;  // as in Fig6Params
 };
 

@@ -86,8 +86,16 @@ void MajorityHOmegaConsensus::enter_round(Env& env, Round r) {
   env.broadcast(make_message(kCoordType, CoordMsg{env.self_id(), r_, est1_, cfg_.instance}));
 }
 
-void MajorityHOmegaConsensus::on_timer(Env& env, TimerId) {
-  if (phase_ == Phase::kDone) return;
+void MajorityHOmegaConsensus::on_timer(Env& env, TimerId id) {
+  if (phase_ == Phase::kDone) {
+    // Stale guard-poll timers die here; only the dedicated redecide timer
+    // keeps Task T2's DECIDE propagation alive for late (re)joiners.
+    if (cfg_.redecide_interval_ms > 0 && decision_.decided && id == redecide_timer_) {
+      env.broadcast(make_message(kDecideType, DecideMsg{decision_.value, cfg_.instance}));
+      redecide_timer_ = env.set_timer(cfg_.redecide_interval_ms);
+    }
+    return;
+  }
   // The FD output may have changed with no message arriving; re-arm and
   // re-evaluate the guards.
   env.set_timer(cfg_.guard_poll);
@@ -134,6 +142,7 @@ void MajorityHOmegaConsensus::decide(Env& env, Value v) {
   set_phase(env, Phase::kDone);
   obs::set(m_decide_at_, env.local_now());
   bufs_.clear();
+  if (cfg_.redecide_interval_ms > 0) redecide_timer_ = env.set_timer(cfg_.redecide_interval_ms);
 }
 
 void MajorityHOmegaConsensus::advance(Env& env) {

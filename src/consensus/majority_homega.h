@@ -56,6 +56,14 @@ struct MajorityConsensusConfig {
   // leaders converge on one estimate — used by the ablation benchmark to
   // show why the phase exists.
   bool skip_coordination_phase = false;
+
+  // Task T2 under crash-RESTART (beyond the paper's crash-stop model): when
+  // > 0, a decided process keeps re-broadcasting DECIDE at this period, so
+  // a supervised respawn that missed the decision instant still terminates
+  // once the reliable layer delivers one rebroadcast. 0 (the default)
+  // re-broadcasts only at the decide itself, keeping the sim's
+  // deterministic schedules byte-identical to before this knob existed.
+  SimTime redecide_interval_ms = 0;
 };
 
 class MajorityHOmegaConsensus final : public Process {
@@ -106,6 +114,8 @@ class MajorityHOmegaConsensus final : public Process {
   MaybeValue est2_;
   std::map<Round, RoundBuf> bufs_;   // future rounds buffer here too
   DecisionRecord decision_;
+
+  TimerId redecide_timer_ = 0;  // periodic DECIDE rebroadcast, armed at decide()
 
   Trajectory<int> phase_trace_;
   SimTime phase_entered_at_ = 0;

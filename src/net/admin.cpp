@@ -31,6 +31,8 @@ std::vector<std::string> admin_response_datagrams(std::uint64_t req, const std::
 void AdminServer::start(const UdpEndpoint& bind, Handler handler) {
   if (running()) return;
   handler_ = std::move(handler);
+  response_cache_.clear();
+  handler_calls_.store(0, std::memory_order_relaxed);
   sock_.open(bind, /*recv_timeout_ms=*/100);
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { serve(); });
@@ -49,23 +51,46 @@ void AdminServer::serve() {
     const auto len = sock_.recv_from(buf, peer);
     if (!len.has_value() || *len == 0) continue;
     HDS_PROF_SCOPE(obs::ProfSubsystem::kAdmin);
+    const std::string peer_key = peer.host + ":" + std::to_string(peer.port);
     std::uint64_t req = 0;
-    std::vector<std::string> replies;
+    const std::vector<std::string>* replies = nullptr;
+    std::vector<std::string> fresh;
     try {
       const Json j = Json::parse(std::string(buf.begin(), buf.end()));
       if (j.string_or("schema", "") != kAdminSchema) continue;  // not ours: drop
       req = static_cast<std::uint64_t>(j.number_or("req", 0));
-      const Json* verb = j.find("verb");
-      if (verb == nullptr || !verb->is_string()) throw std::runtime_error("missing verb");
-      replies = admin_response_datagrams(req, handler_(verb->str(), j));
+      // Retransmit of a request already answered: resend the memoized
+      // datagrams verbatim. Re-running the handler would produce a fresh
+      // snapshot whose chunking may differ, tearing the client's
+      // cross-retry chunk accumulation.
+      for (const CachedResponse& c : response_cache_) {
+        if (c.req == req && c.peer == peer_key) {
+          replies = &c.datagrams;
+          break;
+        }
+      }
+      if (replies == nullptr) {
+        const Json* verb = j.find("verb");
+        if (verb == nullptr || !verb->is_string()) throw std::runtime_error("missing verb");
+        handler_calls_.fetch_add(1, std::memory_order_relaxed);
+        fresh = admin_response_datagrams(req, handler_(verb->str(), j));
+        if (response_cache_.size() >= kResponseCacheDepth) response_cache_.pop_front();
+        response_cache_.push_back(CachedResponse{peer_key, req, std::move(fresh)});
+        replies = &response_cache_.back().datagrams;
+      }
     } catch (const std::exception& e) {
+      // Errors are not cached: a transient handler failure should not pin a
+      // request id to its error for the rest of the retry window.
       Json err = Json::object();
       err["schema"] = kAdminSchema;
       err["req"] = req;
       err["error"] = std::string(e.what());
-      replies = {err.dump()};
+      fresh = {err.dump()};
+      replies = &fresh;
     }
-    for (const std::string& r : replies) {
+    for (std::size_t i = 0; i < replies->size(); ++i) {
+      if (drop_hook_ && drop_hook_(req, i)) continue;
+      const std::string& r = (*replies)[i];
       (void)sock_.send_to(peer, reinterpret_cast<const std::uint8_t*>(r.data()), r.size());
     }
   }

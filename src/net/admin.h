@@ -16,6 +16,15 @@
 // response completes or the deadline passes, and a duplicate or stale
 // response datagram is filtered by that id.
 //
+// Chunk-loss hardening: the server memoizes the rendered datagrams per
+// (client endpoint, req id). A re-ask of the same request therefore resends
+// the IDENTICAL chunks instead of re-running the handler — without this, a
+// moving payload (STATS counters advance between asks) could change size or
+// content between incarnations, and chunks accumulated across retries would
+// either never converge or reassemble a torn snapshot. The cache holds the
+// last few requests per server (clients use fresh ids per request, so depth
+// covers retransmits only).
+//
 // The server owns one socket and one thread; verbs dispatch to a
 // caller-supplied handler. Handlers run on the admin thread, never on a
 // node's data path — the health plane stays an observer here too.
@@ -23,10 +32,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <optional>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "net/udp.h"
 #include "obs/json.h"
@@ -61,13 +73,37 @@ class AdminServer {
   [[nodiscard]] bool running() const { return running_.load(std::memory_order_acquire); }
   [[nodiscard]] std::uint16_t port() const { return sock_.local_port(); }
 
+  // Test hook: return true to drop the outgoing response datagram (req id,
+  // datagram index within the response). Deterministic loss for the chunked
+  // retry tests; install before start(). Runs on the service thread.
+  using DropHook = std::function<bool(std::uint64_t req, std::size_t index)>;
+  void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
+
+  // Handler invocations since start — re-asks answered from the response
+  // cache do not count, which is exactly what the hardening test asserts.
+  [[nodiscard]] std::uint64_t handler_calls() const {
+    return handler_calls_.load(std::memory_order_relaxed);
+  }
+
  private:
   void serve();
 
   UdpSocket sock_;
   Handler handler_;
+  DropHook drop_hook_;
   std::thread thread_;
   std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> handler_calls_{0};
+
+  // Rendered response datagrams per (client endpoint, req), FIFO-bounded.
+  // Touched only by the service thread.
+  struct CachedResponse {
+    std::string peer;  // host:port
+    std::uint64_t req = 0;
+    std::vector<std::string> datagrams;
+  };
+  std::deque<CachedResponse> response_cache_;
+  static constexpr std::size_t kResponseCacheDepth = 16;
 };
 
 class AdminClient {

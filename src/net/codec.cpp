@@ -84,6 +84,36 @@ std::vector<std::uint8_t> encode_control_frame(std::uint8_t tag, ProcIndex sende
   return finish_frame(tag, sender_index, sender_id, {});
 }
 
+std::vector<std::uint8_t> encode_control_frame(std::uint8_t tag, ProcIndex sender_index,
+                                               Id sender_id,
+                                               const std::vector<std::uint8_t>& body) {
+  if (tag < kCtrlTagFirst) throw std::logic_error("control frame with codec-range tag");
+  return finish_frame(tag, sender_index, sender_id, body);
+}
+
+std::optional<ControlBody> peek_control_body(const std::uint8_t* data, std::size_t len) {
+  if (len < 4 + 4 || data[0] != kWireMagic0 || data[1] != kWireMagic1 ||
+      (data[2] & kWireVersionMask) != kWireVersion || data[3] < kCtrlTagFirst) {
+    return std::nullopt;
+  }
+  try {
+    WireReader r(data + 4, len - 4 - 4);
+    r.varint();  // sender index
+    r.varint();  // sender id
+    if ((data[2] & kWireTracedFlag) != 0) {
+      for (int i = 0; i < 3; ++i) r.varint();
+    }
+    if ((data[2] & kWireRelFlag) != 0) {
+      for (int i = 0; i < 6; ++i) r.varint();
+    }
+    const std::uint64_t body_len = r.varint();
+    if (body_len != r.remaining()) return std::nullopt;
+    return ControlBody{r.cursor(), static_cast<std::size_t>(body_len)};
+  } catch (const CodecError&) {
+    return std::nullopt;
+  }
+}
+
 std::optional<std::uint8_t> peek_tag(const std::uint8_t* data, std::size_t len) {
   if (len < 4 || data[0] != kWireMagic0 || data[1] != kWireMagic1 ||
       (data[2] & kWireVersionMask) != kWireVersion) {
@@ -117,6 +147,12 @@ Message decode_frame(const CodecRegistry& reg, const std::uint8_t* data, std::si
     causal_parent = r.varint();
     causal_clock = r.varint();
     if (causal_id == 0) throw CodecError("traced frame with zero lineage id");
+  }
+  if ((data[2] & kWireRelFlag) != 0) {
+    // ARQ transport header: consumed here so framing stays validated; the
+    // transport reads the values from the raw bytes via rel_peek() before
+    // deciding whether this Message may be delivered.
+    for (int i = 0; i < 6; ++i) r.varint();
   }
   const std::uint64_t body_len = r.varint();
   if (body_len != r.remaining()) throw CodecError("body length disagrees with frame length");

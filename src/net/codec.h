@@ -17,6 +17,15 @@
 //          ..  varint  lineage id of the causing event
 //          ..  varint  Lamport clock at the send
 //          [end of extension]
+//          [reliable frames only — the ARQ header, net/reliable.h; marked
+//           by kWireRelFlag (0x40) in the version byte:]
+//          ..  varint  sender incarnation epoch
+//          ..  varint  per-link sequence number (1-based)
+//          ..  varint  lost floor (receiver may skip every seq <= this)
+//          ..  varint  acked epoch (the destination incarnation being acked)
+//          ..  varint  cumulative ack for the reverse direction
+//          ..  varint  selective-ack bitmap over ack_cum+1 .. ack_cum+64
+//          [end of extension]
 //          ..  varint  body length in bytes
 //          ..  bytes   body (encoded by the tag's registered codec)
 //          ..  u32le   FNV-1a checksum of every preceding byte
@@ -61,13 +70,21 @@ inline constexpr std::uint8_t kWireVersion = 1;
 // (3 varints between the sender-id varint and the body-length varint). A
 // frame is traced iff the Message carried a nonzero meta_causal_id.
 inline constexpr std::uint8_t kWireTracedFlag = 0x80;
-inline constexpr std::uint8_t kWireVersionMask = 0x7F;
+// Version-byte flag marking the optional ARQ header (6 varints right before
+// the body-length varint). Plain frames stay byte-identical to pre-extension
+// v1 — reliability off never sets the flag.
+inline constexpr std::uint8_t kWireRelFlag = 0x40;
+inline constexpr std::uint8_t kWireVersionMask = 0x3F;
 
 // Transport-control tags (handled by the substrate, never dispatched to a
-// Process; their "body" is codec-free).
+// Process; HELLO/HELLO-ACK bodies are empty, the ARQ-era tags carry small
+// varint bodies parsed by net/reliable.h helpers).
 inline constexpr std::uint8_t kCtrlTagFirst = 0xF0;
-inline constexpr std::uint8_t kTagHello = 0xF0;     // peer-barrier probe
-inline constexpr std::uint8_t kTagHelloAck = 0xF1;  // probe answer
+inline constexpr std::uint8_t kTagHello = 0xF0;      // peer-barrier probe
+inline constexpr std::uint8_t kTagHelloAck = 0xF1;   // probe answer
+inline constexpr std::uint8_t kTagRelAck = 0xF2;     // standalone ARQ ack
+inline constexpr std::uint8_t kTagRejoin = 0xF3;     // restart barrier probe (carries epoch)
+inline constexpr std::uint8_t kTagRejoinAck = 0xF4;  // rejoin answer (carries epoch)
 
 struct BodyCodec {
   std::uint8_t tag = 0;
@@ -109,6 +126,22 @@ Message decode_frame(const CodecRegistry& reg, const std::uint8_t* data, std::si
 // A control frame (tag >= kCtrlTagFirst) with an empty body.
 std::vector<std::uint8_t> encode_control_frame(std::uint8_t tag, ProcIndex sender_index,
                                                Id sender_id);
+
+// A control frame carrying a raw body (the ARQ ack / rejoin payloads). The
+// body is NOT run through the codec registry; net/reliable.h owns its layout.
+std::vector<std::uint8_t> encode_control_frame(std::uint8_t tag, ProcIndex sender_index,
+                                               Id sender_id, const std::vector<std::uint8_t>& body);
+
+// Locates the body bytes of an already-checksum-validated control frame
+// (call decode_frame first; it validates the envelope but deliberately does
+// not expose control bodies to Process code). Returns nullopt on any
+// malformation instead of throwing — the recv path treats that as a decode
+// error it has already counted.
+struct ControlBody {
+  const std::uint8_t* data = nullptr;
+  std::size_t len = 0;
+};
+std::optional<ControlBody> peek_control_body(const std::uint8_t* data, std::size_t len);
 
 // Peeks the type tag of an encoded frame without validating the rest.
 std::optional<std::uint8_t> peek_tag(const std::uint8_t* data, std::size_t len);

@@ -208,9 +208,18 @@ NetSystem::NetSystem(NetConfig cfg)
     pending_.push_back(std::make_unique<PendingBatch>());
   }
 
+  epoch_num_ = cfg.epoch;
+  if (cfg.reliability.enabled) {
+    RelConfig rc = cfg.reliability;
+    rc.seed = cfg.seed ^ 0x9E3779B97F4A7C15ull;  // decouple jitter from protocol randomness
+    rel_ = std::make_unique<ReliableChannel>(rc, self_, peers_[self_].id, peers_.size(),
+                                             epoch_num_, metrics_);
+  }
+
   node_ = std::make_unique<Node>(*this);
   recv_thread_ = std::thread([this] { recv_loop(); });
   send_thread_ = std::thread([this] { sender_loop(); });
+  if (rel_ != nullptr) rel_thread_ = std::thread([this] { rel_loop(); });
 }
 
 NetSystem::~NetSystem() { stop(); }
@@ -247,8 +256,17 @@ bool NetSystem::await_peers(std::chrono::milliseconds timeout) {
       if (Clock::now() >= deadline) return false;
     }
     // Probe the silent peers; their socket (once bound) always acks, even
-    // after they have passed their own barrier.
-    for (ProcIndex i : missing) send_control(kTagHello, i);
+    // after they have passed their own barrier. A restarted incarnation
+    // (epoch > 0) probes with REJOIN instead — HELLO's bytes are frozen and
+    // carry no epoch, and peers must learn the new incarnation to flush the
+    // link's ARQ state mid-run.
+    for (ProcIndex i : missing) {
+      if (epoch_num_ > 0) {
+        send_control(kTagRejoin, i, rejoin_body(epoch_num_));
+      } else {
+        send_control(kTagHello, i);
+      }
+    }
     std::unique_lock lk(peers_mu_);
     peers_cv_.wait_for(lk, std::chrono::milliseconds(25));
   }
@@ -343,6 +361,17 @@ void NetSystem::broadcast_from_self(const Message& m) {
   std::uint64_t dropped = 0;
   std::uint64_t duplicated = 0;
   for (ProcIndex to = 0; to < peers_.size(); ++to) {
+    // With reliability on, each destination gets its own sequenced wrap of
+    // the shared inner frame; the interposer then judges the first
+    // transmission attempt (a drop is recovered by the retransmit timer —
+    // loss injection sits below the ARQ, like a lossy wire).
+    std::vector<std::uint8_t> wrapped;
+    const std::vector<std::uint8_t>* wirep = &frame;
+    if (rel_ != nullptr) {
+      wrapped = rel_->wrap_data(to, stamped.type, frame, now);
+      wirep = &wrapped;
+    }
+    const std::vector<std::uint8_t>& wire = *wirep;
     CopyVerdict verdict;
     if (interposer_ != nullptr) verdict = interposer_->on_copy(sent_ms, self_, to, stamped.type);
     if (verdict.drop) {
@@ -350,7 +379,7 @@ void NetSystem::broadcast_from_self(const Message& m) {
       obs::inc(m_copies_lost_link_);
       continue;
     }
-    enqueue_send(now + std::chrono::milliseconds(verdict.extra_delay), to, frame);
+    enqueue_send(now + std::chrono::milliseconds(verdict.extra_delay), to, wire);
     ++sent;
     for (std::size_t dup = 0; dup < verdict.duplicates; ++dup) {
       SimTime trail = 1;
@@ -358,12 +387,13 @@ void NetSystem::broadcast_from_self(const Message& m) {
         std::lock_guard lk(rng_mu_);
         trail = rng_.uniform(1, verdict.duplicate_spread);
       }
-      enqueue_send(now + std::chrono::milliseconds(verdict.extra_delay + trail), to, frame);
+      enqueue_send(now + std::chrono::milliseconds(verdict.extra_delay + trail), to, wire);
       ++sent;
       ++duplicated;
       obs::inc(m_copies_duplicated_);
     }
   }
+  if (rel_ != nullptr) rel_cv_.notify_all();  // new in-flight deadlines
   {
     std::lock_guard lk(stats_mu_);
     ++stats_.broadcasts;
@@ -387,8 +417,12 @@ void NetSystem::enqueue_send(Clock::time_point at, ProcIndex to, std::vector<std
 }
 
 void NetSystem::send_control(std::uint8_t tag, ProcIndex to) {
+  send_control(tag, to, std::vector<std::uint8_t>{});
+}
+
+void NetSystem::send_control(std::uint8_t tag, ProcIndex to, const std::vector<std::uint8_t>& body) {
   BatchWriter w;
-  w.add(encode_control_frame(tag, self_, peers_[self_].id));
+  w.add(encode_control_frame(tag, self_, peers_[self_].id, body));
   const auto datagram = w.take();
   UdpEndpoint ep;
   {
@@ -480,6 +514,58 @@ void NetSystem::flush_batch(ProcIndex to) {
   }
 }
 
+void NetSystem::rel_loop() {
+  using namespace std::chrono_literals;
+  while (!stop_flag_.load(std::memory_order_relaxed)) {
+    {
+      std::unique_lock lk(rel_wake_mu_);
+      const auto next = rel_->next_deadline();
+      // Cap the sleep so deadlines armed between next_deadline() and the
+      // wait (or missed notifies) are picked up promptly.
+      const auto cap = Clock::now() + 50ms;
+      rel_cv_.wait_until(lk, next && *next < cap ? *next : cap);
+    }
+    if (stop_flag_.load(std::memory_order_relaxed)) return;
+    dispatch_rel_sends(rel_->tick(Clock::now()));
+  }
+}
+
+void NetSystem::dispatch_rel_sends(std::vector<RelSend> sends) {
+  if (sends.empty()) return;
+  const auto now = Clock::now();
+  const SimTime now_ms_v = now_ms();
+  std::uint64_t sent = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  for (RelSend& s : sends) {
+    CopyVerdict verdict;
+    if (interposer_ != nullptr) verdict = interposer_->on_copy(now_ms_v, self_, s.to, s.type);
+    if (verdict.drop) {
+      ++dropped;
+      obs::inc(m_copies_lost_link_);
+      continue;
+    }
+    for (std::size_t copy = 0; copy <= verdict.duplicates; ++copy) {
+      SimTime trail = 0;
+      if (copy > 0) {
+        trail = 1;
+        if (verdict.duplicate_spread > 0) {
+          std::lock_guard lk(rng_mu_);
+          trail = rng_.uniform(1, verdict.duplicate_spread);
+        }
+        ++duplicated;
+        obs::inc(m_copies_duplicated_);
+      }
+      enqueue_send(now + std::chrono::milliseconds(verdict.extra_delay + trail), s.to, s.frame);
+      ++sent;
+    }
+  }
+  std::lock_guard lk(stats_mu_);
+  stats_.copies_sent += sent;
+  stats_.copies_lost_link += dropped;
+  stats_.copies_duplicated += duplicated;
+}
+
 void NetSystem::recv_loop() {
   std::vector<std::uint8_t> buf;
   while (!stop_flag_.load(std::memory_order_relaxed)) {
@@ -514,9 +600,9 @@ void NetSystem::handle_frame(const std::uint8_t* data, std::size_t len) {
     obs::inc(m_decode_errors_);
     return;
   }
+  const ProcIndex from = m.meta_sender;
   const auto tag = peek_tag(data, len);
   if (tag && *tag >= kCtrlTagFirst) {
-    const ProcIndex from = m.meta_sender;
     if (from >= peers_.size()) {
       std::lock_guard lk(stats_mu_);
       ++stats_.decode_errors;
@@ -528,13 +614,66 @@ void NetSystem::handle_frame(const std::uint8_t* data, std::size_t len) {
       heard_from_[from] = true;
     }
     peers_cv_.notify_all();
-    if (*tag == kTagHello) send_control(kTagHelloAck, from);
+    switch (*tag) {
+      case kTagHello:
+        send_control(kTagHelloAck, from);
+        break;
+      case kTagRelAck: {
+        if (rel_ == nullptr) break;
+        std::optional<RelAckBody> ack;
+        if (const auto body = peek_control_body(data, len)) {
+          ack = parse_rel_ack_body(body->data, body->len);
+        }
+        if (ack) {
+          rel_->on_ack(from, ack->ack_epoch, ack->ack_cum, ack->ack_bits, Clock::now());
+          rel_cv_.notify_all();  // the in-flight set (and deadlines) shrank
+        }
+        break;
+      }
+      case kTagRejoin:
+      case kTagRejoinAck: {
+        std::optional<std::uint64_t> peer_epoch;
+        if (const auto body = peek_control_body(data, len)) {
+          peer_epoch = parse_rejoin_body(body->data, body->len);
+        }
+        if (peer_epoch && rel_ != nullptr) {
+          // A higher epoch flushes the link and re-sends what the dead
+          // incarnation never acked.
+          dispatch_rel_sends(rel_->note_peer_epoch(from, *peer_epoch, Clock::now()));
+        }
+        if (*tag == kTagRejoin) send_control(kTagRejoinAck, from, rejoin_body(epoch_num_));
+        break;
+      }
+      default:
+        break;
+    }
     return;
   }
   // Latency across real processes is unknowable without clock agreement;
   // stamp receive time so downstream consumers see a well-formed value.
   m.meta_sent_at = now_ms();
   m.meta_wire_bytes = len;
+  if (rel_ != nullptr) {
+    if (const auto h = rel_peek(data, len)) {
+      if (from >= peers_.size()) {
+        std::lock_guard lk(stats_mu_);
+        ++stats_.decode_errors;
+        obs::inc(m_decode_errors_);
+        return;
+      }
+      const auto now = Clock::now();
+      dispatch_rel_sends(rel_->note_peer_epoch(from, h->epoch, now));
+      rel_->on_ack(from, h->ack_epoch, h->ack_cum, h->ack_bits, now);
+      auto ready = rel_->on_data(from, *h, std::move(m), now);
+      for (Message& rm : ready) {
+        node_->deliver(now, std::make_shared<const Message>(std::move(rm)));
+      }
+      rel_cv_.notify_all();  // a delayed ack may now be armed
+      return;
+    }
+    // A plain (unsequenced) frame from a reliability-off peer falls
+    // through and delivers directly, exactly as before.
+  }
   node_->deliver(Clock::now(), std::make_shared<const Message>(std::move(m)));
 }
 
@@ -555,6 +694,11 @@ bool NetSystem::wait_for(const std::function<bool()>& pred, std::chrono::millise
 NetNetworkStats NetSystem::net_stats() {
   std::lock_guard lk(stats_mu_);
   return stats_;
+}
+
+RelStats NetSystem::rel_stats() {
+  if (rel_ == nullptr) return RelStats{};
+  return rel_->stats();
 }
 
 std::vector<TraceEvent> NetSystem::drain_trace(std::uint64_t& cursor) {
@@ -579,6 +723,8 @@ void NetSystem::stop() {
   node_->join();
   stop_flag_.store(true, std::memory_order_relaxed);
   send_cv_.notify_all();
+  rel_cv_.notify_all();
+  if (rel_thread_.joinable()) rel_thread_.join();
   if (send_thread_.joinable()) send_thread_.join();
   if (recv_thread_.joinable()) recv_thread_.join();
   sock_.close();

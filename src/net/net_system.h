@@ -7,11 +7,12 @@
 //
 // Concurrency discipline mirrors rt::RtSystem: the local process's state is
 // touched only by its node thread; query() posts a closure into the node
-// mailbox and waits. Three internal threads:
+// mailbox and waits. Three internal threads (four with reliability on):
 //   - node:   time-ordered mailbox dispatch (handlers, timers, queries);
 //   - recv:   recvfrom -> split_batch -> decode_frame -> mailbox;
 //   - sender: per-destination batching (flush on size or time budget),
-//             plus interposer-injected delays and duplicates.
+//             plus interposer-injected delays and duplicates;
+//   - rel:    ARQ retransmission/ack timer (only when reliability is on).
 //
 // Startup barrier: UDP gives no retransmission and several stacks (Fig. 8)
 // tolerate zero message loss, so a datagram fired at a peer whose socket is
@@ -19,6 +20,20 @@
 // HELLO-ACK control frames until every peer has been heard from; call it
 // after construction (the socket binds and the recv thread starts in the
 // constructor) and before start().
+//
+// Reliability: cfg.reliability.enabled routes every data frame through a
+// per-link ARQ channel (net/reliable.h) — sequence numbers, piggybacked
+// cum+selective acks, RTT-estimated retransmission — which un-wedges
+// Fig. 8's non-retransmitting quorum waits under datagram loss. The fault
+// interposer is consulted per TRANSMISSION ATTEMPT (retransmits included),
+// i.e. loss injection sits below the ARQ exactly like a lossy wire. Off by
+// default, with frames byte-identical to plain v1 when off.
+//
+// Crash-restart: cfg.epoch is this process incarnation's number (0 for a
+// first boot). A respawned node (epoch > 0) runs the barrier with REJOIN
+// probes instead of HELLO — peers answer REJOIN-ACK mid-run, flush the
+// restarted link's ARQ state, and re-send whatever the dead incarnation
+// never acked.
 #pragma once
 
 #include <atomic>
@@ -37,6 +52,7 @@
 #include "common/link_fault.h"
 #include "common/rng.h"
 #include "common/types.h"
+#include "net/reliable.h"
 #include "net/udp.h"
 #include "obs/causal.h"
 #include "obs/metrics.h"
@@ -65,6 +81,12 @@ struct NetConfig {
   // recvfrom poll timeout; bounds shutdown latency, not delivery latency.
   int recv_timeout_ms = 50;
   obs::MetricsRegistry* metrics = nullptr;
+  // ARQ layer (net/reliable.h). Disabled by default: frames stay
+  // byte-identical to plain v1 and no rel thread is spawned.
+  RelConfig reliability;
+  // Incarnation number of this process; > 0 switches the startup barrier to
+  // REJOIN probes and makes peers flush this node's per-link ARQ state.
+  std::uint64_t epoch = 0;
   // > 0 enables the structured event log + causal stamping: every local
   // broadcast mints a lineage id (node index folded into the high bits so
   // ids are cluster-unique) that crosses the socket via the v1 codec's
@@ -151,6 +173,11 @@ class NetSystem {
 
   [[nodiscard]] NetNetworkStats net_stats();
 
+  // ARQ counters; all zero when reliability is off.
+  [[nodiscard]] RelStats rel_stats();
+  [[nodiscard]] bool reliable() const { return rel_ != nullptr; }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_num_; }
+
   // ---- causal tracing / telemetry surface (all thread-safe) ----
   [[nodiscard]] bool trace_enabled() const { return trace_.enabled(); }
   // Events recorded since the caller's cursor (start at 0), for incremental
@@ -190,8 +217,13 @@ class NetSystem {
   void enqueue_send(std::chrono::steady_clock::time_point at, ProcIndex to,
                     std::vector<std::uint8_t> frame);
   void send_control(std::uint8_t tag, ProcIndex to);
+  void send_control(std::uint8_t tag, ProcIndex to, const std::vector<std::uint8_t>& body);
   void recv_loop();
   void sender_loop();
+  void rel_loop();
+  // Runs each ARQ output (retransmission / standalone ack) through the
+  // interposer and the send queue; callable from any thread.
+  void dispatch_rel_sends(std::vector<RelSend> sends);
   void handle_frame(const std::uint8_t* data, std::size_t len);
   [[nodiscard]] SimTime now_ms() const;
 
@@ -252,9 +284,17 @@ class NetSystem {
   std::vector<SendItem> send_queue_;  // heap ordered by (at, seq)
   std::atomic<bool> stop_flag_{false};
 
+  // ARQ state; null when reliability is off (the send/recv paths then skip
+  // every rel branch, keeping the off configuration byte-identical).
+  std::unique_ptr<ReliableChannel> rel_;
+  std::uint64_t epoch_num_ = 0;
+  std::mutex rel_wake_mu_;
+  std::condition_variable rel_cv_;
+
   std::unique_ptr<Node> node_;
   std::thread recv_thread_;
   std::thread send_thread_;
+  std::thread rel_thread_;
   bool started_ = false;
   bool stopped_ = false;
 };

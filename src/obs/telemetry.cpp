@@ -132,6 +132,29 @@ std::vector<TelemetryDelta> chunk_telemetry_delta(const TelemetryDelta& d,
 
 void TelemetryMerger::ingest(const TelemetryDelta& d) {
   PerNode& n = nodes_[d.node];
+  // Crash-restart: a respawned incarnation announces a fresh (later)
+  // epoch_wall_us and restarts its delta stream at seq 0. Without a reset
+  // the dedup set would swallow the whole new stream as "replays". The
+  // event timeline restarts too — events are stamped relative to their
+  // incarnation's epoch, so mixing incarnations would skew the merged
+  // trace. Late datagrams from the dead incarnation are counted and
+  // dropped.
+  if (d.epoch_wall_us != 0 && n.epoch_wall_us != 0 && d.epoch_wall_us != n.epoch_wall_us) {
+    if (d.epoch_wall_us < n.epoch_wall_us) {
+      ++n.stale_deltas;
+      return;
+    }
+    ++n.restarts;
+    n.seen_seqs.clear();
+    n.dup_deltas = 0;
+    n.max_seq = 0;
+    n.got_final = false;
+    n.hello_done_ms = -1;
+    n.admin_port = 0;
+    n.metrics_json.clear();
+    n.events.clear();
+    n.dropped = 0;
+  }
   if (n.seen_seqs.empty() || d.id != 0) n.id = d.id;
   if (d.epoch_wall_us != 0) n.epoch_wall_us = d.epoch_wall_us;
   if (d.hello_done_ms >= 0) n.hello_done_ms = d.hello_done_ms;
@@ -244,6 +267,8 @@ Json TelemetryMerger::summary() const {
     nj["lost_deltas"] = expected > distinct ? expected - distinct : 0;
     nj["trace_dropped"] = pn.dropped;
     nj["final"] = pn.got_final;
+    if (pn.restarts != 0) nj["restarts"] = pn.restarts;
+    if (pn.stale_deltas != 0) nj["stale_deltas"] = pn.stale_deltas;
     if (pn.admin_port != 0) nj["admin_port"] = pn.admin_port;
     nj["hello_done_ms"] = pn.hello_done_ms;
     nj["epoch_wall_us"] = pn.epoch_wall_us;

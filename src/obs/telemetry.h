@@ -110,6 +110,8 @@ class TelemetryMerger {
     std::set<std::uint64_t> seen_seqs;  // distinct sequence numbers ingested
     std::uint64_t dup_deltas = 0;       // replayed datagrams (seq seen before)
     std::uint64_t max_seq = 0;          // highest sequence number seen
+    std::uint64_t restarts = 0;         // epoch bumps seen (crash-restart)
+    std::uint64_t stale_deltas = 0;     // late datagrams from a dead incarnation
     std::string metrics_json;
     std::vector<TraceEvent> events;
   };

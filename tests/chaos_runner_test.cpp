@@ -77,6 +77,29 @@ TEST(ChaosAdmissibility, Fig8RejectsLossPartitionAndDuplication) {
   EXPECT_FALSE(admissible(c));
 }
 
+TEST(ChaosAdmissibility, Fig8ReliableAdmitsLossAndDuplicationButNeverPartition) {
+  // Behind the ARQ emulator the HAS reliable-link assumption is restored by
+  // retransmission/dedup, so pre-GST loss and duplication re-enter the
+  // envelope. A total partition is a different model and stays a finding.
+  ChaosCase c = base_case(StackKind::kFig8);
+  c.reliable = true;
+  EXPECT_TRUE(admissible(c));
+  FaultClause cl;
+  cl.until = 100;
+  for (ClauseKind kind : {ClauseKind::kLoss, ClauseKind::kDuplicate}) {
+    cl.kind = kind;
+    cl.prob = 0.5;
+    c.plan.clauses = {cl};
+    EXPECT_TRUE(admissible(c)) << kind_name(kind);
+    c.plan.clauses[0].until = c.gst + 50;  // still must heal by GST
+    EXPECT_FALSE(admissible(c)) << kind_name(kind);
+    c.plan.clauses[0].until = 100;
+  }
+  cl.kind = ClauseKind::kPartition;
+  c.plan.clauses = {cl};
+  EXPECT_FALSE(admissible(c));
+}
+
 TEST(ChaosAdmissibility, Fig8BoundsCrashBudgetByT) {
   ChaosCase c = base_case(StackKind::kFig8);  // n=5, t=2
   c.crash_k = 2;
@@ -139,6 +162,31 @@ TEST(ChaosRunner, AdmissibleFig9CrashStormPassesAllChecks) {
   EXPECT_TRUE(out.ok) << (out.violations.empty() ? "" : out.violations.front());
 }
 
+TEST(ChaosRunner, ReliableFig8SurvivesTheLossPlanThatWedgesBareFig8) {
+  // The exact parameters of tests/repros/fig8_loss_wedge.json — the fuzzer
+  // finding that permanently wedged bare Fig. 8 (no retransmission, so
+  // ~56% pre-GST loss starves phase quora). With the ARQ emulator the same
+  // adversarial plan must decide cleanly.
+  ChaosCase c;
+  c.stack = StackKind::kFig8;
+  c.n = 6;
+  c.distinct = 5;
+  c.gst = 206;
+  c.delta = 3;
+  c.seed = 428144;
+  c.reliable = true;
+  FaultClause loss;
+  loss.kind = ClauseKind::kLoss;
+  loss.prob = 0.56092635828853066;
+  loss.until = 145;
+  loss.from = 39;
+  c.plan.clauses = {loss};
+  ASSERT_TRUE(admissible(c));
+  const ChaosOutcome out = run_chaos_case(c);
+  EXPECT_TRUE(out.ok) << (out.violations.empty() ? "" : out.violations.front());
+  EXPECT_GT(out.copies_dropped, 0u);  // the injector really did fire
+}
+
 TEST(ChaosRunner, EventTriggeredLeaderCrashFiresInsideFig6Run) {
   ChaosCase c = base_case(StackKind::kFig6);
   FaultClause trig;
@@ -191,6 +239,14 @@ TEST(ChaosRunner, CaseJsonRoundTrip) {
   c.plan.clauses = {slow};
   EXPECT_EQ(ChaosCase::from_json(c.to_json()), c);
   EXPECT_EQ(ChaosCase::from_json(obs::Json::parse(c.to_json().dump(2))), c);
+
+  // `reliable` round-trips, and is serialized only when set — existing
+  // repro files (and their byte-exact expectations) never see the key.
+  EXPECT_EQ(c.to_json().find("reliable"), nullptr);
+  c.reliable = true;
+  const ChaosCase back = ChaosCase::from_json(obs::Json::parse(c.to_json().dump(2)));
+  EXPECT_TRUE(back.reliable);
+  EXPECT_EQ(back, c);
 }
 
 TEST(ChaosRunner, ReproRoundTripAndDeterministicReplay) {

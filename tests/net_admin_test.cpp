@@ -4,7 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <mutex>
+#include <set>
 #include <string>
+#include <utility>
 
 #include "obs/json.h"
 
@@ -92,6 +96,64 @@ TEST(AdminLoopback, SequentialRequestsReuseOneClient) {
     ASSERT_TRUE(body.has_value());
     EXPECT_EQ(*body, "ok:V" + std::to_string(i));
   }
+}
+
+// Chunk-loss hardening: the first transmission of every chunk is dropped by
+// a deterministic hook, so the client only completes via retransmits. The
+// response cache must answer the re-asks with IDENTICAL chunks — the
+// handler deliberately returns a different payload every call, so any
+// re-invocation would change the chunk count and wedge (or tear) the
+// client's cross-retry accumulation.
+TEST(AdminLoopback, ChunkLossConvergesViaRetriesWithoutRerunningHandler) {
+  std::string big;
+  while (big.size() < kAdminChunkBytes * 2 + 1) big += "payload-slice ";
+  std::atomic<int> calls{0};
+  AdminServer server;
+  // Drop the first time each (req, chunk index) goes out; retransmitted
+  // datagrams (second ask onward) pass.
+  std::mutex mu;
+  std::set<std::pair<std::uint64_t, std::size_t>> sent_once;
+  server.set_drop_hook([&](std::uint64_t req, std::size_t index) {
+    std::lock_guard lk(mu);
+    return sent_once.insert({req, index}).second;  // newly seen -> drop
+  });
+  server.start(UdpEndpoint{"127.0.0.1", 0}, [&](const std::string& verb, const obs::Json&) {
+    // A moving payload, like live STATS: every invocation differs in size.
+    const int c = calls.fetch_add(1) + 1;
+    return verb + "#" + std::to_string(c) + ":" + big + std::string(static_cast<size_t>(c), 'x');
+  });
+  AdminClient client;
+  const UdpEndpoint ep{"127.0.0.1", server.port()};
+  for (const char* verb : {"STATUS", "STATS"}) {
+    const int before = calls.load();
+    const auto body = client.request(ep, verb, 8000, 150);
+    ASSERT_TRUE(body.has_value()) << verb << ": " << client.last_error();
+    // Reassembly is the cached incarnation, untorn.
+    EXPECT_EQ(*body, std::string(verb) + "#" + std::to_string(before + 1) + ":" + big +
+                         std::string(static_cast<size_t>(before + 1), 'x'));
+    EXPECT_EQ(calls.load(), before + 1) << "re-asks must hit the response cache";
+  }
+  EXPECT_EQ(server.handler_calls(), 2u);
+}
+
+// Loss on the request path too: every datagram of the first two complete
+// responses vanishes, and only the third ask is answered. The client keeps
+// retransmitting inside its deadline and still converges.
+TEST(AdminLoopback, FullResponseLossRecoversOnLaterRetry) {
+  std::atomic<int> asks{0};
+  AdminServer server;
+  server.set_drop_hook([&](std::uint64_t, std::size_t index) {
+    if (index == 0) ++asks;          // first datagram marks one full answer
+    return asks.load() <= 2;         // swallow the first two answers whole
+  });
+  server.start(UdpEndpoint{"127.0.0.1", 0},
+               [](const std::string&, const obs::Json&) { return std::string("stable"); });
+  AdminClient client;
+  const auto body = client.request(UdpEndpoint{"127.0.0.1", server.port()}, "STATUS", 8000, 100);
+  ASSERT_TRUE(body.has_value()) << client.last_error();
+  EXPECT_EQ(*body, "stable");
+  EXPECT_GE(asks.load(), 3);
+  EXPECT_EQ(server.handler_calls(), 1u) << "retries served from cache";
 }
 
 TEST(AdminLoopback, TimeoutOnSilentEndpointReturnsNullopt) {

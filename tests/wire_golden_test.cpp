@@ -26,6 +26,7 @@
 #include "fd/impl/hsigma_sync.h"
 #include "fd/impl/ohp_polling.h"
 #include "net/codec.h"
+#include "net/reliable.h"
 
 namespace hds::net {
 namespace {
@@ -131,6 +132,38 @@ TEST(WireGolden, TraceContextExtensionLayoutIsFrozen) {
   EXPECT_EQ(back.meta_causal_id, m.meta_causal_id);
   EXPECT_EQ(back.meta_causal_parent, m.meta_causal_parent);
   EXPECT_EQ(back.meta_causal_clock, m.meta_causal_clock);
+}
+
+TEST(WireGolden, RelHeaderExtensionLayoutIsFrozen) {
+  // The optional ARQ extension (version byte OR kWireRelFlag, then the six
+  // epoch/seq/floor/ack varints right before the body length). One fixture
+  // pins its layout; the per-type fixtures above pin that reliability-off
+  // frames stay byte-identical to plain v1.
+  const auto inner = encode_frame(builtin_codecs(), sample_messages().at(OHPPolling::kPollType),
+                                  /*sender_index=*/2, /*sender_id=*/7);
+  RelHeader h;
+  h.epoch = 1;
+  h.seq = 300;  // multi-byte varint
+  h.lost_floor = 2;
+  h.ack_epoch = 1;
+  h.ack_cum = 129;
+  h.ack_bits = 0b1011;
+  const auto frame = rel_wrap(inner, h);
+  ASSERT_EQ(frame[2], kWireVersion | kWireRelFlag);
+  const std::string path = std::string(HDS_WIRE_DIR) + "/ext_rel_header.bin";
+  if (std::getenv("HDS_REGEN_WIRE") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(frame.data()),
+              static_cast<std::streamsize>(frame.size()));
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    return;
+  }
+  EXPECT_EQ(frame, read_bin(path)) << "ARQ-wrapped frame diverges from the committed fixture";
+  const auto back = rel_peek(frame.data(), frame.size());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->seq, h.seq);
+  EXPECT_EQ(back->ack_cum, h.ack_cum);
+  EXPECT_NO_THROW(decode_frame(builtin_codecs(), frame.data(), frame.size()));
 }
 
 TEST(WireGolden, ControlFrameLayoutIsFrozen) {

@@ -6,6 +6,19 @@
 //               [--metrics] [--homonymous] [--no-trace]
 //               [--trace-capacity N] [--telemetry-interval-ms MS]
 //               [--no-admin] [--linger-ms MS] [--profile]
+//               [--reliable] [--loss P] [--supervise]
+//               [--kill-node I] [--kill-at-ms MS] [--max-restarts K]
+//
+// Self-healing plane: --reliable turns on the per-link ARQ layer in every
+// node (and the nodes' fig8 DECIDE rebroadcast), --loss P drops each
+// inter-node copy with probability P inside every node, and --supervise
+// makes the launcher a supervisor: a node that dies by a signal is
+// respawned in place (same slot, same UDP port) with an incremented
+// incarnation epoch, so it REJOINs the running cluster instead of
+// re-running the HELLO barrier. --kill-node/--kill-at-ms SIGKILL one slot
+// mid-run to exercise exactly that path. A respawned node announces a fresh
+// admin port; the launcher re-publishes admin_endpoints.json so hds_top and
+// the telemetry plane follow the new incarnation.
 //
 // Health plane: unless --no-admin, every node serves hds-admin-v1
 // (STATS/STATUS) on an ephemeral UDP port. Each node announces its bound
@@ -87,6 +100,12 @@ struct Options {
   bool node_admin = true;     // per-node hds-admin-v1 servers
   std::int64_t linger_ms = -1;  // -1 = node default
   bool profile = false;
+  bool reliable = false;        // per-link ARQ in every node
+  double loss = 0.0;            // symmetric copy-loss probability per node
+  bool supervise = false;       // respawn signal-killed nodes with epoch+1
+  std::int64_t kill_node = -1;  // slot to SIGKILL mid-run (-1 = none)
+  std::int64_t kill_at_ms = 500;
+  int max_restarts = 3;         // per-slot respawn budget
 };
 
 void usage(std::ostream& os) {
@@ -95,7 +114,9 @@ void usage(std::ostream& os) {
         "                   [--no-batching] [--metrics] [--homonymous]\n"
         "                   [--no-trace] [--trace-capacity N]\n"
         "                   [--telemetry-interval-ms MS] [--no-admin]\n"
-        "                   [--linger-ms MS] [--profile]\n";
+        "                   [--linger-ms MS] [--profile]\n"
+        "                   [--reliable] [--loss P] [--supervise]\n"
+        "                   [--kill-node I] [--kill-at-ms MS] [--max-restarts K]\n";
 }
 
 bool parse_args(int argc, char** argv, Options& o) {
@@ -154,10 +175,32 @@ bool parse_args(int argc, char** argv, Options& o) {
       o.linger_ms = std::strtoll(v, nullptr, 10);
     } else if (a == "--profile") {
       o.profile = true;
+    } else if (a == "--reliable") {
+      o.reliable = true;
+    } else if (a == "--loss") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.loss = std::strtod(v, nullptr);
+    } else if (a == "--supervise") {
+      o.supervise = true;
+    } else if (a == "--kill-node") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.kill_node = std::strtoll(v, nullptr, 10);
+    } else if (a == "--kill-at-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.kill_at_ms = std::strtoll(v, nullptr, 10);
+    } else if (a == "--max-restarts") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.max_restarts = static_cast<int>(std::strtol(v, nullptr, 10));
     } else {
       return false;
     }
   }
+  if (o.loss < 0.0 || o.loss >= 1.0) return false;
+  if (o.kill_node >= 0 && static_cast<std::size_t>(o.kill_node) >= o.n) return false;
   return !o.node_bin.empty() && o.n >= 1;
 }
 
@@ -175,11 +218,14 @@ std::vector<std::uint64_t> make_ids(const Options& o) {
 
 Json node_config(const Options& o, const std::vector<std::uint64_t>& ids,
                  const std::vector<std::uint16_t>& ports, std::size_t self,
-                 std::uint16_t admin_port) {
+                 std::uint16_t admin_port, std::uint64_t epoch = 0) {
   Json cfg = Json::object();
   cfg["schema"] = "hds-node-config-v1";
   cfg["self"] = self;
   cfg["stack"] = o.stack;
+  if (o.reliable) cfg["reliable"] = true;
+  if (o.loss > 0.0) cfg["loss"] = o.loss;
+  if (epoch > 0) cfg["epoch"] = epoch;
   Json peers = Json::array();
   for (std::size_t i = 0; i < o.n; ++i) {
     Json p = Json::object();
@@ -271,6 +317,10 @@ int run(const Options& o) {
   std::uint64_t tele_malformed = 0;
   const std::string endpoints_path = o.dir + "/admin_endpoints.json";
   std::atomic<bool> endpoints_written{false};
+  // Last port published per slot (guarded by merger_mu): a respawned
+  // incarnation binds a fresh ephemeral admin port, and a mismatch against
+  // this vector is what triggers a re-publish mid-run.
+  std::vector<std::uint16_t> published_ports(o.n, 0);
 
   // Publishes admin_endpoints.json for hds_top. Primary source is the port
   // each node announced through its telemetry deltas; the nodeI.admin_port
@@ -284,6 +334,7 @@ int run(const Options& o) {
       {
         std::lock_guard lk(merger_mu);
         port = merger.node_admin_port(static_cast<hds::ProcIndex>(i));
+        published_ports[i] = port;
       }
       if (port == 0 && allow_files) {
         try {
@@ -327,8 +378,11 @@ int run(const Options& o) {
           std::lock_guard lk(merger_mu);
           merger.ingest(d);
           ++tele_datagrams;
-          all_announced = o.node_admin && d.admin_port != 0 &&
-                          !endpoints_written.load(std::memory_order_relaxed);
+          // Publish when a slot announces a port we have not published yet —
+          // covers both the initial all-announced instant and a respawned
+          // incarnation's fresh ephemeral port.
+          all_announced = o.node_admin && d.admin_port != 0 && d.node < o.n &&
+                          published_ports[d.node] != d.admin_port;
           for (std::size_t i = 0; all_announced && i < o.n; ++i) {
             all_announced = merger.node_admin_port(static_cast<hds::ProcIndex>(i)) != 0;
           }
@@ -370,20 +424,56 @@ int run(const Options& o) {
   // barrier timeout) leaves the survivors blocked on it — the HELLO barrier
   // and the quorum waits both need every slot — so after a short grace the
   // survivors are killed instead of burning the whole deadline.
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(o.timeout_ms) + std::chrono::seconds(10);
+  const auto t_start = std::chrono::steady_clock::now();
+  const auto deadline =
+      t_start + std::chrono::milliseconds(o.timeout_ms) + std::chrono::seconds(10);
   std::vector<int> exit_codes(o.n, -1);
+  std::vector<int> restarts(o.n, 0);
   std::size_t live = o.n;
   bool timed_out = false;
   bool failed_fast = false;
+  bool kill_fired = false;
   std::size_t first_failed_node = 0;
   std::optional<std::chrono::steady_clock::time_point> first_failure;
   while (live > 0) {
+    // Scheduled fault: SIGKILL the victim slot once (skipped if it already
+    // exited on its own — there is no incarnation left to crash).
+    if (o.kill_node >= 0 && !kill_fired &&
+        std::chrono::steady_clock::now() >= t_start + std::chrono::milliseconds(o.kill_at_ms)) {
+      kill_fired = true;
+      const auto victim = static_cast<std::size_t>(o.kill_node);
+      if (exit_codes[victim] == -1) {
+        std::cerr << "hds_cluster: SIGKILL node " << victim << " at +" << o.kill_at_ms << "ms\n";
+        kill(pids[victim], SIGKILL);
+      }
+    }
     for (std::size_t i = 0; i < o.n; ++i) {
       if (exit_codes[i] != -1) continue;
       int status = 0;
       const pid_t r = waitpid(pids[i], &status, WNOHANG);
       if (r == pids[i]) {
+        // Crash-restart supervision: a signal death (the crash model) is
+        // respawned in place with an incremented incarnation epoch while the
+        // restart budget lasts. The new process rebinds the same data port,
+        // REJOINs through the running peers, and catches up via the ARQ
+        // requeue + DECIDE rebroadcast. Nonzero *exits* (config errors,
+        // barrier timeouts) are logic failures and still fail fast.
+        if (o.supervise && WIFSIGNALED(status) && restarts[i] < o.max_restarts &&
+            !first_failure.has_value()) {
+          ++restarts[i];
+          const auto epoch = static_cast<std::uint64_t>(restarts[i]);
+          const std::string cfg_path = o.dir + "/node" + std::to_string(i) + ".json";
+          hds::obs::write_text_file(
+              cfg_path,
+              node_config(o, ids, ports, i, admin.local_port(), epoch).dump(2) + "\n");
+          pids[i] = spawn_node(o.node_bin, cfg_path, out_paths[i], err_paths[i]);
+          if (pids[i] >= 0) {
+            std::cerr << "hds_cluster: node " << i << " died (signal " << WTERMSIG(status)
+                      << "); respawned as epoch " << epoch << "\n";
+            continue;  // the slot is live again; nothing exited
+          }
+          std::cerr << "hds_cluster: respawn fork failed for node " << i << "\n";
+        }
         exit_codes[i] = WIFEXITED(status) ? WEXITSTATUS(status) : 128 + WTERMSIG(status);
         --live;
         if (exit_codes[i] != 0 && !first_failure.has_value()) {
@@ -506,6 +596,11 @@ int run(const Options& o) {
   summary["ok"] = ok;
   summary["verdict"] = ok ? "ok" : verdict;
   summary["nodes"] = nodes;
+  if (o.supervise || o.kill_node >= 0) {
+    Json r = Json::array();
+    for (const int k : restarts) r.push_back(k);
+    summary["restarts"] = r;
+  }
   if (o.node_admin && !endpoints_written.load(std::memory_order_relaxed)) {
     // Fallback for --no-trace (or lost announcements): the port drop files.
     publish_endpoints(true);

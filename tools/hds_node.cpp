@@ -39,7 +39,17 @@
 //     "qos_window_ms": 250,            // streaming QoS sub-window width
 //     "qos_windows": 8,                // ...and ring size
 //     "profile": false,                // in-process profiler; collapsed
-//     "profile_out": "n0.folded"       // stacks written here at exit
+//     "profile_out": "n0.folded",      // stacks written here at exit
+//     "reliable": false,               // per-link ARQ layer (net/reliable.h)
+//     "loss": 0.0,                     // symmetric Bernoulli copy loss on
+//                                      // every inter-node link (test rig)
+//     "epoch": 0,                      // incarnation number; a supervised
+//                                      // respawn gets epoch+1 and rejoins
+//                                      // via REJOIN instead of HELLO
+//     "redecide_ms": 250               // fig8 DECIDE rebroadcast period so
+//                                      // a respawned slot still terminates;
+//                                      // defaults to 250 when reliable,
+//                                      // else 0 (off)
 //   }
 //
 // On success the last stdout line is a one-line result JSON
@@ -52,10 +62,13 @@
 #include <chrono>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/link_fault.h"
+#include "common/rng.h"
 #include "consensus/majority_homega.h"
 #include "consensus/quorum_homega_hsigma.h"
 #include "fd/impl/hsigma_sync.h"
@@ -99,6 +112,31 @@ struct NodeOptions {
   std::size_t qos_windows = 8;
   bool profile = false;
   std::string profile_out;
+  double loss = 0.0;
+  hds::SimTime redecide_ms = 0;
+};
+
+// Symmetric Bernoulli loss on every inter-node copy. Seeded and internally
+// synchronized per the LinkInterposer contract. REL_ACK and retransmission
+// copies are judged like any other traffic — the ARQ layer has to survive
+// losing its own acks too.
+class SymmetricLoss final : public hds::LinkInterposer {
+ public:
+  SymmetricLoss(double p, std::uint64_t seed) : p_(p), rng_(seed) {}
+
+  hds::CopyVerdict on_copy(hds::SimTime, hds::ProcIndex from, hds::ProcIndex to,
+                           const std::string&) override {
+    if (from == to) return {};
+    std::lock_guard<std::mutex> lk(mu_);
+    hds::CopyVerdict v;
+    v.drop = rng_.chance(p_);
+    return v;
+  }
+
+ private:
+  double p_;
+  std::mutex mu_;
+  hds::Rng rng_;
 };
 
 NodeOptions parse_config(const Json& cfg) {
@@ -149,6 +187,12 @@ NodeOptions parse_config(const Json& cfg) {
   o.qos_windows = static_cast<std::size_t>(cfg.number_or("qos_windows", 8));
   if (const Json* pr = cfg.find("profile")) o.profile = pr->boolean();
   o.profile_out = cfg.string_or("profile_out", "");
+  if (const Json* rel = cfg.find("reliable")) o.net.reliability.enabled = rel->boolean();
+  o.loss = cfg.number_or("loss", 0.0);
+  if (o.loss < 0.0 || o.loss >= 1.0) throw std::runtime_error("config: loss must be in [0, 1)");
+  o.net.epoch = static_cast<std::uint64_t>(cfg.number_or("epoch", 0));
+  o.redecide_ms = static_cast<hds::SimTime>(
+      cfg.number_or("redecide_ms", o.net.reliability.enabled ? 250 : 0));
   return o;
 }
 
@@ -163,6 +207,25 @@ Json stats_json(const hds::net::NetNetworkStats& s) {
   j["packets_sent"] = s.packets_sent;
   j["packets_received"] = s.packets_received;
   j["decode_errors"] = s.decode_errors;
+  return j;
+}
+
+Json rel_stats_json(const hds::net::RelStats& r) {
+  Json j = Json::object();
+  j["data_sent"] = r.data_sent;
+  j["retransmits"] = r.retransmits;
+  j["acked"] = r.acked;
+  j["window_drops"] = r.window_drops;
+  j["reorder_drops"] = r.reorder_drops;
+  j["acks_sent"] = r.acks_sent;
+  j["acks_received"] = r.acks_received;
+  j["dup_frames"] = r.dup_frames;
+  j["out_of_order"] = r.out_of_order;
+  j["skipped_lost"] = r.skipped_lost;
+  j["delivered"] = r.delivered;
+  j["stale_epoch_drops"] = r.stale_epoch_drops;
+  j["epoch_flushes"] = r.epoch_flushes;
+  j["requeued"] = r.requeued;
   return j;
 }
 
@@ -194,6 +257,16 @@ int run(const NodeOptions& o) {
   const std::size_t n = sys.n();
   const hds::ProcIndex self = sys.self();
 
+  // Loss rig: installed before any data-plane traffic so every copy —
+  // first sends, ARQ retransmits, standalone acks — rolls the same dice.
+  // HELLO/REJOIN barrier probes bypass interposers by design, so the
+  // cluster still forms under heavy loss.
+  std::unique_ptr<SymmetricLoss> loss;
+  if (o.loss > 0.0) {
+    loss = std::make_unique<SymmetricLoss>(o.loss, o.net.seed ^ 0x10551055u);
+    sys.set_interposer(loss.get());
+  }
+
   // Assemble the selected stack. Raw pointers stay valid: the system owns
   // the StackedProcess, which owns its components.
   hds::OHPPolling* ohp = nullptr;
@@ -212,6 +285,7 @@ int run(const NodeOptions& o) {
     ccfg.t = o.t_known;
     ccfg.proposal = o.proposal;
     ccfg.guard_poll = 5;
+    ccfg.redecide_interval_ms = o.redecide_ms;
     cons8 = stack->add(std::make_unique<hds::MajorityHOmegaConsensus>(ccfg, *ohp));
   } else if (o.stack == "fig9") {
     ohp = stack->add(std::make_unique<hds::OHPPolling>());
@@ -249,6 +323,8 @@ int run(const NodeOptions& o) {
     st["self"] = self;
     st["id"] = sys.id_of(self);
     st["stack"] = o.stack;
+    st["epoch"] = sys.epoch();
+    st["reliable"] = sys.reliable();
     const bool started = node_started.load(std::memory_order_acquire);
     st["running"] = started;
     st["uptime_ms"] = std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -510,6 +586,8 @@ int run(const NodeOptions& o) {
   }
   sys.stop();
   result["stats"] = stats_json(sys.net_stats());
+  result["epoch"] = sys.epoch();
+  if (sys.reliable()) result["rel"] = rel_stats_json(sys.rel_stats());
   if (sys.trace_enabled()) result["trace_dropped"] = sys.trace_dropped();
 
   if (o.profile) {

@@ -27,11 +27,20 @@
 //
 // Exit: 0 snapshot complete (all nodes reporting, leaders agreed;
 // consensus decided if present), 1 incomplete at deadline, 2 usage error.
+//
+// --timeout-ms puts a hard wall-clock ceiling on the whole invocation
+// (endpoint discovery AND polling, with per-RPC timeouts clamped to the
+// time left). Without it, a node that never reports keeps a scripted
+// --once --json poll burning its full --wait-ms, and each pass blocks
+// --rpc-timeout-ms per silent node; with it, the tool exits 1 at the
+// deadline and still prints the partial snapshot, whose "missing" array
+// names the slots that never answered.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <set>
 #include <string>
 #include <thread>
@@ -52,14 +61,15 @@ struct Options {
   bool json = false;
   std::int64_t wait_ms = 0;        // scripted: keep polling this long for a
                                    // complete snapshot before giving up
+  std::int64_t timeout_ms = -1;    // hard overall deadline; -1 = none
   std::int64_t interval_ms = 500;  // interactive refresh cadence
   int rpc_timeout_ms = 750;
 };
 
 void usage(std::ostream& os) {
   os << "usage: hds_top --nodes HOST:PORT[,HOST:PORT...] | --cluster-dir DIR\n"
-        "               [--once] [--json] [--wait-ms MS] [--interval-ms MS]\n"
-        "               [--rpc-timeout-ms MS]\n";
+        "               [--once] [--json] [--wait-ms MS] [--timeout-ms MS]\n"
+        "               [--interval-ms MS] [--rpc-timeout-ms MS]\n";
 }
 
 bool parse_endpoint(const std::string& s, hds::net::UdpEndpoint& ep) {
@@ -105,6 +115,10 @@ bool parse_args(int argc, char** argv, Options& o) {
       const char* v = next();
       if (v == nullptr) return false;
       o.wait_ms = std::strtoll(v, nullptr, 10);
+    } else if (a == "--timeout-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.timeout_ms = std::strtoll(v, nullptr, 10);
     } else if (a == "--interval-ms") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -151,19 +165,35 @@ std::vector<hds::net::UdpEndpoint> endpoints_from_dir(const std::string& dir) {
 // One polling pass over every node. The aggregate fields are what the CI
 // smoke asserts on: reporting == n, leaders_agree, all_decided + value.
 Json take_snapshot(const std::vector<hds::net::UdpEndpoint>& nodes,
-                   hds::net::AdminClient& client, int rpc_timeout_ms) {
+                   hds::net::AdminClient& client, int rpc_timeout_ms,
+                   std::chrono::steady_clock::time_point hard_deadline =
+                       std::chrono::steady_clock::time_point::max()) {
   Json per_node = Json::object();
+  Json missing = Json::array();
   std::size_t reporting = 0;
   std::set<std::int64_t> leaders;
   std::set<std::int64_t> values;
   bool any_consensus = false;
   std::size_t decided_count = 0;
   for (std::size_t i = 0; i < nodes.size(); ++i) {
-    const auto body = client.request(nodes[i], "STATUS", rpc_timeout_ms);
+    // Clamp each RPC to the time left so one pass over N silent nodes
+    // cannot overshoot the overall deadline by N * rpc_timeout.
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                               hard_deadline - std::chrono::steady_clock::now())
+                               .count();
+    std::optional<std::string> body;
+    std::string err = "deadline exceeded before poll";
+    if (remaining > 0) {
+      const int budget = static_cast<int>(
+          std::min<std::int64_t>(rpc_timeout_ms, std::max<std::int64_t>(1, remaining)));
+      body = client.request(nodes[i], "STATUS", budget);
+      if (!body.has_value()) err = client.last_error();
+    }
     Json st;
     if (!body.has_value()) {
       st = Json::object();
-      st["error"] = client.last_error();
+      st["error"] = err;
+      missing.push_back(i);
     } else {
       try {
         st = Json::parse(*body);
@@ -187,6 +217,7 @@ Json take_snapshot(const std::vector<hds::net::UdpEndpoint>& nodes,
   s["schema"] = "hds-top-snapshot-v1";
   s["n"] = nodes.size();
   s["reporting"] = reporting;
+  s["missing"] = std::move(missing);
   s["leaders_agree"] = !leaders.empty() && leaders.size() == 1;
   if (leaders.size() == 1) s["leader"] = *leaders.begin();
   if (any_consensus) {
@@ -302,8 +333,12 @@ void render(const Json& snap, const std::vector<hds::net::UdpEndpoint>& nodes, b
 }
 
 int run(const Options& o) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto hard_deadline = o.timeout_ms >= 0
+                                 ? start + std::chrono::milliseconds(o.timeout_ms)
+                                 : std::chrono::steady_clock::time_point::max();
   const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::milliseconds(o.wait_ms);
+      std::min(start + std::chrono::milliseconds(o.wait_ms), hard_deadline);
   std::vector<hds::net::UdpEndpoint> nodes = o.nodes;
   while (nodes.empty()) {
     nodes = endpoints_from_dir(o.cluster_dir);
@@ -317,11 +352,18 @@ int run(const Options& o) {
 
   hds::net::AdminClient client;
   if (o.once) {
-    Json snap = take_snapshot(nodes, client, o.rpc_timeout_ms);
+    Json snap = take_snapshot(nodes, client, o.rpc_timeout_ms, hard_deadline);
     while (!snap.find("complete")->boolean() &&
            std::chrono::steady_clock::now() < deadline) {
       std::this_thread::sleep_for(std::chrono::milliseconds(200));
-      snap = take_snapshot(nodes, client, o.rpc_timeout_ms);
+      snap = take_snapshot(nodes, client, o.rpc_timeout_ms, hard_deadline);
+    }
+    if (!snap.find("complete")->boolean()) {
+      const Json* miss = snap.find("missing");
+      if (miss != nullptr && !miss->items().empty()) {
+        std::cerr << "hds_top: deadline with " << miss->items().size()
+                  << " node(s) never reporting: " << miss->dump() << "\n";
+      }
     }
     if (o.json) {
       std::cout << snap.dump() << "\n";
