@@ -9,6 +9,7 @@
 #include "consensus/harness.h"
 #include "net/reliable.h"
 #include "obs/monitor.h"
+#include "smr/harness.h"
 
 namespace hds::chaos {
 
@@ -17,12 +18,13 @@ const char* stack_name(StackKind s) {
     case StackKind::kFig6: return "fig6";
     case StackKind::kFig8: return "fig8";
     case StackKind::kFig9: return "fig9";
+    case StackKind::kSmr: return "smr";
   }
   return "?";
 }
 
 StackKind stack_from_name(const std::string& name) {
-  for (StackKind s : {StackKind::kFig6, StackKind::kFig8, StackKind::kFig9}) {
+  for (StackKind s : {StackKind::kFig6, StackKind::kFig8, StackKind::kFig9, StackKind::kSmr}) {
     if (name == stack_name(s)) return s;
   }
   throw std::invalid_argument("ChaosCase: unknown stack '" + name + "'");
@@ -137,6 +139,35 @@ bool admissible_fig8(const ChaosCase& c) {
   return true;
 }
 
+// smr (HPS[t < n/2]): the replicated log rides the fig8 stack — recovery
+// settles in-doubt slots through Fig. 8 instances — so it inherits the fig8
+// link envelope verbatim (delay/reorder healing by GST; loss/duplication
+// only behind the ARQ emulator; partitions never). Crashes must land inside
+// the load window (first half of run_for) so the convergence linger has a
+// clean tail, and max_time must leave room for that linger.
+bool admissible_smr(const ChaosCase& c) {
+  if (c.run_for < 4000 || c.gst < 1 || c.gst > c.run_for / 4 || c.delta < 1) return false;
+  if (c.max_time < 2 * c.run_for) return false;
+  const std::size_t t_known = (c.n - 1) / 2;
+  if (c.crash_k + c.plan.crash_budget() > t_known) return false;
+  const SimTime mid = c.run_for / 2;
+  if (c.crash_k > 0 && (c.crash_at < 1 || c.crash_at > mid)) return false;
+  const SimTime lfe = c.plan.link_faults_end();
+  if (lfe < 0 || lfe > c.gst) return false;
+  for (const FaultClause& cl : c.plan.clauses) {
+    if (cl.kind == ClauseKind::kPartition) return false;
+    if (!c.reliable && (cl.kind == ClauseKind::kDuplicate || cl.kind == ClauseKind::kLoss)) {
+      return false;
+    }
+    if (cl.kind == ClauseKind::kCrashAt && (cl.at < 1 || cl.at > mid || cl.proc >= c.n)) {
+      return false;
+    }
+    if (is_trigger_kind(cl.kind) && (cl.until < 1 || cl.until > mid)) return false;
+    if (cl.kind == ClauseKind::kCrashOnQuorum) return false;  // no HΣ in this stack
+  }
+  return true;
+}
+
 bool admissible_fig9(const ChaosCase& c) {
   if (c.max_time < 20'000 || c.delta < 1 || c.delta > 10) return false;
   if (c.crash_k + c.plan.crash_budget() > c.n - 2) return false;
@@ -161,6 +192,7 @@ bool admissible(const ChaosCase& c) {
     case StackKind::kFig6: return admissible_fig6(c);
     case StackKind::kFig8: return admissible_fig8(c);
     case StackKind::kFig9: return admissible_fig9(c);
+    case StackKind::kSmr: return admissible_smr(c);
   }
   return false;
 }
@@ -295,6 +327,37 @@ ChaosOutcome run_chaos_case(const ChaosCase& c, std::size_t trace_capacity) {
       out.trace_dropped = res.trace_dropped;
       break;
     }
+    case StackKind::kSmr: {
+      smr::SmrSimParams p;
+      p.n = c.n;
+      p.t = (c.n - 1) / 2;
+      p.ids = ids;
+      p.crashes = crashes;
+      p.full_stack = true;
+      p.net = hps_net(c, /*lossy=*/false);
+      p.seed = c.seed;
+      p.run_for = c.run_for;
+      p.max_time = c.max_time;
+      p.workload.clients = 4;
+      p.trace_capacity = trace_capacity;
+      std::optional<net::ReliableLinkEmulator> rel;
+      p.chaos = &inj;
+      if (c.reliable) {
+        rel.emplace(inj);
+        p.link_interposer = &*rel;
+      }
+      smr::SmrSimResult res = run_smr_sim(p);
+      if (!res.prefix_consistent) {
+        out.violations.push_back(
+            "smr-prefix: applied hash chains diverge on a common prefix — two replicas "
+            "applied different batches at the same slot");
+      }
+      if (!res.converged) {
+        out.violations.push_back("smr-liveness: correct replicas did not converge by t=" +
+                                 std::to_string(res.end_time));
+      }
+      break;
+    }
   }
 
   const InjectorStats st = inj.stats();
@@ -345,23 +408,24 @@ ChaosCase random_admissible_case(Rng& rng, StackKind stack) {
     c.distinct = 2 + rng.index(c.n - 1);
     c.seed = 1 + static_cast<std::uint64_t>(rng.uniform(0, 1'000'000));
     c.delta = 2 + rng.uniform(0, 3);
-    const SimTime crash_horizon = stack == StackKind::kFig6 ? c.run_for / 2 : c.max_time / 4;
+    const bool load_window = stack == StackKind::kFig6 || stack == StackKind::kSmr;
+    const SimTime crash_horizon = load_window ? c.run_for / 2 : c.max_time / 4;
     std::size_t crash_budget;  // crashes left to hand out
     std::vector<ClauseKind> link_pool;
     if (stack == StackKind::kFig9) {
       crash_budget = c.n - 2;
     } else {
       c.gst = 100 + rng.uniform(0, 200);
-      crash_budget = stack == StackKind::kFig8 ? (c.n - 1) / 2 : c.n - 2;
+      crash_budget = stack == StackKind::kFig6 ? c.n - 2 : (c.n - 1) / 2;
       link_pool = {ClauseKind::kDelay, ClauseKind::kReorder};
       if (stack == StackKind::kFig6) {
         link_pool.push_back(ClauseKind::kPartition);
         link_pool.push_back(ClauseKind::kLoss);
         link_pool.push_back(ClauseKind::kDuplicate);
-      } else if (stack == StackKind::kFig8 && rng.chance(0.5)) {
-        // Half the fig8 sweep runs behind the ARQ emulator, where loss and
-        // duplication join the envelope (admissible_fig8 admits them only
-        // when c.reliable is set).
+      } else if (rng.chance(0.5)) {
+        // Half the fig8/smr sweep runs behind the ARQ emulator, where loss
+        // and duplication join the envelope (the admissibility rules admit
+        // them only when c.reliable is set).
         c.reliable = true;
         link_pool.push_back(ClauseKind::kLoss);
         link_pool.push_back(ClauseKind::kDuplicate);
@@ -390,8 +454,7 @@ ChaosCase random_admissible_case(Rng& rng, StackKind stack) {
           crash_budget -= 1;
         } else {
           cl.count = 1;
-          cl.until = stack == StackKind::kFig6 ? 1 + rng.uniform(0, c.run_for / 2 - 1)
-                                               : c.max_time / 2;
+          cl.until = load_window ? 1 + rng.uniform(0, c.run_for / 2 - 1) : c.max_time / 2;
           crash_budget -= 1;
         }
         c.plan.clauses.push_back(cl);

@@ -34,6 +34,8 @@ enum class StackKind : std::uint8_t {
   kFig6,  // Fig. 6 detectors alone in HPS (◇HP̄ + HΩ checks)
   kFig8,  // full stack Fig. 6 ▸ Corollary 2 ▸ Fig. 8 in HPS[t < n/2]
   kFig9,  // full stack Fig. 6 + Fig. 7-adapter ▸ Fig. 9, synchronous
+  kSmr,   // replicated log over the fig8 stack (lease fast path + per-slot
+          // Fig. 8 recovery) serving closed-loop client traffic in HPS
 };
 
 [[nodiscard]] const char* stack_name(StackKind s);

@@ -371,6 +371,7 @@ ConsensusRunResult run_fig8_with_oracle(const Fig8OracleParams& p) {
     cons_cfg.alpha = p.alpha;
     cons_cfg.skip_coordination_phase = p.skip_coordination_phase;
     cons_cfg.guard_poll = p.guard_poll;
+    cons_cfg.instance = p.instance;
     auto proc = std::make_unique<MajorityHOmegaConsensus>(cons_cfg, oracle.handle(i));
     proc->attach_metrics(p.metrics, proc_labels(i));
     procs[i] = proc.get();

@@ -183,6 +183,10 @@ struct Fig8OracleParams {
   std::optional<std::size_t> alpha;     // footnote-5 mode (n/t ignored)
   bool skip_coordination_phase = false; // ablation
   SimTime guard_poll = 4;               // FD guard re-evaluation period
+  // Instance tag stamped on every engine and message of this run — the
+  // repeated-consensus entry point: a caller running one decision per log
+  // slot passes the slot number here (engines ignore foreign instances).
+  std::int64_t instance = 0;
   obs::MetricsRegistry* metrics = nullptr;  // per-process series; null disables
 };
 

@@ -12,6 +12,7 @@
 #include "fd/impl/hsigma_sync.h"
 #include "fd/impl/ohp_polling.h"
 #include "net/codec.h"
+#include "smr/types.h"
 
 namespace hds::net {
 
@@ -50,6 +51,78 @@ std::set<Label> get_labels(WireReader& r) {
   std::set<Label> out;
   for (std::uint64_t i = 0; i < count; ++i) out.insert(Label::from_repr(r.str()));
   return out;
+}
+
+// --- SMR nested frames (smr/types.h) ---
+
+void put_smr_op(WireWriter& w, const smr::SmrOp& op) {
+  w.varint(op.client);
+  w.svarint(op.seq);
+  w.svarint(op.key);
+  w.svarint(op.val);
+  w.varint(op.pad.size());
+  for (const std::uint8_t b : op.pad) w.u8(b);
+}
+
+smr::SmrOp get_smr_op(WireReader& r) {
+  smr::SmrOp op;
+  op.client = r.varint();
+  op.seq = r.svarint();
+  op.key = r.svarint();
+  op.val = r.svarint();
+  const std::uint64_t pad = r.varint();
+  if (pad > r.remaining()) throw CodecError("op padding exceeds remaining bytes");
+  op.pad.reserve(pad);
+  for (std::uint64_t i = 0; i < pad; ++i) op.pad.push_back(r.u8());
+  return op;
+}
+
+void put_smr_ops(WireWriter& w, const std::vector<smr::SmrOp>& ops) {
+  w.varint(ops.size());
+  for (const smr::SmrOp& op : ops) put_smr_op(w, op);
+}
+
+std::vector<smr::SmrOp> get_smr_ops(WireReader& r) {
+  const std::uint64_t count = r.varint();
+  if (count > r.remaining()) throw CodecError("op count exceeds remaining bytes");
+  std::vector<smr::SmrOp> ops;
+  ops.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) ops.push_back(get_smr_op(r));
+  return ops;
+}
+
+void put_smr_batch(WireWriter& w, const smr::SmrBatch& b) {
+  w.svarint(b.id);
+  put_smr_ops(w, b.ops);
+}
+
+smr::SmrBatch get_smr_batch(WireReader& r) {
+  smr::SmrBatch b;
+  b.id = r.svarint();
+  b.ops = get_smr_ops(r);
+  return b;
+}
+
+void put_smr_commits(WireWriter& w, const std::vector<smr::SmrCommitRec>& recs) {
+  w.varint(recs.size());
+  for (const smr::SmrCommitRec& c : recs) {
+    w.svarint(c.slot);
+    w.svarint(c.id);
+  }
+}
+
+std::vector<smr::SmrCommitRec> get_smr_commits(WireReader& r) {
+  const std::uint64_t count = r.varint();
+  if (count > r.remaining()) throw CodecError("commit count exceeds remaining bytes");
+  std::vector<smr::SmrCommitRec> recs;
+  recs.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    smr::SmrCommitRec c;
+    c.slot = r.svarint();
+    c.id = r.svarint();
+    recs.push_back(c);
+  }
+  return recs;
 }
 
 template <typename T>
@@ -226,6 +299,108 @@ CodecRegistry build() {
         m.labels = get_labels(r);
         m.est2 = get_maybe(r);
         m.instance = r.svarint();
+        return m;
+      }));
+
+  // --- replicated-log bodies (src/smr/) ---
+  reg.add(codec<smr::SmrAppendMsg>(
+      14, smr::kSmrAppendType,
+      [](const smr::SmrAppendMsg& m, WireWriter& w) {
+        w.svarint(m.epoch);
+        w.svarint(m.slot);
+        put_smr_batch(w, m.batch);
+        put_smr_commits(w, m.commits);
+      },
+      [](WireReader& r) {
+        smr::SmrAppendMsg m;
+        m.epoch = r.svarint();
+        m.slot = r.svarint();
+        m.batch = get_smr_batch(r);
+        m.commits = get_smr_commits(r);
+        return m;
+      }));
+  reg.add(codec<smr::SmrAckMsg>(
+      15, smr::kSmrAckType,
+      [](const smr::SmrAckMsg& m, WireWriter& w) {
+        w.svarint(m.epoch);
+        w.varint(m.replica);
+        w.svarint(m.logged_through);
+        w.svarint(m.applied_through);
+        w.svarint(m.commit_frontier);
+        put_smr_commits(w, m.commits);
+        put_smr_ops(w, m.pending);
+      },
+      [](WireReader& r) {
+        smr::SmrAckMsg m;
+        m.epoch = r.svarint();
+        m.replica = r.varint();
+        m.logged_through = r.svarint();
+        m.applied_through = r.svarint();
+        m.commit_frontier = r.svarint();
+        m.commits = get_smr_commits(r);
+        m.pending = get_smr_ops(r);
+        return m;
+      }));
+  reg.add(codec<smr::SmrNewEpochMsg>(
+      16, smr::kSmrNewEpochType,
+      [](const smr::SmrNewEpochMsg& m, WireWriter& w) {
+        w.svarint(m.epoch);
+        w.svarint(m.from_slot);
+        w.varint(m.replica);
+      },
+      [](WireReader& r) {
+        smr::SmrNewEpochMsg m;
+        m.epoch = r.svarint();
+        m.from_slot = r.svarint();
+        m.replica = r.varint();
+        return m;
+      }));
+  reg.add(codec<smr::SmrPromiseMsg>(
+      17, smr::kSmrPromiseType,
+      [](const smr::SmrPromiseMsg& m, WireWriter& w) {
+        w.svarint(m.epoch);
+        w.varint(m.replica);
+        w.svarint(m.frontier);
+        w.varint(m.entries.size());
+        for (const smr::SmrLogRec& e : m.entries) {
+          w.svarint(e.slot);
+          w.svarint(e.epoch);
+          w.u8(e.committed ? 1 : 0);
+          put_smr_batch(w, e.batch);
+        }
+      },
+      [](WireReader& r) {
+        smr::SmrPromiseMsg m;
+        m.epoch = r.svarint();
+        m.replica = r.varint();
+        m.frontier = r.svarint();
+        const std::uint64_t count = r.varint();
+        if (count > r.remaining()) throw CodecError("entry count exceeds remaining bytes");
+        m.entries.reserve(count);
+        for (std::uint64_t i = 0; i < count; ++i) {
+          smr::SmrLogRec e;
+          e.slot = r.svarint();
+          e.epoch = r.svarint();
+          const std::uint8_t c = r.u8();
+          if (c > 1) throw CodecError("bad committed marker");
+          e.committed = c == 1;
+          e.batch = get_smr_batch(r);
+          m.entries.push_back(std::move(e));
+        }
+        return m;
+      }));
+  reg.add(codec<smr::SmrProposeMsg>(
+      18, smr::kSmrProposeType,
+      [](const smr::SmrProposeMsg& m, WireWriter& w) {
+        w.svarint(m.epoch);
+        w.svarint(m.slot);
+        put_smr_batch(w, m.batch);
+      },
+      [](WireReader& r) {
+        smr::SmrProposeMsg m;
+        m.epoch = r.svarint();
+        m.slot = r.svarint();
+        m.batch = get_smr_batch(r);
         return m;
       }));
 

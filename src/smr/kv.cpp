@@ -1,0 +1,63 @@
+#include "smr/kv.h"
+
+namespace hds::smr {
+
+namespace {
+
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+inline std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  // FNV-1a over the value's 8 bytes.
+  for (int b = 0; b < 8; ++b) {
+    h = (h ^ ((v >> (8 * b)) & 0xFF)) * kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<SmrOp> KvStateMachine::apply(std::int64_t slot, const SmrBatch& batch) {
+  std::vector<SmrOp> effective;
+  log_hash_ = mix(log_hash_, static_cast<std::uint64_t>(slot));
+  log_hash_ = mix(log_hash_, static_cast<std::uint64_t>(batch.id));
+  for (const SmrOp& op : batch.ops) {
+    auto [it, fresh] = last_seq_.try_emplace(op.client, 0);
+    if (!fresh && op.seq <= it->second) {
+      ++ops_deduped_;
+      continue;
+    }
+    it->second = op.seq;
+    // Order-sensitive write: a different application order of the same ops
+    // yields a different value, so divergence can never hide in the state.
+    std::int64_t& cell = kv_[op.key];
+    cell = static_cast<std::int64_t>(static_cast<std::uint64_t>(cell) * kFnvPrime) + op.val;
+    log_hash_ = mix(log_hash_, op.client);
+    log_hash_ = mix(log_hash_, static_cast<std::uint64_t>(op.seq));
+    log_hash_ = mix(log_hash_, static_cast<std::uint64_t>(op.key));
+    log_hash_ = mix(log_hash_, static_cast<std::uint64_t>(op.val));
+    ++ops_applied_;
+    effective.push_back(op);
+  }
+  return effective;
+}
+
+std::uint64_t KvStateMachine::state_hash() const {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const auto& [k, v] : kv_) {
+    h = mix(h, static_cast<std::uint64_t>(k));
+    h = mix(h, static_cast<std::uint64_t>(v));
+  }
+  return h;
+}
+
+std::int64_t KvStateMachine::get(std::int64_t key) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? 0 : it->second;
+}
+
+std::int64_t KvStateMachine::applied_seq(std::uint64_t client) const {
+  auto it = last_seq_.find(client);
+  return it == last_seq_.end() ? 0 : it->second;
+}
+
+}  // namespace hds::smr

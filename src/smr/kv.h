@@ -1,0 +1,50 @@
+// The deterministic KV state machine every replica applies decided batches
+// to, and the convergence fingerprints the tests and the cluster verifier
+// compare across replicas.
+//
+// Determinism contract: the state after applying a batch sequence is a pure
+// function of that sequence. The per-client sequence filter makes
+// application idempotent (exactly-once semantics over an at-least-once
+// log), and the order-sensitive mixing in apply() makes any reordering of
+// effective ops visible in both the state hash and the log hash.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "smr/types.h"
+
+namespace hds::smr {
+
+class KvStateMachine {
+ public:
+  // Applies one decided batch at `slot`. Ops whose (client, seq) were
+  // already applied are skipped (duplicates from re-forwarding or
+  // re-proposal). Returns the ops that took effect this call.
+  std::vector<SmrOp> apply(std::int64_t slot, const SmrBatch& batch);
+
+  // Rolling FNV-1a over every applied (slot, batch id, effective op) — the
+  // cross-replica convergence fingerprint. Two replicas with equal hashes
+  // applied the same effective sequence.
+  [[nodiscard]] std::uint64_t log_hash() const { return log_hash_; }
+
+  // Hash of the current key/value map alone (order-free digest of state).
+  [[nodiscard]] std::uint64_t state_hash() const;
+
+  [[nodiscard]] std::uint64_t ops_applied() const { return ops_applied_; }
+  [[nodiscard]] std::uint64_t ops_deduped() const { return ops_deduped_; }
+  [[nodiscard]] std::size_t keys() const { return kv_.size(); }
+
+  [[nodiscard]] std::int64_t get(std::int64_t key) const;
+  [[nodiscard]] std::int64_t applied_seq(std::uint64_t client) const;
+
+ private:
+  std::map<std::int64_t, std::int64_t> kv_;
+  std::map<std::uint64_t, std::int64_t> last_seq_;  // per-client dedup floor
+  std::uint64_t log_hash_ = 14695981039346656037ULL;  // FNV offset basis
+  std::uint64_t ops_applied_ = 0;
+  std::uint64_t ops_deduped_ = 0;
+};
+
+}  // namespace hds::smr

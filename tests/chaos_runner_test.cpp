@@ -112,6 +112,41 @@ TEST(ChaosAdmissibility, Fig8BoundsCrashBudgetByT) {
   EXPECT_FALSE(admissible(c));
 }
 
+TEST(ChaosAdmissibility, SmrInheritsFig8LinkRulesAndBoundsCrashesToLoadWindow) {
+  // The replicated log settles contested slots through Fig. 8 instances, so
+  // its link envelope is fig8's: delay/reorder healing by GST; loss and
+  // duplication only behind the ARQ emulator; partitions never.
+  ChaosCase c = base_case(StackKind::kSmr);
+  EXPECT_TRUE(admissible(c));
+  FaultClause cl;
+  cl.until = 100;
+  for (ClauseKind bad : {ClauseKind::kLoss, ClauseKind::kPartition, ClauseKind::kDuplicate}) {
+    cl.kind = bad;
+    c.plan.clauses = {cl};
+    EXPECT_FALSE(admissible(c)) << kind_name(bad);
+  }
+  c.reliable = true;
+  cl.kind = ClauseKind::kLoss;
+  cl.prob = 0.4;
+  c.plan.clauses = {cl};
+  EXPECT_TRUE(admissible(c));
+  cl.kind = ClauseKind::kPartition;
+  c.plan.clauses = {cl};
+  EXPECT_FALSE(admissible(c));  // a total cut is a different model, ARQ or not
+  c.plan.clauses.clear();
+  c.crash_k = 2;  // t = (5-1)/2 = 2
+  c.crash_at = c.run_for / 2;
+  EXPECT_TRUE(admissible(c));
+  c.crash_k = 3;  // beyond t
+  EXPECT_FALSE(admissible(c));
+  c.crash_k = 1;
+  c.crash_at = c.run_for;  // after the load window: no convergence tail
+  EXPECT_FALSE(admissible(c));
+  c.crash_at = 100;
+  c.max_time = c.run_for;  // no linger headroom
+  EXPECT_FALSE(admissible(c));
+}
+
 TEST(ChaosAdmissibility, Fig9RejectsAllLinkClausesAllowsManyCrashes) {
   ChaosCase c = base_case(StackKind::kFig9);
   c.crash_k = c.n - 2;  // beyond any majority bound; fine for Fig. 9
@@ -127,7 +162,7 @@ TEST(ChaosAdmissibility, Fig9RejectsAllLinkClausesAllowsManyCrashes) {
 
 TEST(ChaosRunner, RandomCasesAreAdmissible) {
   Rng rng(99);
-  for (StackKind s : {StackKind::kFig6, StackKind::kFig8, StackKind::kFig9}) {
+  for (StackKind s : {StackKind::kFig6, StackKind::kFig8, StackKind::kFig9, StackKind::kSmr}) {
     for (int k = 0; k < 25; ++k) {
       const ChaosCase c = random_admissible_case(rng, s);
       EXPECT_TRUE(admissible(c)) << stack_name(s) << " draw " << k;
@@ -185,6 +220,23 @@ TEST(ChaosRunner, ReliableFig8SurvivesTheLossPlanThatWedgesBareFig8) {
   const ChaosOutcome out = run_chaos_case(c);
   EXPECT_TRUE(out.ok) << (out.violations.empty() ? "" : out.violations.front());
   EXPECT_GT(out.copies_dropped, 0u);  // the injector really did fire
+}
+
+TEST(ChaosRunner, SmrLeaderChangeDuringBatchConverges) {
+  // The exact parameters of tests/repros/smr_leader_change.json: the serving
+  // leader is crashed by the leader-change trigger while client batches are
+  // in flight, forcing epoch recovery mid-stream. Survivors must still
+  // converge on one log (liveness) without ever forking a slot (prefix).
+  ChaosCase c = base_case(StackKind::kSmr);
+  FaultClause trig;
+  trig.kind = ClauseKind::kCrashOnLeaderChange;
+  trig.count = 1;
+  trig.until = c.run_for / 2;
+  c.plan.clauses = {trig};
+  ASSERT_TRUE(admissible(c));
+  const ChaosOutcome out = run_chaos_case(c);
+  EXPECT_EQ(out.injected_crashes, 1u);
+  EXPECT_TRUE(out.ok) << (out.violations.empty() ? "" : out.violations.front());
 }
 
 TEST(ChaosRunner, EventTriggeredLeaderCrashFiresInsideFig6Run) {

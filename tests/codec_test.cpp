@@ -17,6 +17,7 @@
 #include "fd/impl/hsigma_sync.h"
 #include "fd/impl/ohp_polling.h"
 #include "net/wire.h"
+#include "smr/types.h"
 
 namespace hds::net {
 namespace {
@@ -105,6 +106,34 @@ Message random_body(const std::string& type, Rng& rng) {
     return out;
   };
 
+  const auto rop = [&] {
+    smr::SmrOp op;
+    op.client = static_cast<std::uint64_t>(rng.uniform(0, 1 << 21));
+    op.seq = rng.uniform(0, 10000);
+    op.key = rng.uniform(0, 256);
+    op.val = rng.uniform(-100000, 100000);
+    const std::size_t pad = rng.index(6);
+    for (std::size_t i = 0; i < pad; ++i) {
+      op.pad.push_back(static_cast<std::uint8_t>(rng.index(256)));
+    }
+    return op;
+  };
+  const auto rbatch = [&] {
+    smr::SmrBatch b;
+    b.id = rng.uniform(0, 1 << 20);
+    const std::size_t k = rng.index(4);
+    for (std::size_t i = 0; i < k; ++i) b.ops.push_back(rop());
+    return b;
+  };
+  const auto rcommits = [&] {
+    std::vector<smr::SmrCommitRec> out;
+    const std::size_t k = rng.index(4);
+    for (std::size_t i = 0; i < k; ++i) {
+      out.push_back(smr::SmrCommitRec{rng.uniform(0, 5000), rng.uniform(0, 1 << 20)});
+    }
+    return out;
+  };
+
   if (type == AliveRanker::kMsgType) return make_message(type, AliveMsg{rid()});
   if (type == APSyncProcess::kMsgType) return make_message(type, ApAliveMsg{});
   if (type == HOmegaHeartbeat::kMsgType) {
@@ -128,6 +157,44 @@ Message random_body(const std::string& type, Rng& rng) {
     return make_message(type,
                         Ph2QMsg{rid(), rround(), rng.uniform(0, 50), rlabels(), rmaybe(), rinst()});
   }
+  if (type == smr::kSmrAppendType) {
+    return make_message(type,
+                        smr::SmrAppendMsg{rng.uniform(0, 500), rng.uniform(0, 5000), rbatch(),
+                                          rcommits()});
+  }
+  if (type == smr::kSmrAckType) {
+    smr::SmrAckMsg m;
+    m.epoch = rng.uniform(0, 500);
+    m.replica = static_cast<std::uint64_t>(rng.uniform(0, 64));
+    m.logged_through = rng.uniform(0, 5000);
+    m.applied_through = rng.uniform(0, 5000);
+    m.commit_frontier = rng.uniform(0, 5000);
+    m.commits = rcommits();
+    const std::size_t k = rng.index(4);
+    for (std::size_t i = 0; i < k; ++i) m.pending.push_back(rop());
+    return make_message(type, m);
+  }
+  if (type == smr::kSmrNewEpochType) {
+    return make_message(type,
+                        smr::SmrNewEpochMsg{rng.uniform(0, 500), rng.uniform(0, 5000),
+                                            static_cast<std::uint64_t>(rng.uniform(0, 64))});
+  }
+  if (type == smr::kSmrPromiseType) {
+    smr::SmrPromiseMsg m;
+    m.epoch = rng.uniform(0, 500);
+    m.replica = static_cast<std::uint64_t>(rng.uniform(0, 64));
+    m.frontier = rng.uniform(0, 5000);
+    const std::size_t k = rng.index(3);
+    for (std::size_t i = 0; i < k; ++i) {
+      m.entries.push_back(
+          smr::SmrLogRec{rng.uniform(0, 5000), rng.uniform(0, 500), rng.chance(0.5), rbatch()});
+    }
+    return make_message(type, m);
+  }
+  if (type == smr::kSmrProposeType) {
+    return make_message(type,
+                        smr::SmrProposeMsg{rng.uniform(0, 500), rng.uniform(0, 5000), rbatch()});
+  }
   throw std::logic_error("no generator for registered type " + type);
 }
 
@@ -149,6 +216,11 @@ bool bodies_equal(const std::string& type, const std::any& a, const std::any& b)
   if (type == kDecideType) return eq(DecideMsg{});
   if (type == kPh1QType) return eq(Ph1QMsg{});
   if (type == kPh2QType) return eq(Ph2QMsg{});
+  if (type == smr::kSmrAppendType) return eq(smr::SmrAppendMsg{});
+  if (type == smr::kSmrAckType) return eq(smr::SmrAckMsg{});
+  if (type == smr::kSmrNewEpochType) return eq(smr::SmrNewEpochMsg{});
+  if (type == smr::kSmrPromiseType) return eq(smr::SmrPromiseMsg{});
+  if (type == smr::kSmrProposeType) return eq(smr::SmrProposeMsg{});
   throw std::logic_error("no comparator for registered type " + type);
 }
 

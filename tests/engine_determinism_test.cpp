@@ -19,6 +19,7 @@
 #include "obs/window_qos.h"
 #include "sim/scheduler.h"
 #include "sim/system.h"
+#include "smr/harness.h"
 
 namespace hds {
 namespace {
@@ -361,6 +362,41 @@ TEST(ExpRunner, FullSystemTasksAreThreadCountIndependent) {
   const auto j1 = exp::run_collect(12, 1, task);
   const auto j8 = exp::run_collect(12, 8, task);
   EXPECT_EQ(j1, j8);
+}
+
+TEST(ExpRunner, SmrRunsAreBitIdenticalAcrossJobCounts) {
+  // The replicated log is the deepest consumer of the sim substrate (lease
+  // fast path + nested Fig. 8 instances + closed-loop workload); its entire
+  // fingerprint — applied hash chain, state hash, per-op latencies, every
+  // broadcast count by type — must be a pure function of the config, for
+  // every -j level of the experiment engine.
+  auto task = [](std::size_t i) {
+    smr::SmrSimParams p;
+    p.n = 3;
+    p.t = 1;
+    p.seed = 1000 + i;
+    p.run_for = 3000;
+    p.max_time = 12'000;
+    p.workload.clients = 8;
+    const smr::SmrSimResult r = run_smr_sim(p);
+    std::string fp = std::to_string(r.converged) + ":" + std::to_string(r.ops_total) + ":" +
+                     std::to_string(r.broadcasts) + ":" + std::to_string(r.end_time);
+    for (const auto& [type, count] : r.broadcasts_by_type) {
+      fp += ";" + type + "=" + std::to_string(count);
+    }
+    for (const smr::SmrReplicaStats& st : r.replicas) {
+      fp += "|" + std::to_string(st.log_hash) + ":" + std::to_string(st.state_hash) + ":" +
+            std::to_string(st.applied_chain.size());
+      for (const std::uint64_t h : st.applied_chain) fp += "," + std::to_string(h);
+      for (const SimTime l : st.latencies) fp += "." + std::to_string(l);
+    }
+    return fp;
+  };
+  const auto j1 = exp::run_collect(6, 1, task);
+  for (const std::size_t jobs : {2ul, 8ul}) {
+    EXPECT_EQ(exp::run_collect(6, jobs, task), j1) << "jobs=" << jobs;
+  }
+  for (const std::string& fp : j1) EXPECT_EQ(fp.rfind("1:", 0), 0u) << fp;  // all converged
 }
 
 TEST(ExpRunner, FirstTaskExceptionPropagates) {

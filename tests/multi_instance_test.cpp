@@ -103,6 +103,38 @@ TEST(MultiInstance, Fig9SlotsAreIsolatedToo) {
   }
 }
 
+TEST(MultiInstance, HarnessInstanceTagIsPureNamespacing) {
+  // The repeated-consensus entry point: Fig8OracleParams.instance stamps the
+  // slot number on every engine and message of the run. The tag must be
+  // invisible to the protocol — same seed, different slot numbers, identical
+  // decisions — so a replicated log can replay any single slot in isolation.
+  const auto run_slot = [](std::int64_t slot) {
+    Fig8OracleParams p;
+    p.ids = ids_homonymous(5, 3, 11);
+    p.t_known = 2;
+    p.crashes = crashes_last_k(5, 1, 50);
+    p.fd_stabilize = 80;
+    p.seed = 21;
+    p.max_time = 60'000;
+    p.instance = slot;
+    return run_fig8_with_oracle(p);
+  };
+  const ConsensusRunResult a = run_slot(0);
+  const ConsensusRunResult b = run_slot(7);
+  EXPECT_TRUE(a.check.ok) << a.check.detail;
+  EXPECT_TRUE(b.check.ok) << b.check.detail;
+  ASSERT_TRUE(a.all_correct_decided);
+  ASSERT_TRUE(b.all_correct_decided);
+  ASSERT_EQ(a.decisions.size(), b.decisions.size());
+  for (std::size_t i = 0; i < a.decisions.size(); ++i) {
+    EXPECT_EQ(a.decisions[i].decided, b.decisions[i].decided) << "proc " << i;
+    if (a.decisions[i].decided && b.decisions[i].decided) {
+      EXPECT_EQ(a.decisions[i].value, b.decisions[i].value) << "proc " << i;
+    }
+  }
+  EXPECT_EQ(a.broadcasts, b.broadcasts);
+}
+
 TEST(MultiInstance, ForeignInstanceDecideIsIgnored) {
   // A DECIDE tagged for another instance must not decide this one.
   class FixedOmega final : public HOmegaHandle {

@@ -27,6 +27,8 @@
 #include "fd/impl/ohp_polling.h"
 #include "net/codec.h"
 #include "net/reliable.h"
+#include "smr/types.h"
+#include "smr/workload.h"
 
 namespace hds::net {
 namespace {
@@ -60,6 +62,23 @@ std::map<std::string, Message> sample_messages() {
   put(make_message(kDecideType, DecideMsg{102, 3}));
   put(make_message(kPh1QType, Ph1QMsg{7, 8, 6, sample_labels(), 103, 1}));
   put(make_message(kPh2QType, Ph2QMsg{7, 9, 7, sample_labels(), MaybeValue{104}, -1}));
+  // SMR bodies: ops with and without padding, nested batches, commit
+  // records, a multi-entry promise.
+  const smr::SmrOp op1{smr::kClientStride + 3, 11, 42, -5, {}};
+  const smr::SmrOp op2{2 * smr::kClientStride, 1, 300, 77, {0xAB, 0xCD}};
+  const smr::SmrBatch batch{smr::make_batch_id(1, 9), {op1, op2}};
+  put(make_message(smr::kSmrAppendType,
+                   smr::SmrAppendMsg{5, 12, batch, {{10, smr::make_batch_id(0, 4)}, {11, 0}}}));
+  put(make_message(smr::kSmrAckType,
+                   smr::SmrAckMsg{5, 2, 12, 10, 11, {{11, smr::make_batch_id(2, 1)}}, {op1}}));
+  put(make_message(smr::kSmrNewEpochType, smr::SmrNewEpochMsg{8, 13, 2}));
+  put(make_message(smr::kSmrPromiseType,
+                   smr::SmrPromiseMsg{8,
+                                      1,
+                                      10,
+                                      {{11, 5, true, batch},
+                                       {12, 5, false, smr::SmrBatch{smr::kNoopBatchId, {}}}}}));
+  put(make_message(smr::kSmrProposeType, smr::SmrProposeMsg{8, 12, batch}));
   return out;
 }
 

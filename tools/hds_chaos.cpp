@@ -42,7 +42,7 @@ using hds::chaos::ChaosOutcome;
 using hds::chaos::StackKind;
 
 void usage(std::ostream& os) {
-  os << "usage: hds_chaos --fuzz N [--stack all|fig6|fig8|fig9] [--seed-base S]\n"
+  os << "usage: hds_chaos --fuzz N [--stack all|fig6|fig8|fig9|smr] [--seed-base S]\n"
         "                 [--out PATH] [-j N | --jobs N]\n"
         "-j 0 means one worker per hardware thread. Case k is generated from\n"
         "Rng::derived(seed-base, k), so the explored set and any reported\n"
@@ -53,7 +53,7 @@ void usage(std::ostream& os) {
 }
 
 std::vector<StackKind> stacks_of(const std::string& sel) {
-  if (sel == "all") return {StackKind::kFig6, StackKind::kFig8, StackKind::kFig9};
+  if (sel == "all") return {StackKind::kFig6, StackKind::kFig8, StackKind::kFig9, StackKind::kSmr};
   return {hds::chaos::stack_from_name(sel)};
 }
 

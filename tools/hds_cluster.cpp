@@ -50,7 +50,9 @@
 // Verification per stack: fig8/fig9 — every node decided, all values agree
 // (uniform agreement) and each is some node's proposal (validity);
 // fig6 — every node converged on the same (leader, multiplicity);
-// fig7 — every node certified at least one quorum.
+// fig7 — every node certified at least one quorum;
+// smr — every node's replicated log settled, all applied frontiers and
+// order-sensitive log hashes agree, and client ops actually committed.
 // Exit 0 iff everything checks out; a machine-readable summary JSON
 // (schema hds-cluster-result-v1) is the last stdout line.
 #include <signal.h>
@@ -109,7 +111,7 @@ struct Options {
 };
 
 void usage(std::ostream& os) {
-  os << "usage: hds_cluster --node PATH --stack fig6|fig7|fig8|fig9 --n N\n"
+  os << "usage: hds_cluster --node PATH --stack fig6|fig7|fig8|fig9|smr --n N\n"
         "                   [--t T] [--seed S] [--dir OUT] [--timeout-ms MS]\n"
         "                   [--no-batching] [--metrics] [--homonymous]\n"
         "                   [--no-trace] [--trace-capacity N]\n"
@@ -565,6 +567,38 @@ int run(const Options& o) {
         verdict = "node " + std::to_string(i) + " certified no quorum";
         ok = false;
       }
+    }
+  } else if (o.stack == "smr") {
+    // Replicated-log convergence: every node's log settled (applied ==
+    // committed), all nodes applied the same prefix — identical frontier
+    // AND identical order-sensitive log hash — and the cluster as a whole
+    // actually committed client traffic. Hashes travel as hex strings
+    // because JSON numbers cannot carry 64 bits.
+    std::set<std::string> hashes;
+    std::set<std::int64_t> frontiers;
+    double total_ops = 0.0;
+    for (std::size_t i = 0; i < o.n && ok; ++i) {
+      const Json* s = results[i].find("settled");
+      if (s == nullptr || !s->boolean()) {
+        verdict = "node " + std::to_string(i) + " log did not settle";
+        ok = false;
+        break;
+      }
+      hashes.insert(results[i].string_or("log_hash", ""));
+      frontiers.insert(static_cast<std::int64_t>(results[i].number_or("applied_through", -1)));
+      total_ops += results[i].number_or("ops_done", 0);
+    }
+    if (ok && frontiers.size() != 1) {
+      verdict = "applied frontiers diverge across nodes";
+      ok = false;
+    }
+    if (ok && hashes.size() != 1) {
+      verdict = "log hash disagreement: " + std::to_string(hashes.size()) + " distinct logs";
+      ok = false;
+    }
+    if (ok && total_ops <= 0) {
+      verdict = "no client ops completed";
+      ok = false;
     }
   }
   if (timed_out) verdict = "deadline exceeded";

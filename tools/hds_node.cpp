@@ -9,7 +9,7 @@
 //   {
 //     "schema": "hds-node-config-v1",
 //     "self": 0,                       // index into peers
-//     "stack": "fig8",                 // fig6 | fig7 | fig8 | fig9
+//     "stack": "fig8",                 // fig6 | fig7 | fig8 | fig9 | smr
 //     "peers": [{"id": 1, "host": "127.0.0.1", "port": 9101}, ...],
 //     "seed": 1,
 //     "proposal": 100,                 // consensus stacks; default 100+self
@@ -46,10 +46,15 @@
 //     "epoch": 0,                      // incarnation number; a supervised
 //                                      // respawn gets epoch+1 and rejoins
 //                                      // via REJOIN instead of HELLO
-//     "redecide_ms": 250               // fig8 DECIDE rebroadcast period so
+//     "redecide_ms": 250,              // fig8 DECIDE rebroadcast period so
 //                                      // a respawned slot still terminates;
 //                                      // defaults to 250 when reliable,
 //                                      // else 0 (off)
+//     "clients": 8,                    // smr: closed-loop clients per node
+//     "op_size": 0,                    // smr: payload padding bytes per op
+//     "smr_batch_ms": 5,               // smr: leader flush period
+//     "smr_ack_ms": 25,                // smr: cumulative ack period
+//     "smr_lease_ms": 20               // smr: HΩ lease re-evaluation period
 //   }
 //
 // On success the last stdout line is a one-line result JSON
@@ -83,6 +88,8 @@
 #include "obs/telemetry.h"
 #include "obs/window_qos.h"
 #include "sim/stacked_process.h"
+#include "smr/harness.h"
+#include "smr/replica.h"
 
 namespace {
 
@@ -114,6 +121,11 @@ struct NodeOptions {
   std::string profile_out;
   double loss = 0.0;
   hds::SimTime redecide_ms = 0;
+  std::size_t clients = 8;
+  std::size_t op_size = 0;
+  hds::SimTime smr_batch_ms = 5;
+  hds::SimTime smr_ack_ms = 25;
+  hds::SimTime smr_lease_ms = 20;
 };
 
 // Symmetric Bernoulli loss on every inter-node copy. Seeded and internally
@@ -193,7 +205,18 @@ NodeOptions parse_config(const Json& cfg) {
   o.net.epoch = static_cast<std::uint64_t>(cfg.number_or("epoch", 0));
   o.redecide_ms = static_cast<hds::SimTime>(
       cfg.number_or("redecide_ms", o.net.reliability.enabled ? 250 : 0));
+  o.clients = static_cast<std::size_t>(cfg.number_or("clients", 8));
+  o.op_size = static_cast<std::size_t>(cfg.number_or("op_size", 0));
+  o.smr_batch_ms = static_cast<hds::SimTime>(cfg.number_or("smr_batch_ms", 5));
+  o.smr_ack_ms = static_cast<hds::SimTime>(cfg.number_or("smr_ack_ms", 25));
+  o.smr_lease_ms = static_cast<hds::SimTime>(cfg.number_or("smr_lease_ms", 20));
   return o;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
 }
 
 Json stats_json(const hds::net::NetNetworkStats& s) {
@@ -273,6 +296,7 @@ int run(const NodeOptions& o) {
   hds::HSigmaComponent* hsig = nullptr;
   hds::MajorityHOmegaConsensus* cons8 = nullptr;
   hds::QuorumConsensus* cons9 = nullptr;
+  hds::smr::SmrReplica* smr = nullptr;
   auto stack = std::make_unique<hds::StackedProcess>();
   if (o.stack == "fig6") {
     ohp = stack->add(std::make_unique<hds::OHPPolling>());
@@ -292,6 +316,21 @@ int run(const NodeOptions& o) {
     hsig = stack->add(std::make_unique<hds::HSigmaComponent>(o.step_len_ms));
     cons9 = stack->add(std::make_unique<hds::QuorumConsensus>(
         hds::QuorumConsensusConfig{o.proposal, 5}, *ohp, *hsig));
+  } else if (o.stack == "smr") {
+    ohp = stack->add(std::make_unique<hds::OHPPolling>());
+    hds::smr::SmrConfig scfg;
+    scfg.n = n;
+    scfg.t = o.t_known;
+    scfg.replica = self;
+    scfg.batch_interval = o.smr_batch_ms;
+    scfg.ack_interval = o.smr_ack_ms;
+    scfg.lease_poll = o.smr_lease_ms;
+    scfg.guard_poll = 5;
+    hds::smr::WorkloadConfig wcfg;
+    wcfg.clients = o.clients;
+    wcfg.op_size = o.op_size;
+    wcfg.seed = o.net.seed;
+    smr = stack->add(std::make_unique<hds::smr::SmrReplica>(scfg, *ohp, wcfg));
   } else {
     throw std::runtime_error("config: unknown stack " + o.stack);
   }
@@ -299,6 +338,7 @@ int run(const NodeOptions& o) {
   if (hsig != nullptr) hsig->attach_metrics(metrics_ptr);
   if (cons8 != nullptr) cons8->attach_metrics(metrics_ptr);
   if (cons9 != nullptr) cons9->attach_metrics(metrics_ptr);
+  if (smr != nullptr) smr->attach_metrics(metrics_ptr);
   if (ohp != nullptr) ohp->set_output_listener(wq.listener(self));
   if (hsig != nullptr) hsig->set_output_listener(wq.listener(self));
   sys.set_process(std::move(stack));
@@ -373,6 +413,43 @@ int run(const NodeOptions& o) {
           sys.query([&](hds::Process&) { return hsig->snapshot(); });
       st["hsigma_labels"] = snap.labels.size();
       st["hsigma_quora"] = snap.quora.size();
+    }
+    if (started && smr != nullptr) {
+      struct SmrObs {
+        bool leading;
+        std::int64_t epoch;
+        std::int64_t committed;
+        std::int64_t applied;
+        std::uint64_t ops_applied;
+        std::uint64_t ops_done;
+        std::uint64_t batches;
+        std::uint64_t log_hash;
+        double p50;
+        double p99;
+      };
+      const SmrObs s = sys.query([&](hds::Process&) {
+        // Running commit-latency percentiles over every op this node's
+        // clients have completed so far — the hds_top panel charts them.
+        const std::vector<hds::SimTime>& lats = smr->workload().latencies();
+        return SmrObs{smr->leading(),      smr->current_epoch(),
+                      smr->committed_through(), smr->applied_through(),
+                      smr->kv().ops_applied(),  smr->workload().ops_done(),
+                      smr->batches_committed(), smr->kv().log_hash(),
+                      hds::smr::latency_quantile(lats, 0.50),
+                      hds::smr::latency_quantile(lats, 0.99)};
+      });
+      Json sj = Json::object();
+      sj["leading"] = s.leading;
+      sj["epoch"] = s.epoch;
+      sj["committed_through"] = s.committed;
+      sj["applied_through"] = s.applied;
+      sj["ops_applied"] = s.ops_applied;
+      sj["ops_done"] = s.ops_done;
+      sj["batches_committed"] = s.batches;
+      sj["log_hash"] = hex64(s.log_hash);
+      sj["latency_p50"] = s.p50;
+      sj["latency_p99"] = s.p99;
+      st["smr"] = std::move(sj);
     }
     st["qos"] = wq.json();
     if (sys.trace_enabled()) st["trace_dropped"] = sys.trace_dropped();
@@ -479,6 +556,80 @@ int run(const NodeOptions& o) {
     // Keep the substrate up briefly so peers still mid-protocol hear our
     // final phase/DECIDE messages (UDP has no retransmission).
     if (ok && o.linger_ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(o.linger_ms));
+  } else if (smr != nullptr) {
+    // Replicated log: closed-loop client load for run_for_ms, then quiesce
+    // until the local log settles (applied caught up with committed and the
+    // (frontier, hash) pair stable for settle_ms), linger so every peer
+    // drains too, and report the post-linger state. The launcher compares
+    // frontiers and hashes ACROSS nodes; a node alone can only certify
+    // that it stopped moving.
+    std::this_thread::sleep_for(std::chrono::milliseconds(o.run_for_ms));
+    sys.query([&](hds::Process&) {
+      smr->stop_workload();
+      return 0;
+    });
+    struct SmrObs {
+      std::int64_t committed;
+      std::int64_t applied;
+      std::uint64_t log_hash;
+      bool operator==(const SmrObs&) const = default;
+    };
+    const auto observe = [&] {
+      return sys.query([&](hds::Process&) {
+        return SmrObs{smr->committed_through(), smr->applied_through(), smr->kv().log_hash()};
+      });
+    };
+    const auto deadline = t0 + std::chrono::milliseconds(o.max_time_ms);
+    const auto settle = [&](std::chrono::steady_clock::time_point until) {
+      SmrObs cur = observe();
+      auto last_change = std::chrono::steady_clock::now();
+      auto now = last_change;
+      bool settled = false;
+      while (!settled && now < until) {
+        std::this_thread::sleep_for(25ms);
+        now = std::chrono::steady_clock::now();
+        const SmrObs next = observe();
+        if (!(next == cur)) last_change = now;
+        cur = next;
+        settled = cur.applied == cur.committed && cur.applied > 0 &&
+                  now - last_change >= std::chrono::milliseconds(o.settle_ms);
+      }
+      return std::make_pair(cur, settled);
+    };
+    if (!settle(deadline).second)
+      std::cerr << "hds_node[" << self << "]: log did not settle\n";
+    // A local lull is not cluster quiescence: under load (or with a
+    // respawned peer whose run window ends later) commits keep trickling
+    // after this node first holds still, and a result frozen now could be
+    // an earlier — still consistent — prefix than a peer's. The linger is
+    // the cross-node drain barrier (peers reach theirs within a
+    // barrier-skew), so hold it with the substrate up, then re-settle and
+    // report the POST-linger state.
+    if (o.linger_ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(o.linger_ms));
+    const auto [cur, settled] =
+        settle(std::max(deadline, std::chrono::steady_clock::now() +
+                                      std::chrono::milliseconds(4 * o.settle_ms)));
+    ok = settled;
+    if (!settled) std::cerr << "hds_node[" << self << "]: log did not re-settle after linger\n";
+    const auto fin = sys.query([&](hds::Process&) {
+      return std::make_tuple(smr->kv().state_hash(), smr->kv().ops_applied(),
+                             smr->workload().ops_done(), smr->batches_committed(),
+                             smr->epochs_started(), smr->leading(), smr->current_epoch(),
+                             smr->repair_appends_sent(), smr->recovery_instances());
+    });
+    result["applied_through"] = cur.applied;
+    result["committed_through"] = cur.committed;
+    result["log_hash"] = hex64(cur.log_hash);
+    result["state_hash"] = hex64(std::get<0>(fin));
+    result["ops_applied"] = std::get<1>(fin);
+    result["ops_done"] = std::get<2>(fin);
+    result["batches_committed"] = std::get<3>(fin);
+    result["epochs_started"] = std::get<4>(fin);
+    result["leading"] = std::get<5>(fin);
+    result["smr_epoch"] = std::get<6>(fin);
+    result["repair_appends"] = std::get<7>(fin);
+    result["recovery_instances"] = std::get<8>(fin);
+    result["settled"] = settled;
   } else if (ohp != nullptr) {
     // ◊HΩ only promises *eventual* leader agreement; on a real-jitter
     // substrate an instantaneous snapshot can catch a one-round flap while

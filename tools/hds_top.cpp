@@ -9,6 +9,13 @@
 // (round/decided/value), trace-ring drops, and window-QoS sparklines
 // (events, HΩ flaps, mistake time per sub-window, oldest to newest).
 //
+// When the nodes run the smr stack (their STATUS bodies carry an "smr"
+// object), a replicated-log panel follows the FD table: per-node epoch /
+// frontier / completed-op counts plus two sparklines accumulated across
+// refreshes — committed ops per second (deltas of ops_done between polls)
+// and the running p99 commit latency — and a cluster-wide log-hash
+// agreement verdict in the panel header.
+//
 // --cluster-dir reads the admin_endpoints.json an hds_cluster run publishes
 // once every node has announced its (possibly ephemeral) admin port,
 // retrying until the file appears and is complete or --wait-ms expires.
@@ -175,6 +182,10 @@ Json take_snapshot(const std::vector<hds::net::UdpEndpoint>& nodes,
   std::set<std::int64_t> values;
   bool any_consensus = false;
   std::size_t decided_count = 0;
+  bool any_smr = false;
+  std::set<std::string> smr_hashes;
+  std::int64_t smr_applied_min = -1;
+  double smr_ops_total = 0;
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     // Clamp each RPC to the time left so one pass over N silent nodes
     // cannot overshoot the overall deadline by N * rpc_timeout.
@@ -206,6 +217,15 @@ Json take_snapshot(const std::vector<hds::net::UdpEndpoint>& nodes,
             values.insert(static_cast<std::int64_t>(st.number_or("value", -1)));
           }
         }
+        if (const Json* sm = st.find("smr")) {
+          any_smr = true;
+          smr_hashes.insert(sm->string_or("log_hash", ""));
+          const auto applied =
+              static_cast<std::int64_t>(sm->number_or("applied_through", -1));
+          smr_applied_min =
+              smr_applied_min < 0 ? applied : std::min(smr_applied_min, applied);
+          smr_ops_total += sm->number_or("ops_done", 0);
+        }
       } catch (const std::exception& e) {
         st = Json::object();
         st["error"] = std::string("bad STATUS body: ") + e.what();
@@ -225,6 +245,17 @@ Json take_snapshot(const std::vector<hds::net::UdpEndpoint>& nodes,
     s["decided_count"] = decided_count;
     if (values.size() == 1) s["value"] = *values.begin();
   }
+  if (any_smr) {
+    // A mid-run split (one node's applied frontier trailing the others) is
+    // normal; scripted consumers that need settled agreement should use
+    // hds_cluster's verdict. This aggregate is the live view.
+    Json sm = Json::object();
+    sm["hashes_agree"] = smr_hashes.size() == 1;
+    if (smr_hashes.size() == 1) sm["log_hash"] = *smr_hashes.begin();
+    sm["applied_min"] = smr_applied_min;
+    sm["ops_total"] = smr_ops_total;
+    s["smr"] = std::move(sm);
+  }
   // Complete = the stable end state a scripted poll waits for: every node
   // answering, the HΩ leaders converged (consensus can decide rounds before
   // the detector settles, so decided alone is too early a stop), and — when
@@ -240,24 +271,71 @@ Json take_snapshot(const std::vector<hds::net::UdpEndpoint>& nodes,
 // ---------------------------------------------------------------- display
 
 // Unicode eighth-blocks scaled to the series max; "·" for an all-zero row.
-std::string sparkline(const Json* series, std::size_t max_cells = 8) {
+std::string sparkline(const std::vector<double>& series, std::size_t max_cells = 8) {
   static const char* kBlocks[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
-  if (series == nullptr || !series->is_array() || series->items().empty()) return "·";
-  const auto& items = series->items();
-  const std::size_t start = items.size() > max_cells ? items.size() - max_cells : 0;
+  if (series.empty()) return "·";
+  const std::size_t start = series.size() > max_cells ? series.size() - max_cells : 0;
   double peak = 0;
-  for (std::size_t i = start; i < items.size(); ++i) {
-    peak = std::max(peak, items[i].number());
+  for (std::size_t i = start; i < series.size(); ++i) {
+    peak = std::max(peak, series[i]);
   }
   if (peak <= 0) return "·";
   std::string out;
-  for (std::size_t i = start; i < items.size(); ++i) {
+  for (std::size_t i = start; i < series.size(); ++i) {
     const auto level =
-        static_cast<std::size_t>(std::min(7.0, (items[i].number() / peak) * 7.0));
+        static_cast<std::size_t>(std::min(7.0, (series[i] / peak) * 7.0));
     out += kBlocks[level];
   }
   return out;
 }
+
+std::string sparkline(const Json* series, std::size_t max_cells = 8) {
+  if (series == nullptr || !series->is_array()) return "·";
+  std::vector<double> v;
+  v.reserve(series->items().size());
+  for (const Json& x : series->items()) v.push_back(x.number());
+  return sparkline(v, max_cells);
+}
+
+// Cross-refresh state behind the replicated-log panel's sparklines: the
+// STATUS body only carries running totals, so throughput must be derived
+// from deltas between successive polls of the same node.
+struct SmrHistory {
+  std::vector<std::vector<double>> ops_rate;  // per node: committed ops/sec
+  std::vector<std::vector<double>> p99;       // per node: running p99 latency
+  std::vector<double> last_ops;
+  std::vector<std::chrono::steady_clock::time_point> last_at;
+
+  explicit SmrHistory(std::size_t n)
+      : ops_rate(n), p99(n), last_ops(n, -1), last_at(n) {}
+
+  void update(const Json& snap) {
+    static constexpr std::size_t kKeep = 64;
+    const Json* per_node = snap.find("nodes");
+    if (per_node == nullptr) return;
+    const auto now = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < ops_rate.size(); ++i) {
+      const Json* st = per_node->find(std::to_string(i));
+      const Json* sm = st != nullptr ? st->find("smr") : nullptr;
+      if (sm == nullptr) continue;
+      const double ops = sm->number_or("ops_done", 0);
+      if (last_ops[i] >= 0) {
+        const double secs =
+            std::chrono::duration<double>(now - last_at[i]).count();
+        // A respawned node restarts its counters; clamp the negative delta
+        // to zero rather than charting a bogus spike.
+        const double rate =
+            secs > 0 ? std::max(0.0, ops - last_ops[i]) / secs : 0.0;
+        ops_rate[i].push_back(rate);
+        if (ops_rate[i].size() > kKeep) ops_rate[i].erase(ops_rate[i].begin());
+      }
+      last_ops[i] = ops;
+      last_at[i] = now;
+      p99[i].push_back(sm->number_or("latency_p99", 0));
+      if (p99[i].size() > kKeep) p99[i].erase(p99[i].begin());
+    }
+  }
+};
 
 std::string ids_of(const Json* arr) {
   if (arr == nullptr || !arr->is_array() || arr->items().empty()) return "-";
@@ -279,7 +357,8 @@ std::string pad(std::string s, std::size_t w) {
   return s;
 }
 
-void render(const Json& snap, const std::vector<hds::net::UdpEndpoint>& nodes, bool clear) {
+void render(const Json& snap, const std::vector<hds::net::UdpEndpoint>& nodes, bool clear,
+            const SmrHistory* hist = nullptr) {
   std::string out;
   if (clear) out += "\x1b[2J\x1b[H";
   out += "hds_top — " + std::to_string(static_cast<std::int64_t>(snap.number_or("reporting", 0))) +
@@ -329,6 +408,42 @@ void render(const Json& snap, const std::vector<hds::net::UdpEndpoint>& nodes, b
     row += sparkline(qos != nullptr ? qos->find("mistake_time") : nullptr);
     out += row + "\n";
   }
+  // Replicated-log panel, present whenever any node reports an smr body.
+  if (const Json* agg = snap.find("smr")) {
+    out += "\nreplicated log — ";
+    if (agg->find("hashes_agree")->boolean()) {
+      out += "log hash AGREED " + agg->string_or("log_hash", "");
+    } else {
+      out += "log hash SPLIT (frontiers may be catching up)";
+    }
+    out += "   total client ops: " +
+           std::to_string(static_cast<std::int64_t>(agg->number_or("ops_total", 0)));
+    out += "\n\n";
+    out += pad("node", 6) + pad("role", 6) + pad("epoch", 7) + pad("applied", 9) +
+           pad("committed", 11) + pad("ops", 8) + pad("batches", 9) +
+           pad("ops/s", 10) + pad("p99", 10) + "log hash\n";
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const Json* st = per_node != nullptr ? per_node->find(std::to_string(i)) : nullptr;
+      const Json* sm = st != nullptr ? st->find("smr") : nullptr;
+      std::string row = pad(std::to_string(i), 6);
+      if (sm == nullptr) {
+        row += "(no smr status)";
+        out += row + "\n";
+        continue;
+      }
+      const Json* leading = sm->find("leading");
+      row += pad(leading != nullptr && leading->boolean() ? "lead" : "foll", 6);
+      row += pad(std::to_string(static_cast<std::int64_t>(sm->number_or("epoch", 0))), 7);
+      row += pad(std::to_string(static_cast<std::int64_t>(sm->number_or("applied_through", -1))), 9);
+      row += pad(std::to_string(static_cast<std::int64_t>(sm->number_or("committed_through", -1))), 11);
+      row += pad(std::to_string(static_cast<std::int64_t>(sm->number_or("ops_done", 0))), 8);
+      row += pad(std::to_string(static_cast<std::int64_t>(sm->number_or("batches_committed", 0))), 9);
+      row += pad(hist != nullptr && i < hist->ops_rate.size() ? sparkline(hist->ops_rate[i]) : "·", 10);
+      row += pad(hist != nullptr && i < hist->p99.size() ? sparkline(hist->p99[i]) : "·", 10);
+      row += sm->string_or("log_hash", "-");
+      out += row + "\n";
+    }
+  }
   std::cout << out << std::flush;
 }
 
@@ -351,12 +466,15 @@ int run(const Options& o) {
   }
 
   hds::net::AdminClient client;
+  SmrHistory hist(nodes.size());
   if (o.once) {
     Json snap = take_snapshot(nodes, client, o.rpc_timeout_ms, hard_deadline);
+    hist.update(snap);
     while (!snap.find("complete")->boolean() &&
            std::chrono::steady_clock::now() < deadline) {
       std::this_thread::sleep_for(std::chrono::milliseconds(200));
       snap = take_snapshot(nodes, client, o.rpc_timeout_ms, hard_deadline);
+      hist.update(snap);
     }
     if (!snap.find("complete")->boolean()) {
       const Json* miss = snap.find("missing");
@@ -368,7 +486,7 @@ int run(const Options& o) {
     if (o.json) {
       std::cout << snap.dump() << "\n";
     } else {
-      render(snap, nodes, false);
+      render(snap, nodes, false, &hist);
     }
     return snap.find("complete")->boolean() ? 0 : 1;
   }
@@ -378,7 +496,8 @@ int run(const Options& o) {
   std::size_t silent_rounds = 0;
   while (true) {
     const Json snap = take_snapshot(nodes, client, o.rpc_timeout_ms);
-    render(snap, nodes, true);
+    hist.update(snap);
+    render(snap, nodes, true, &hist);
     silent_rounds = snap.number_or("reporting", 0) == 0 ? silent_rounds + 1 : 0;
     if (silent_rounds >= 10) {
       std::cerr << "hds_top: no node has answered for 10 rounds; exiting\n";
