@@ -54,6 +54,8 @@ QueueKind kind_of(std::int64_t arg) { return arg == 0 ? QueueKind::kCalendar : Q
 // Fill-then-drain: 10k events spread over 97 ticks, drain timed manually.
 void BM_Scheduler_EventThroughput(benchmark::State& state) {
   const QueueKind kind = kind_of(state.range(0));
+  // Summed across repetitions: keeping only the last drain's count made the
+  // reported ratio a single-sample value under UseManualTime.
   std::uint64_t drain_allocs = 0;
   for (auto _ : state) {
     Scheduler sched(kind);
@@ -65,12 +67,13 @@ void BM_Scheduler_EventThroughput(benchmark::State& state) {
     const auto t0 = std::chrono::steady_clock::now();
     sched.run_all();
     const auto t1 = std::chrono::steady_clock::now();
-    drain_allocs = g_allocs.load(std::memory_order_relaxed) - a0;
+    drain_allocs += g_allocs.load(std::memory_order_relaxed) - a0;
     state.SetIterationTime(std::chrono::duration<double>(t1 - t0).count());
     benchmark::DoNotOptimize(fired);
   }
   state.counters["allocs_per_event"] =
-      static_cast<double>(drain_allocs) / static_cast<double>(kEvents);
+      static_cast<double>(drain_allocs) /
+      static_cast<double>(state.iterations() * static_cast<std::uint64_t>(kEvents));
   state.SetItemsProcessed(state.iterations() * kEvents);
 }
 BENCHMARK(BM_Scheduler_EventThroughput)->Arg(0)->Arg(1)->UseManualTime();
@@ -82,11 +85,12 @@ void BM_Scheduler_SelfReschedulingChurn(benchmark::State& state) {
   const QueueKind kind = kind_of(state.range(0));
   constexpr int kChains = 64;
   constexpr SimTime kHorizon = 4000;
+  // Summed across repetitions, as in BM_Scheduler_EventThroughput.
   std::uint64_t churn_allocs = 0;
-  std::uint64_t fired = 0;
+  std::uint64_t total_fired = 0;
   for (auto _ : state) {
     Scheduler sched(kind);
-    fired = 0;
+    std::uint64_t fired = 0;
     std::function<void(SimTime, int)> arm = [&](SimTime at, int chain) {
       sched.at(at, [&, at, chain] {
         ++fired;
@@ -99,13 +103,14 @@ void BM_Scheduler_SelfReschedulingChurn(benchmark::State& state) {
     const auto t0 = std::chrono::steady_clock::now();
     sched.run_all();
     const auto t1 = std::chrono::steady_clock::now();
-    churn_allocs = g_allocs.load(std::memory_order_relaxed) - a0;
+    churn_allocs += g_allocs.load(std::memory_order_relaxed) - a0;
+    total_fired += fired;
     state.SetIterationTime(std::chrono::duration<double>(t1 - t0).count());
   }
   state.counters["allocs_per_event"] =
-      static_cast<double>(churn_allocs) / static_cast<double>(fired);
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(fired));
+      total_fired == 0 ? 0.0
+                       : static_cast<double>(churn_allocs) / static_cast<double>(total_fired);
+  state.SetItemsProcessed(static_cast<std::int64_t>(total_fired));
 }
 BENCHMARK(BM_Scheduler_SelfReschedulingChurn)->Arg(0)->Arg(1)->UseManualTime();
 
@@ -149,6 +154,63 @@ void BM_System_BroadcastFloodThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_System_BroadcastFloodThroughput)->Arg(4)->Arg(16)->Arg(64)
     ->Unit(benchmark::kMillisecond);
+
+// One broadcast flood on the conservative-synchronization engine at a given
+// shard count. AsyncTiming(16, 32) gives the engine a lookahead of 16
+// ticks, so each window batches thousands of deliveries between barriers —
+// the regime sharding is for. Returns the run's wall-clock seconds.
+double sharded_flood_once(std::size_t n, std::size_t shards, std::uint64_t& delivered,
+                          std::uint64_t& windows) {
+  SystemConfig cfg;
+  for (std::size_t i = 0; i < n; ++i) cfg.ids.push_back(i + 1);
+  cfg.timing = std::make_unique<AsyncTiming>(16, 32);
+  cfg.seed = 1;
+  cfg.shards = shards;
+  System sys(std::move(cfg));
+  for (ProcIndex i = 0; i < n; ++i) sys.set_process(i, std::make_unique<Flooder>(2));
+  sys.start();
+  const auto t0 = std::chrono::steady_clock::now();
+  sys.run_until(400);
+  const auto t1 = std::chrono::steady_clock::now();
+  delivered = sys.net_stats().copies_delivered;
+  windows = sys.shard_stats().windows;
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+// Sharded flood rows (the CI speedup gate compares the /4 row against the
+// /1 row of the same run). scale_eff is the measured parallel efficiency:
+// single-shard wall-clock over (shards x sharded wall-clock) for the
+// byte-identical scenario; speedup is the same ratio without the divisor.
+void BM_System_ShardedFloodThroughput(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 64;
+  std::uint64_t ref_delivered = 0;
+  std::uint64_t ref_windows = 0;
+  const double t_ref = sharded_flood_once(n, 1, ref_delivered, ref_windows);
+  std::uint64_t delivered = 0;
+  std::uint64_t windows = 0;
+  double total = 0;
+  for (auto _ : state) {
+    const double tk = sharded_flood_once(n, shards, delivered, windows);
+    total += tk;
+    state.SetIterationTime(tk);
+  }
+  if (delivered != ref_delivered) {
+    state.SkipWithError("sharded run diverged from the single-shard reference");
+    return;
+  }
+  const double mean_tk =
+      state.iterations() == 0 ? 0.0 : total / static_cast<double>(state.iterations());
+  const double speedup = mean_tk <= 0 ? 0.0 : t_ref / mean_tk;
+  state.counters["copies_delivered"] = static_cast<double>(delivered);
+  state.counters["windows"] = static_cast<double>(windows);
+  state.counters["speedup_vs_1shard"] = speedup;
+  state.counters["scale_eff"] = speedup / static_cast<double>(shards);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(delivered));
+}
+BENCHMARK(BM_System_ShardedFloodThroughput)->Arg(1)->Arg(2)->Arg(4)
+    ->UseManualTime()->Unit(benchmark::kMillisecond);
 
 // Observability overhead: the same flood with the metrics registry detached
 // (instrument pointers null, the default) vs attached. The arg toggles the

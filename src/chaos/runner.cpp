@@ -227,7 +227,8 @@ PartialSyncTiming::Params hps_net(const ChaosCase& c, bool lossy) {
 
 }  // namespace
 
-ChaosOutcome run_chaos_case(const ChaosCase& c, std::size_t trace_capacity) {
+ChaosOutcome run_chaos_case(const ChaosCase& c, std::size_t trace_capacity,
+                            std::size_t shards) {
   const std::vector<Id> ids = ids_homonymous(c.n, c.distinct, c.seed);
   const auto crashes =
       c.crash_k > 0 ? crashes_last_k(c.n, c.crash_k, c.crash_at) : crashes_none(c.n);
@@ -255,6 +256,7 @@ ChaosOutcome run_chaos_case(const ChaosCase& c, std::size_t trace_capacity) {
       p.stable_window = 400;
       p.monitor = mon ? &*mon : nullptr;
       p.chaos = &inj;
+      p.shards = shards;
       p.trace_capacity = trace_capacity;
       Fig6Result res = run_fig6(p);
       if (!res.ohp_check) out.violations.push_back("ohp: " + res.ohp_check.detail);
@@ -283,6 +285,7 @@ ChaosOutcome run_chaos_case(const ChaosCase& c, std::size_t trace_capacity) {
         rel.emplace(inj);
         p.link_interposer = &*rel;  // emulator owns the link seam, wraps inj
       }
+      p.shards = shards;
       p.trace_capacity = trace_capacity;
       ConsensusRunResult res = run_fig8_full_stack(p);
       if (!res.check) out.violations.push_back("consensus: " + res.check.detail);
@@ -312,6 +315,7 @@ ChaosOutcome run_chaos_case(const ChaosCase& c, std::size_t trace_capacity) {
       p.monitor = &mon;
       p.chaos = &inj;
       p.check_hsigma_safety = true;
+      p.shards = shards;
       p.trace_capacity = trace_capacity;
       ConsensusRunResult res = run_fig9_full_stack(p);
       if (!res.check) out.violations.push_back("consensus: " + res.check.detail);
@@ -339,6 +343,7 @@ ChaosOutcome run_chaos_case(const ChaosCase& c, std::size_t trace_capacity) {
       p.run_for = c.run_for;
       p.max_time = c.max_time;
       p.workload.clients = 4;
+      p.shards = shards;
       p.trace_capacity = trace_capacity;
       std::optional<net::ReliableLinkEmulator> rel;
       p.chaos = &inj;

@@ -1,0 +1,82 @@
+// Fixed-capacity single-producer / single-consumer mailbox.
+//
+// The sharded simulator keeps one mailbox per directed shard pair (s, d):
+// only shard s's worker pushes and only shard d's drain (which runs on one
+// thread at a window barrier) pops, so the lock-free fast path needs exactly
+// the SPSC guarantee. The ring is bounded; when a burst outruns capacity the
+// producer falls back to a mutex-guarded spill vector rather than blocking
+// mid-window (the consumer drains ring first, then spill, preserving push
+// order). Spills are counted so runs can report mailbox pressure.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace hds {
+
+template <typename T>
+class SpscMailbox {
+ public:
+  // Capacity is rounded up to a power of two; one slot is sacrificed to
+  // distinguish full from empty.
+  explicit SpscMailbox(std::size_t capacity = 1024) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    ring_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscMailbox(SpscMailbox&&) = delete;
+  SpscMailbox& operator=(SpscMailbox&&) = delete;
+
+  // Producer side. Never blocks: overflow diverts to the spill vector.
+  void push(T v) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail <= mask_) {  // one free slot remains
+      ring_[head & mask_] = std::move(v);
+      head_.store(head + 1, std::memory_order_release);
+    } else {
+      std::lock_guard<std::mutex> lock(spill_mu_);
+      spill_.push_back(std::move(v));
+      ++spills_;
+    }
+  }
+
+  // Consumer side: moves everything pushed so far into `out` (appended),
+  // ring first then spill, i.e. push order.
+  void drain_into(std::vector<T>& out) {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    std::size_t tail = tail_.load(std::memory_order_relaxed);
+    while (tail != head) {
+      out.push_back(std::move(ring_[tail & mask_]));
+      ++tail;
+    }
+    tail_.store(tail, std::memory_order_release);
+    if (spills_.load(std::memory_order_relaxed) > drained_spills_) {
+      std::lock_guard<std::mutex> lock(spill_mu_);
+      for (T& v : spill_) out.push_back(std::move(v));
+      drained_spills_ += spill_.size();
+      spill_.clear();
+    }
+  }
+
+  // Total pushes that missed the ring over the mailbox lifetime.
+  [[nodiscard]] std::uint64_t spills() const { return spills_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<T> ring_;
+  std::size_t mask_ = 0;
+  std::atomic<std::size_t> head_{0};  // next write index (producer-owned)
+  std::atomic<std::size_t> tail_{0};  // next read index (consumer-owned)
+  std::mutex spill_mu_;
+  std::vector<T> spill_;
+  std::atomic<std::uint64_t> spills_{0};
+  std::uint64_t drained_spills_ = 0;  // consumer-only
+};
+
+}  // namespace hds

@@ -139,6 +139,19 @@ FdOutputListener* chained_listener(ProcIndex i, obs::OnlineMonitor* monitor,
   return l;
 }
 
+// Observer seams that assume a single execution thread force the run back
+// onto one shard: chaos arms raw scheduler hooks, monitor / window-QoS
+// listeners fire from process dispatch without synchronization, and a link
+// interposer sits on every send path. Results are bit-identical either way,
+// so this only costs the parallelism, never the outcome.
+std::size_t effective_shards(std::size_t requested, const void* monitor, const void* window_qos,
+                             const void* chaos, const void* interposer = nullptr) {
+  if (monitor != nullptr || window_qos != nullptr || chaos != nullptr || interposer != nullptr) {
+    return 1;
+  }
+  return requested == 0 ? 1 : requested;
+}
+
 }  // namespace
 
 // ------------------------------------------------------------- FD runs
@@ -152,6 +165,7 @@ Fig6Result run_fig6(const Fig6Params& p) {
   cfg.seed = p.seed;
   cfg.metrics = p.metrics;
   cfg.queue = p.queue;
+  cfg.shards = effective_shards(p.shards, p.monitor, p.window_qos, p.chaos);
   cfg.trace_capacity = p.trace_capacity;
   System sys(std::move(cfg));
   if (p.chaos != nullptr) p.chaos->arm(sys);
@@ -504,6 +518,7 @@ ConsensusRunResult run_fig8_full_stack(const Fig8FullStackParams& p) {
   cfg.trace_capacity = p.trace_capacity;
   cfg.metrics = p.metrics;
   cfg.queue = p.queue;
+  cfg.shards = effective_shards(p.shards, p.monitor, p.window_qos, p.chaos, p.link_interposer);
   System sys(std::move(cfg));
   if (p.chaos != nullptr) p.chaos->arm(sys);
   // arm() installed the injector as the interposer; an explicit override
@@ -589,6 +604,7 @@ ConsensusRunResult run_fig9_full_stack(const Fig9FullStackParams& p) {
   cfg.seed = p.seed;
   cfg.trace_capacity = p.trace_capacity;
   cfg.metrics = p.metrics;
+  cfg.shards = effective_shards(p.shards, p.monitor, p.window_qos, p.chaos);
   System sys(std::move(cfg));
   if (p.chaos != nullptr) p.chaos->arm(sys);
   if (p.monitor != nullptr && sys.trace().enabled()) {

@@ -95,6 +95,10 @@ struct Fig6Params {
   // Event-queue back end (determinism cross-checks swap in the reference
   // heap; results are bit-identical either way).
   QueueKind queue = QueueKind::kCalendar;
+  // Shard count for the conservative-synchronization engine; results are
+  // bit-identical at any value. Forced back to 1 when chaos / monitor /
+  // window_qos are present — those seams assume a single execution thread.
+  std::size_t shards = 1;
   // > 0: record the structured event log (with causal lineage) into the
   // result, as in Fig8FullStackParams.
   std::size_t trace_capacity = 0;
@@ -232,6 +236,8 @@ struct Fig8FullStackParams {
   // `chaos` keeps its other roles (crash effectors, trigger listeners).
   LinkInterposer* link_interposer = nullptr;
   QueueKind queue = QueueKind::kCalendar;  // as in Fig6Params
+  // As in Fig6Params; additionally forced to 1 by `link_interposer`.
+  std::size_t shards = 1;
 };
 
 // Fig. 6 ▸ Corollary 2 ▸ Fig. 8 in HPS[t < n/2].
@@ -258,6 +264,7 @@ struct Fig9FullStackParams {
   // HSigmaComponent traces into result.hsigma_safety_check. Off by default;
   // the chaos runner turns it on. Ignored by the anonymous AP stack.
   bool check_hsigma_safety = false;
+  std::size_t shards = 1;  // as in Fig6Params
 };
 
 // Synchronous full stack for Fig. 9: OHPPolling (HΩ) + HSigmaComponent (HΣ)

@@ -1,6 +1,7 @@
 #include "exp/runner.h"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -12,11 +13,49 @@ std::size_t default_jobs() {
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
+double TaskTimings::max_ms() const {
+  double m = 0;
+  for (const double v : task_ms) {
+    if (v > m) m = v;
+  }
+  return m;
+}
+
+double TaskTimings::mean_ms() const {
+  if (task_ms.empty()) return 0;
+  double sum = 0;
+  for (const double v : task_ms) sum += v;
+  return sum / static_cast<double>(task_ms.size());
+}
+
+double TaskTimings::imbalance() const {
+  const double mean = mean_ms();
+  return mean <= 0 ? 1.0 : max_ms() / mean;
+}
+
+namespace {
+
+double run_one_timed(const std::function<void(std::size_t)>& task, std::size_t i) {
+  const auto t0 = std::chrono::steady_clock::now();
+  task(i);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
 void run_indexed(std::size_t count, std::size_t jobs,
-                 const std::function<void(std::size_t)>& task) {
+                 const std::function<void(std::size_t)>& task, TaskTimings* timings) {
+  if (timings != nullptr) timings->task_ms.assign(count, 0.0);
   if (count == 0) return;
   if (jobs <= 1 || count == 1) {
-    for (std::size_t i = 0; i < count; ++i) task(i);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (timings != nullptr) {
+        timings->task_ms[i] = run_one_timed(task, i);
+      } else {
+        task(i);
+      }
+    }
     return;
   }
 
@@ -29,7 +68,13 @@ void run_indexed(std::size_t count, std::size_t jobs,
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
       try {
-        task(i);
+        if (timings != nullptr) {
+          // Index-addressed slot write: no two tasks share i, and the join
+          // below publishes every slot to the caller.
+          timings->task_ms[i] = run_one_timed(task, i);
+        } else {
+          task(i);
+        }
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mu);
         if (!first_error) first_error = std::current_exception();

@@ -24,22 +24,38 @@ namespace hds::exp {
 // Worker count for "-j 0" / unspecified: hardware concurrency, at least 1.
 [[nodiscard]] std::size_t default_jobs();
 
+// Per-task wall-clock record of one run_indexed/run_collect sweep. The
+// imbalance ratio (slowest task over mean) is the load-balance diagnostic:
+// ~1.0 means tasks are uniform and the pool stays busy; >> 1 means one task
+// dominates the sweep's critical path (the same skew signal matters for
+// shard partitions of the sharded simulator).
+struct TaskTimings {
+  std::vector<double> task_ms;  // wall-clock of task(i), index-addressed
+
+  [[nodiscard]] double max_ms() const;
+  [[nodiscard]] double mean_ms() const;
+  // max/mean; 1.0 for an empty or degenerate sweep.
+  [[nodiscard]] double imbalance() const;
+};
+
 // Runs task(0) .. task(count - 1) across at most `jobs` worker threads
 // (jobs <= 1 runs inline on the calling thread — no pool, same semantics).
 // Tasks are claimed from an atomic cursor, so threads stay busy regardless
 // of per-task skew. The first task exception is rethrown on the caller's
-// thread after every worker drains.
+// thread after every worker drains. When `timings` is non-null each task's
+// wall-clock lands in timings->task_ms[i] (slot write, no sharing).
 void run_indexed(std::size_t count, std::size_t jobs,
-                 const std::function<void(std::size_t)>& task);
+                 const std::function<void(std::size_t)>& task, TaskTimings* timings = nullptr);
 
 // run_indexed with an index-addressed result slot per task: returns
 // {fn(0), ..., fn(count - 1)} in task order, whatever the execution order
 // was. R must be default-constructible and movable.
 template <typename Fn>
-[[nodiscard]] auto run_collect(std::size_t count, std::size_t jobs, Fn&& fn) {
+[[nodiscard]] auto run_collect(std::size_t count, std::size_t jobs, Fn&& fn,
+                               TaskTimings* timings = nullptr) {
   using R = decltype(fn(std::size_t{0}));
   std::vector<R> out(count);
-  run_indexed(count, jobs, [&](std::size_t i) { out[i] = fn(i); });
+  run_indexed(count, jobs, [&](std::size_t i) { out[i] = fn(i); }, timings);
   return out;
 }
 

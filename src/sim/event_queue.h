@@ -1,23 +1,32 @@
 // Event queues for the discrete-event scheduler.
 //
 // Both back ends realize the same deterministic total order — events pop in
-// (time, scheduling order) — so a run is bit-identical whichever one drives
-// it (the golden-trace test pins this).
+// (time, lane) order, where the lane is a provenance key (sim/lane.h) that
+// is a pure function of the configuration rather than of push order. That
+// is what lets a sharded run (sim/system.h with shards > 1) reproduce the
+// single-queue order exactly: every shard sorts its own subsequence by the
+// same global key. The golden-trace test pins bit-identity across back ends
+// and shard counts.
 //
 //  - CalendarQueue (default): a bucketed calendar / bucket queue. A ring of
 //    kSlots buckets covers the time window [base, base + kSlots); each
-//    in-window tick maps to exactly one bucket, which is a FIFO vector of
-//    actions. Events beyond the window park in a sorted overflow map and
-//    migrate into the ring when the window advances. push/pop are O(1) for
-//    the near-future events that dominate simulation workloads (heartbeat
-//    periods, link delays), versus O(log n) heap churn per event — and the
+//    in-window tick maps to exactly one bucket holding {lane, action} items.
+//    Items append in push order and the bucket lazily sorts by lane the
+//    first time the tick is drained (appends in ascending lane — the common
+//    monotone-counter case — keep the sorted flag and skip the sort).
+//    Events beyond the window park in a sorted overflow map and migrate
+//    into the ring when the window advances. push/pop stay O(1) amortized
+//    for the near-future events that dominate simulation workloads, and the
 //    bucket vectors recycle their capacity, so the steady state allocates
 //    nothing.
 //  - BinaryHeapQueue: the original std::priority_queue back end, kept as
 //    the executable reference for determinism cross-checks and the speedup
-//    benchmark.
+//    benchmark. Orders by (time, lane, push seq) — the push seq only breaks
+//    ties between identical lanes, which the lane scheme never produces
+//    within one queue.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <queue>
@@ -25,6 +34,7 @@
 
 #include "common/action.h"
 #include "common/types.h"
+#include "sim/lane.h"
 
 namespace hds {
 
@@ -40,17 +50,21 @@ class CalendarQueue {
   [[nodiscard]] bool empty() const { return size_ == 0; }
   [[nodiscard]] std::size_t size() const { return size_; }
 
-  // Pushes an event at absolute time t. Caller (the scheduler) guarantees
-  // t >= the time of the most recently popped event.
-  void push(SimTime t, Action fn) {
+  // Pushes an event at absolute time t with canonical lane `lane`. Caller
+  // (the scheduler) guarantees t >= the time of the most recently popped
+  // event, and that a push into the currently draining tick carries a lane
+  // strictly greater than the lane being executed (see sim/lane.h).
+  void push(SimTime t, Lane lane, Action fn) {
     if (t < window_end_ && t >= base_) {
-      ring_[slot_of(t)].items.push_back(std::move(fn));
+      Bucket& b = ring_[slot_of(t)];
+      if (b.sorted && !bucket_empty(b) && lane < b.items.back().lane) b.sorted = false;
+      b.items.push_back(Item{lane, std::move(fn)});
       ++window_count_;
       // A peek may have walked the cursor past an empty tick that is now
       // being filled; pull it back so the scan revisits it.
       if (t < cursor_) cursor_ = t;
     } else {
-      overflow_[t].push_back(std::move(fn));
+      overflow_[t].push_back(Item{lane, std::move(fn)});
     }
     ++size_;
   }
@@ -64,17 +78,25 @@ class CalendarQueue {
     return overflow_.begin()->first;
   }
 
-  // Pops the earliest event (FIFO within a tick); sets t to its time.
+  // Pops the earliest event (minimum lane within a tick); sets t and lane.
   // Precondition: !empty().
-  Action pop(SimTime& t) {
+  Action pop(SimTime& t, Lane& lane) {
     if (window_count_ == 0) advance_window_to(overflow_.begin()->first);
     advance_cursor();
     t = cursor_;
     Bucket& b = ring_[slot_of(cursor_)];
-    Action out = std::move(b.items[b.head++]);
+    if (!b.sorted) {
+      std::sort(b.items.begin() + static_cast<std::ptrdiff_t>(b.head), b.items.end(),
+                [](const Item& x, const Item& y) { return x.lane < y.lane; });
+      b.sorted = true;
+    }
+    Item& it = b.items[b.head++];
+    lane = it.lane;
+    Action out = std::move(it.fn);
     if (b.head == b.items.size()) {
       b.items.clear();
       b.head = 0;
+      b.sorted = true;
     }
     --window_count_;
     --size_;
@@ -82,9 +104,14 @@ class CalendarQueue {
   }
 
  private:
+  struct Item {
+    Lane lane;
+    Action fn;
+  };
   struct Bucket {
-    std::vector<Action> items;  // FIFO: consumed from head, appended at back
+    std::vector<Item> items;  // consumed from head; lane-sorted tail once draining
     std::size_t head = 0;
+    bool sorted = true;  // [head, end) is in ascending lane order
   };
 
   [[nodiscard]] std::size_t slot_of(SimTime t) const {
@@ -100,9 +127,9 @@ class CalendarQueue {
   }
 
   // Re-bases the (fully drained) window so it starts at `t` and migrates
-  // every overflow entry that now falls inside it. The migrated vectors are
-  // in push order, and later direct pushes append after them, so the
-  // FIFO-within-tick order is preserved across the window boundary.
+  // every overflow entry that now falls inside it. Migrated vectors arrive
+  // in push order and later direct pushes append after them; the lazy
+  // per-tick sort restores the canonical lane order either way.
   void advance_window_to(SimTime t) {
     base_ = t;
     window_end_ = t + static_cast<SimTime>(kSlots);
@@ -112,13 +139,14 @@ class CalendarQueue {
       Bucket& b = ring_[slot_of(it->first)];
       b.items = std::move(it->second);
       b.head = 0;
+      b.sorted = false;
       window_count_ += b.items.size();
       it = overflow_.erase(it);
     }
   }
 
   std::vector<Bucket> ring_;
-  std::map<SimTime, std::vector<Action>> overflow_;  // events with t >= window_end_
+  std::map<SimTime, std::vector<Item>> overflow_;  // events with t >= window_end_
   SimTime base_ = 0;
   SimTime window_end_ = static_cast<SimTime>(kSlots);
   SimTime cursor_ = 0;          // current scan position (absolute time)
@@ -126,21 +154,24 @@ class CalendarQueue {
   std::size_t size_ = 0;
 };
 
-// Reference back end: the pre-calendar binary heap over (time, seq).
+// Reference back end: binary heap over (time, lane, push seq).
 class BinaryHeapQueue {
  public:
   [[nodiscard]] bool empty() const { return queue_.empty(); }
   [[nodiscard]] std::size_t size() const { return queue_.size(); }
 
-  void push(SimTime t, Action fn) { queue_.push(Ev{t, next_seq_++, std::move(fn)}); }
+  void push(SimTime t, Lane lane, Action fn) {
+    queue_.push(Ev{t, lane, next_seq_++, std::move(fn)});
+  }
 
   [[nodiscard]] SimTime next_time() const { return queue_.top().at; }
 
-  Action pop(SimTime& t) {
+  Action pop(SimTime& t, Lane& lane) {
     // priority_queue::top() is const; the action is move-only, so cast away
     // const for the extraction (the element is popped immediately after).
     Ev& top = const_cast<Ev&>(queue_.top());
     t = top.at;
+    lane = top.lane;
     Action out = std::move(top.fn);
     queue_.pop();
     return out;
@@ -149,12 +180,15 @@ class BinaryHeapQueue {
  private:
   struct Ev {
     SimTime at;
+    Lane lane;
     std::uint64_t seq;
     Action fn;
   };
   struct Later {
     bool operator()(const Ev& a, const Ev& b) const {
-      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+      if (a.at != b.at) return a.at > b.at;
+      if (a.lane != b.lane) return a.lane > b.lane;
+      return a.seq > b.seq;
     }
   };
 

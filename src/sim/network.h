@@ -6,11 +6,18 @@
 // closure per directed link, message types are interned to small-int slots
 // (the string-keyed map lookup happens once per distinct type, not once per
 // broadcast), and the destination buffers recycle through a pool so the
-// steady state allocates nothing per broadcast. The observable event order,
-// traces, and statistics are bit-identical to the per-link formulation: all
-// same-time copies of a broadcast were already contiguous in the scheduler's
-// (time, seq) order, so collapsing them into one fan-out event preserves the
-// deterministic total order.
+// steady state allocates nothing per broadcast.
+//
+// Sharding: the owning System instantiates one Network per shard, sharing
+// the per-process RNG rows, broadcast counters and causal sessions (each
+// row is only ever touched by the shard that owns its process). Every
+// delivery event carries the canonical lane (kDeliver, sender, sender's
+// broadcast count) — see sim/lane.h — so the same schedule materializes
+// whatever the shard count, and the draws all come from the sender's own
+// RNG row, so they are a function of the sender's dispatch order alone.
+// Fan-out groups whose destinations live on another shard are handed to the
+// cross-send hook instead of the local scheduler; the System routes them
+// through SPSC mailboxes and re-injects them at a window barrier.
 #pragma once
 
 #include <algorithm>
@@ -28,7 +35,7 @@
 #include "sim/message.h"
 #include "sim/scheduler.h"
 #include "sim/timing.h"
-#include "sim/tracelog.h"
+#include "sim/trace_sink.h"
 
 namespace hds {
 
@@ -75,14 +82,37 @@ class Network {
   // destination is still alive (and count copies_to_dead via the setters).
   using Deliver = std::function<void(ProcIndex to, const std::shared_ptr<const Message>&)>;
 
-  // `trace` and `metrics` may be null (that observability surface disabled).
-  Network(Scheduler& sched, TimingModel& timing, Rng& rng, std::size_t n, Deliver deliver,
-          TraceLog* trace = nullptr, obs::MetricsRegistry* metrics = nullptr);
+  // One same-time fan-out group whose destinations live on another shard,
+  // handed to the owning System for mailbox routing.
+  struct CrossGroup {
+    std::size_t dest_shard = 0;
+    SimTime at = 0;
+    Lane lane = 0;
+    std::shared_ptr<const Message> msg;
+    std::vector<ProcIndex> tos;
+  };
+  using CrossSend = std::function<void(CrossGroup)>;
+
+  // `rngs` and `bcast_seq` are the per-process rows owned by the System;
+  // broadcast(from, ...) draws from and advances row `from` only. `sink`
+  // and `metrics` may be null (that observability surface disabled).
+  // `shards`/`shard_index` configure cross-shard routing (1/0 = everything
+  // local, the single-queue engine).
+  Network(Scheduler& sched, TimingModel& timing, std::vector<Rng>& rngs,
+          std::vector<std::uint64_t>& bcast_seq, std::size_t n, Deliver deliver,
+          TraceSink* sink = nullptr, obs::MetricsRegistry* metrics = nullptr,
+          std::size_t shards = 1, std::size_t shard_index = 0);
 
   // Sends one copy to every process. If `dying_delivery_prob` < 1 the sender
   // is crashing during this broadcast: each copy independently survives with
   // that probability (the model's "received by an arbitrary subset").
   void broadcast(ProcIndex from, Message m, double dying_delivery_prob = 1.0);
+
+  // Schedules one fan-out group on the local scheduler: at time `at`, lane
+  // `lane`, deliver `msg` to every destination in `tos` (ascending). Also
+  // the re-injection point for cross-shard groups drained from mailboxes.
+  void schedule_fanout(SimTime at, Lane lane, std::shared_ptr<const Message> msg,
+                       std::vector<ProcIndex> tos);
 
   // Installs a fault-plan interposer on every link (null detaches). The
   // pointer is consulted per copy; install before traffic starts.
@@ -94,11 +124,15 @@ class Network {
   using ByteMeter = std::function<std::size_t(const Message& m, ProcIndex from)>;
   void set_byte_meter(ByteMeter bm) { byte_meter_ = std::move(bm); }
 
-  // Causal-tracing session owned by the System (null = tracing off). When
-  // set, every broadcast mints a lineage id, stamps the current dispatch
-  // parent, and advances the Lamport clock — without consuming rng_ or
-  // changing any schedule, so runs are identical with tracing on or off.
-  void set_causal(obs::CausalSession* c) { causal_ = c; }
+  // Per-process causal-tracing sessions owned by the System (null = tracing
+  // off). When set, every broadcast mints a lineage id from the *sender's*
+  // session, stamps its current dispatch parent, and advances its Lamport
+  // clock — without consuming any RNG row or changing any schedule, so runs
+  // are identical with tracing on or off.
+  void set_causal(std::vector<obs::CausalSession>* c) { causal_ = c; }
+
+  // Destination hook for cross-shard fan-out groups (sharded mode only).
+  void set_cross_send(CrossSend cs) { cross_send_ = std::move(cs); }
 
   // Synchronizes the string-keyed by-type view from the interned slots; the
   // result stays valid until the next broadcast of a brand-new type.
@@ -127,9 +161,11 @@ class Network {
   };
 
   // A fan-out group: every destination whose copy of the current broadcast
-  // arrives at the same instant, delivered by a single scheduled event.
+  // arrives at the same instant ON THE SAME SHARD, delivered by a single
+  // scheduled event (local) or one mailbox push (cross-shard).
   struct Fanout {
     SimTime at = 0;
+    std::size_t dshard = 0;
     std::vector<ProcIndex> tos;
   };
 
@@ -139,14 +175,18 @@ class Network {
 
   Scheduler& sched_;
   TimingModel& timing_;
-  Rng& rng_;
+  std::vector<Rng>& rngs_;
+  std::vector<std::uint64_t>& bcast_seq_;
   std::size_t n_;
   Deliver deliver_;
-  TraceLog* trace_;
+  TraceSink* sink_;
   obs::MetricsRegistry* metrics_;
+  std::size_t shards_;
+  std::size_t shard_index_;
   LinkInterposer* interposer_ = nullptr;
-  obs::CausalSession* causal_ = nullptr;
+  std::vector<obs::CausalSession>* causal_ = nullptr;
   ByteMeter byte_meter_;
+  CrossSend cross_send_;
   NetworkStats stats_;
 
   std::vector<TypeSlot> slots_;

@@ -7,11 +7,15 @@
 namespace hds {
 
 void Scheduler::at(SimTime t, Action fn) {
+  at_lane(t, make_lane(LaneClass::kExternal, 0, ext_seq_++), std::move(fn));
+}
+
+void Scheduler::at_lane(SimTime t, Lane lane, Action fn) {
   if (t < now_) throw std::invalid_argument("Scheduler::at: time in the past");
   if (kind_ == QueueKind::kCalendar) {
-    calendar_.push(t, std::move(fn));
+    calendar_.push(t, lane, std::move(fn));
   } else {
-    heap_.push(t, std::move(fn));
+    heap_.push(t, lane, std::move(fn));
   }
 }
 
@@ -19,8 +23,10 @@ bool Scheduler::step() {
   if (empty()) return false;
   HDS_PROF_SCOPE(obs::ProfSubsystem::kEventQueue);
   SimTime t = 0;
-  Action fn = kind_ == QueueKind::kCalendar ? calendar_.pop(t) : heap_.pop(t);
+  Lane lane = 0;
+  Action fn = kind_ == QueueKind::kCalendar ? calendar_.pop(t, lane) : heap_.pop(t, lane);
   now_ = t;
+  current_lane_ = lane;
   ++executed_;
   fn();
   return true;
@@ -29,6 +35,10 @@ bool Scheduler::step() {
 void Scheduler::run_until(SimTime t) {
   while (!empty() && next_time() <= t) step();
   if (now_ < t) now_ = t;
+}
+
+void Scheduler::run_before(SimTime end) {
+  while (!empty() && next_time() < end) step();
 }
 
 void Scheduler::run_all(std::uint64_t max_events) {

@@ -66,6 +66,15 @@ TypeBiasedTiming::TypeBiasedTiming(Params p) : params_(std::move(p)) {
   }
 }
 
+SimTime TypeBiasedTiming::min_delay() const {
+  SimTime m = params_.default_delay;
+  for (const auto& [type, d] : params_.delay_by_type) {
+    (void)type;
+    if (d < m) m = d;
+  }
+  return m;
+}
+
 std::optional<SimTime> TypeBiasedTiming::delivery_at(SimTime sent, ProcIndex, ProcIndex to,
                                                      const std::string& type, Rng&) {
   auto it = params_.delay_by_type.find(type);

@@ -30,6 +30,14 @@ class TimingModel {
   // Most models ignore `type`; the adversarial TypeBiasedTiming keys on it.
   virtual std::optional<SimTime> delivery_at(SimTime sent, ProcIndex from, ProcIndex to,
                                              const std::string& type, Rng& rng) = 0;
+
+  // Lower bound on the delivery delay of any copy on any link: every
+  // surviving copy arrives at or after sent + min_delay(). The sharded
+  // engine uses this as the conservative-synchronization lookahead — a
+  // cross-shard send issued inside a window can never land inside that
+  // window. Every model's constructor enforces delays >= 1, so 1 is a
+  // universally safe default.
+  [[nodiscard]] virtual SimTime min_delay() const { return 1; }
 };
 
 // Arbitrary finite delays in [min_delay, max_delay], no loss.
@@ -38,6 +46,7 @@ class AsyncTiming final : public TimingModel {
   AsyncTiming(SimTime min_delay, SimTime max_delay);
   std::optional<SimTime> delivery_at(SimTime sent, ProcIndex from, ProcIndex to,
                                      const std::string& type, Rng& rng) override;
+  [[nodiscard]] SimTime min_delay() const override { return min_delay_; }
 
  private:
   SimTime min_delay_;
@@ -103,6 +112,7 @@ class TypeBiasedTiming final : public TimingModel {
   explicit TypeBiasedTiming(Params p);
   std::optional<SimTime> delivery_at(SimTime sent, ProcIndex from, ProcIndex to,
                                      const std::string& type, Rng& rng) override;
+  [[nodiscard]] SimTime min_delay() const override;
 
  private:
   Params params_;
@@ -121,6 +131,7 @@ class PerLinkTiming final : public TimingModel {
                                      const std::string& type, Rng& rng) override;
 
   [[nodiscard]] SimTime base_delay(ProcIndex from, ProcIndex to) const;
+  [[nodiscard]] SimTime min_delay() const override { return min_delay_; }
 
  private:
   SimTime min_delay_;

@@ -1,0 +1,85 @@
+// Per-shard trace sink: records TraceEvents either directly into the run's
+// TraceLog ring (single-shard mode — zero overhead over the old engine) or
+// into a per-shard keyed buffer that System merges into the ring at window
+// barriers (sharded mode).
+//
+// The merge key is (at, lane, sub, j):
+//  - `at`, `lane`: the (time, lane) of the event being dispatched when the
+//    record happened — i.e. the event's position in the canonical total
+//    order that shards=1 executes literally.
+//  - `sub`: disambiguates records made *inside* one dispatched event, e.g.
+//    a broadcast fan-out delivering to several same-tick destinations —
+//    Network sets it to the destination being handled (destinations ascend
+//    within a fan-out group), 0 otherwise.
+//  - `j`: arrival counter within one (at, lane, sub) cell, for events that
+//    record several entries for the same destination (e.g. a delivery plus
+//    chaos duplicates); buffer order within a cell is recording order.
+// Sorting the merged buffers by this key reproduces the exact sequence a
+// single-shard run feeds the ring — including ring eviction and dropped
+// counts, which is why the merge goes through TraceLog::record and not a
+// bulk copy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/lane.h"
+#include "sim/tracelog.h"
+
+namespace hds {
+
+class TraceSink {
+ public:
+  struct Keyed {
+    SimTime at = 0;
+    Lane lane = 0;
+    ProcIndex sub = 0;
+    std::uint32_t j = 0;
+    TraceEvent ev;
+  };
+
+  // Direct mode: writes go straight to `log` (may be a disabled log).
+  explicit TraceSink(TraceLog* log) : log_(log) {}
+
+  [[nodiscard]] bool enabled() const { return log_ != nullptr && log_->enabled(); }
+
+  // Switches to buffered (sharded) mode: records accumulate locally.
+  void set_buffered(bool buffered) { buffered_ = buffered; }
+
+  // Sub-key for subsequent records within the current dispatch; Network
+  // sets this to each fan-out destination before recording for it.
+  void set_sub(ProcIndex sub) { sub_ = sub; }
+
+  void record(SimTime at, Lane lane, TraceEvent::Kind kind, ProcIndex proc,
+              std::string msg_type = {}, std::uint64_t causal_id = 0,
+              std::uint64_t causal_parent = 0) {
+    if (!enabled()) return;
+    if (!buffered_) {
+      log_->record(at, kind, proc, std::move(msg_type), causal_id, causal_parent);
+      return;
+    }
+    // Self-contained j reset: consecutive records in the same (at, lane,
+    // sub) cell count up; any key change resets. Two different dispatched
+    // events always differ in (at, lane), so a stale sub never collides.
+    std::uint32_t j = 0;
+    if (!buf_.empty()) {
+      const Keyed& p = buf_.back();
+      if (p.at == at && p.lane == lane && p.sub == sub_) j = p.j + 1;
+    }
+    buf_.push_back(Keyed{at, lane, sub_, j,
+                         TraceEvent{at, kind, proc, std::move(msg_type), causal_id, causal_parent}});
+  }
+
+  [[nodiscard]] std::vector<Keyed>& buffer() { return buf_; }
+
+ private:
+  TraceLog* log_;
+  bool buffered_ = false;
+  ProcIndex sub_ = 0;
+  std::vector<Keyed> buf_;
+};
+
+}  // namespace hds

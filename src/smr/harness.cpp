@@ -42,6 +42,12 @@ SmrSimResult run_smr_sim(const SmrSimParams& p) {
   cfg.trace_capacity = p.trace_capacity;
   cfg.metrics = p.metrics;
   cfg.queue = p.queue;
+  // The oracle substrate samples sys.now() from inside dispatch (only
+  // meaningful single-threaded), and chaos / interposer seams are
+  // unsynchronized — all of those force one shard.
+  if (p.full_stack && p.chaos == nullptr && p.link_interposer == nullptr) {
+    cfg.shards = p.shards == 0 ? 1 : p.shards;
+  }
   System sys(std::move(cfg));
   if (p.chaos != nullptr) p.chaos->arm(sys);
   if (p.link_interposer != nullptr) sys.set_interposer(p.link_interposer);

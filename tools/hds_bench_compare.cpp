@@ -10,8 +10,11 @@
 // engine-overhaul throughput floor against the committed old-engine
 // baseline). NAME may be CURRENT@BASELINE to floor a series the baseline
 // predates against an equivalent-workload reference it does contain (e.g.
-// the profiler-off flood against the tracing-off flood). Exit status:
-// 0 clean, 1 regression / unmet floor, 2 usage or unreadable input.
+// the profiler-off flood against the tracing-off flood). --require NAME
+// (repeatable) demands the series exists in the current run at all — a
+// gated row that silently vanishes from the bench binary is a failure, not
+// a skip. Exit status: 0 clean, 1 regression / unmet floor / missing
+// required row, 2 usage or unreadable input.
 #include <iomanip>
 #include <iostream>
 #include <map>
@@ -64,10 +67,13 @@ std::map<std::string, Series> series_of(const Json& doc, const std::string& what
 void usage(std::ostream& os) {
   os << "usage: hds_bench_compare --baseline FILE --current FILE\n"
         "                         [--max-regress R] [--min-speedup NAME=R]...\n"
+        "                         [--require NAME]...\n"
         "R is a ratio: --max-regress 0.15 tolerates 15% regression;\n"
         "--min-speedup BM_Foo=3.0 demands current >= 3x baseline on BM_Foo;\n"
-        "--min-speedup BM_New@BM_Old=R floors current BM_New vs baseline BM_Old\n"
-        "exit: 0 clean, 1 regression or unmet speedup floor, 2 usage error\n";
+        "--min-speedup BM_New@BM_Old=R floors current BM_New vs baseline BM_Old;\n"
+        "--require BM_Foo fails the comparison when BM_Foo is absent from the\n"
+        "current run (a dropped gated row must trip CI, not get skipped)\n"
+        "exit: 0 clean, 1 regression / unmet floor / missing row, 2 usage error\n";
 }
 
 }  // namespace
@@ -77,6 +83,7 @@ int main(int argc, char** argv) {
   std::string current_path;
   double max_regress = 0.15;
   std::vector<std::pair<std::string, double>> floors;
+  std::vector<std::string> required;
 
   std::vector<std::string> args(argv + 1, argv + argc);
   try {
@@ -97,6 +104,8 @@ int main(int argc, char** argv) {
         const auto eq = spec.rfind('=');
         if (eq == std::string::npos) throw std::invalid_argument("--min-speedup wants NAME=R");
         floors.emplace_back(spec.substr(0, eq), std::stod(spec.substr(eq + 1)));
+      } else if (flag == "--require") {
+        required.push_back(next());
       } else if (flag == "--help" || flag == "-h") {
         usage(std::cout);
         return 0;
@@ -147,6 +156,11 @@ int main(int argc, char** argv) {
     std::cout << std::left << std::setw(56) << name << std::right << std::setw(14)
               << std::setprecision(6) << b.value << std::setw(14) << c.value << std::setw(8)
               << std::setprecision(3) << ratio << "x  " << verdict.str() << "\n";
+  }
+  for (const std::string& name : required) {
+    if (cur.contains(name)) continue;
+    std::cerr << "hds_bench_compare: required series " << name << " absent from current run\n";
+    status = 1;
   }
   for (const auto& [name, floor] : floors) {
     // CURRENT@BASELINE floors a new series against an older reference.

@@ -60,7 +60,8 @@ struct Options {
   std::string baseline = "BENCH_qos_baseline.json";
   bool write_baseline = false;
   double tolerance = 0.25;
-  std::size_t jobs = 1;  // sweep-point parallelism; 0 = hardware concurrency
+  std::size_t jobs = 1;    // sweep-point parallelism; 0 = hardware concurrency
+  std::size_t shards = 1;  // per-run engine shards (consensus-stack runs only)
 };
 
 void usage(std::ostream& os) {
@@ -68,8 +69,11 @@ void usage(std::ostream& os) {
         "                  [--seed S] [--ell L1,L2,...] [--out-dir DIR]\n"
         "                  [--json PATH] [--md PATH] [--baseline PATH]\n"
         "                  [--write-baseline] [--tolerance R] [-j N | --jobs N]\n"
+        "                  [--shards K]\n"
         "-j 0 means one worker per hardware thread; results are identical\n"
         "for every -j (each sweep point is an isolated, seed-derived run)\n"
+        "--shards K runs the consensus-stack point on K engine shards —\n"
+        "bit-identical output for every K (runs with observers stay at 1)\n"
         "exit status: 0 clean, 1 usage/run error, 2 QoS regression\n";
 }
 
@@ -123,6 +127,9 @@ bool parse_args(int argc, char** argv, Options& o) {
     } else if (flag == "-j" || flag == "--jobs") {
       o.jobs = std::stoul(need());
       if (o.jobs == 0) o.jobs = hds::exp::default_jobs();
+    } else if (flag == "--shards") {
+      o.shards = std::stoul(need());
+      if (o.shards == 0) o.shards = 1;
     } else if (flag == "--help" || flag == "-h") {
       usage(std::cout);
       std::exit(0);
@@ -271,6 +278,7 @@ SweepResult run_sweep_point(const Options& o, std::size_t ell) {
       p.metrics = &reg;
       p.collect_qos = true;
       p.trace_capacity = std::size_t{1} << 14;
+      p.shards = o.shards;  // no observers on this run, so it takes effect
       r = hds::run_fig8_full_stack(p);
     } else {
       hds::Fig9FullStackParams p;
@@ -281,6 +289,7 @@ SweepResult run_sweep_point(const Options& o, std::size_t ell) {
       p.metrics = &reg;
       p.collect_qos = true;
       p.trace_capacity = std::size_t{1} << 14;
+      p.shards = o.shards;  // as in the fig8 arm
       r = hds::run_fig9_full_stack(p);
     }
     out.stack_qos = hds::obs::qos_json(r.qos);
@@ -571,8 +580,14 @@ int main(int argc, char** argv) {
   // report is byte-identical for every -j.
   std::cerr << "hds_report: running " << o.ells.size() << ' ' << o.stack
             << " sweep point(s) with " << o.jobs << " worker(s)\n";
+  hds::exp::TaskTimings timings;
   const std::vector<SweepResult> sweeps = hds::exp::run_collect(
-      o.ells.size(), o.jobs, [&o](std::size_t k) { return run_sweep_point(o, o.ells[k]); });
+      o.ells.size(), o.jobs, [&o](std::size_t k) { return run_sweep_point(o, o.ells[k]); },
+      &timings);
+  if (!timings.task_ms.empty()) {
+    std::cerr << "hds_report: sweep wall-clock max " << timings.max_ms() << " ms, mean "
+              << timings.mean_ms() << " ms, imbalance " << timings.imbalance() << "x\n";
+  }
 
   if (o.write_baseline) {
     if (!write_file(o.baseline, baseline_json(o, sweeps).dump(2) + "\n")) return 1;
